@@ -1,0 +1,53 @@
+// Shared configuration for the paper-reproduction benches. Every bench
+// prints the rows/series of one table or figure of the paper; EXPERIMENTS.md
+// records paper-vs-measured for each.
+#pragma once
+
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "baseline/baselines.h"
+#include "core/apsp.h"
+#include "graph/suite.h"
+#include "util/table.h"
+
+namespace gapsp::bench {
+
+/// The scaled device configurations used throughout the evaluation (see
+/// DESIGN.md §2: memory and SM count scale together, the host link keeps the
+/// paper-measured PCIe throughput).
+inline sim::DeviceSpec bench_v100() { return sim::DeviceSpec::v100_scaled(); }
+inline sim::DeviceSpec bench_k80() { return sim::DeviceSpec::k80_scaled(); }
+
+/// Density-filter thresholds scaled to this machine's graph sizes. Density
+/// of a bounded-degree graph is deg/n, so the paper's 1% / 0.01% at
+/// n ≈ 10⁵ correspond to ~4% / 0.8% at n ≈ 10³ (see DESIGN.md §2).
+inline core::SelectorOptions bench_selector() {
+  core::SelectorOptions s;
+  s.dense_percent = 4.0;
+  s.sparse_percent = 0.8;
+  return s;
+}
+
+inline core::ApspOptions bench_options(const sim::DeviceSpec& dev) {
+  core::ApspOptions o;
+  o.device = dev;
+  return o;
+}
+
+/// The paper's BGL-plus host (Table II text: 14-core E5-2680, 28 threads).
+inline baseline::CpuSpec bench_cpu() { return baseline::CpuSpec::e5_2680_v2(); }
+
+inline std::string ms(double seconds, int digits = 3) {
+  return Table::num(seconds * 1e3, digits);
+}
+
+inline void print_header(const std::string& what, const std::string& paper) {
+  std::cout << "==============================================================\n"
+            << what << "\n"
+            << "paper reference: " << paper << "\n"
+            << "==============================================================\n";
+}
+
+}  // namespace gapsp::bench

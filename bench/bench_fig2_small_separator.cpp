@@ -1,0 +1,37 @@
+// Fig. 2: out-of-core GPU implementation vs the BGL-plus multicore baseline
+// on the graphs with a small separator. The out-of-core side is the
+// boundary algorithm (the selector's pick for this class); the paper reports
+// speedups of 8.22–12.40x.
+#include "bench_common.h"
+
+#include "core/ooc_boundary.h"
+
+int main() {
+  using namespace gapsp;
+  using namespace gapsp::bench;
+
+  print_header(
+      "Fig. 2 — out-of-core boundary algorithm vs BGL-plus (small separator)",
+      "Fig. 2 (paper speedups: 8.22x – 12.40x)");
+
+  const auto opts = bench_options(bench_v100());
+  Table t({"graph", "n", "BGL-plus (ms)", "out-of-core (ms)", "speedup",
+           "k", "#boundary"});
+  double lo = 1e30, hi = 0.0;
+  for (const auto& e : graph::small_separator_zoo()) {
+    auto store = core::make_ram_store(e.graph.num_vertices());
+    const auto gpu = core::ooc_boundary(e.graph, opts, *store);
+    const auto cpu = baseline::bgl_plus_apsp(e.graph, bench_cpu());
+    const double speedup = cpu.sim_seconds / gpu.metrics.sim_seconds;
+    lo = std::min(lo, speedup);
+    hi = std::max(hi, speedup);
+    t.add_row({e.name, Table::count(e.graph.num_vertices()),
+               ms(cpu.sim_seconds), ms(gpu.metrics.sim_seconds),
+               Table::num(speedup, 2), std::to_string(gpu.metrics.boundary_k),
+               Table::count(gpu.metrics.boundary_nodes)});
+  }
+  t.print(std::cout);
+  std::cout << "\nmeasured speedup range: " << Table::num(lo, 2) << "x - "
+            << Table::num(hi, 2) << "x (paper: 8.22x - 12.40x)\n";
+  return 0;
+}

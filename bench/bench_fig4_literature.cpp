@@ -1,0 +1,50 @@
+// Fig. 4: comparison against the two literature comparators on the other
+// sparse graphs — SuperFW (tuned shared-memory blocked Floyd–Warshall of
+// [31]) and Galois (delta-stepping APSP), both on a 64-thread Haswell. The
+// paper compares against *reported* numbers; we run faithful analogs through
+// the same machine model (functional execution disabled for the O(n³)
+// SuperFW to keep the bench fast; its model is validated in tests).
+//
+// Paper speedup ranges: 4.70–69.2x over SuperFW, 79.9–152.6x over Galois.
+// At this scale the SuperFW factors compress (n³ shrinks much faster than
+// n·m when n drops 100x) — see EXPERIMENTS.md — but the ordering
+// (ours < SuperFW < Galois in time) must hold.
+#include "bench_common.h"
+
+#include "core/ooc_johnson.h"
+
+int main() {
+  using namespace gapsp;
+  using namespace gapsp::bench;
+
+  print_header("Fig. 4 — comparison with SuperFW and Galois (other sparse)",
+               "Fig. 4 (paper: 4.70-69.2x over SuperFW, 79.9-152.6x over Galois)");
+
+  const auto opts = bench_options(bench_v100());
+  const auto haswell = baseline::CpuSpec::e5_2698_v3();
+  Table t({"graph", "ours (ms)", "SuperFW (ms)", "Galois (ms)",
+           "speedup vs SuperFW", "speedup vs Galois"});
+  double sf_lo = 1e30, sf_hi = 0, ga_lo = 1e30, ga_hi = 0;
+  for (const auto& e : graph::other_sparse_zoo()) {
+    auto store = core::make_ram_store(e.graph.num_vertices());
+    const auto ours = core::ooc_johnson(e.graph, opts, *store);
+    const auto superfw =
+        baseline::superfw_apsp(e.graph, haswell, nullptr, /*functional=*/false);
+    const auto galois = baseline::galois_apsp(e.graph, haswell);
+    const double s1 = superfw.sim_seconds / ours.metrics.sim_seconds;
+    const double s2 = galois.sim_seconds / ours.metrics.sim_seconds;
+    sf_lo = std::min(sf_lo, s1);
+    sf_hi = std::max(sf_hi, s1);
+    ga_lo = std::min(ga_lo, s2);
+    ga_hi = std::max(ga_hi, s2);
+    t.add_row({e.name, ms(ours.metrics.sim_seconds), ms(superfw.sim_seconds),
+               ms(galois.sim_seconds), Table::num(s1, 2), Table::num(s2, 2)});
+  }
+  t.print(std::cout);
+  std::cout << "\nmeasured: " << Table::num(sf_lo, 2) << "-"
+            << Table::num(sf_hi, 2) << "x over SuperFW, " << Table::num(ga_lo, 1)
+            << "-" << Table::num(ga_hi, 1)
+            << "x over Galois.\nSuperFW factors compress at laptop scale "
+               "(n^3 work shrinks faster than n*m) — see EXPERIMENTS.md.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 6: estimated vs actual execution times of the boundary algorithm and
+// Johnson's algorithm on the small-separator graphs (V100). The paper's
+// claim: the cost models track the real times closely, and the selection
+// (boundary on every one of these graphs) is always correct.
+#include "bench_common.h"
+
+#include "core/cost_model.h"
+#include "core/ooc_boundary.h"
+#include "core/ooc_johnson.h"
+
+namespace gapsp::bench {
+
+int run_model_accuracy(const sim::DeviceSpec& dev, const char* figure,
+                       const char* paper_note) {
+  print_header(std::string(figure) +
+                   " — estimated vs actual, boundary & Johnson, "
+                   "small-separator graphs (" +
+                   dev.name + ")",
+               paper_note);
+
+  const auto opts = bench_options(dev);
+  Table t({"graph", "est boundary (ms)", "actual boundary (ms)",
+           "est johnson (ms)", "actual johnson (ms)", "model picks",
+           "faster is", "correct?"});
+  int correct = 0, total = 0;
+  for (const auto& e : graph::small_separator_zoo()) {
+    const auto est_b = core::estimate_boundary(e.graph, opts);
+    const auto est_j = core::estimate_johnson(e.graph, opts, 5);
+    auto s1 = core::make_ram_store(e.graph.num_vertices());
+    auto s2 = core::make_ram_store(e.graph.num_vertices());
+    const auto act_b = core::ooc_boundary(e.graph, opts, *s1);
+    const auto act_j = core::ooc_johnson(e.graph, opts, *s2);
+    const bool model_boundary = est_b.feasible && est_b.total() < est_j.total();
+    const bool actual_boundary =
+        act_b.metrics.sim_seconds < act_j.metrics.sim_seconds;
+    const bool ok = model_boundary == actual_boundary;
+    correct += ok;
+    ++total;
+    t.add_row({e.name, ms(est_b.total()), ms(act_b.metrics.sim_seconds),
+               ms(est_j.total()), ms(act_j.metrics.sim_seconds),
+               model_boundary ? "boundary" : "johnson",
+               actual_boundary ? "boundary" : "johnson", ok ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+  std::cout << "\nselector correct on " << correct << "/" << total
+            << " graphs (paper: always correct).\n";
+  return correct == total ? 0 : 1;
+}
+
+}  // namespace gapsp::bench
+
+#ifndef GAPSP_FIG7_K80
+int main() {
+  return gapsp::bench::run_model_accuracy(
+      gapsp::bench::bench_v100(), "Fig. 6",
+      "Fig. 6 (estimates track actuals; boundary always chosen correctly)");
+}
+#endif

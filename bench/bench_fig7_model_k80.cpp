@@ -1,0 +1,10 @@
+// Fig. 7: the Fig. 6 estimated-vs-actual study repeated on the K80 — the
+// paper's generality check across devices.
+#define GAPSP_FIG7_K80
+#include "bench_fig6_model_v100.cpp"
+
+int main() {
+  return gapsp::bench::run_model_accuracy(
+      gapsp::bench::bench_k80(), "Fig. 7",
+      "Fig. 7 (same study on the K80; model stays accurate across devices)");
+}

@@ -1,0 +1,51 @@
+// Motivation experiment (the paper's Sec. I story): in-core GPU APSP
+// ([16],[20]-style, whole matrix on the device) is fast while the output
+// fits device memory and simply *stops existing* beyond that point; the
+// out-of-core implementations keep scaling. Also shows the out-of-core
+// overhead paid while both still fit.
+#include "bench_common.h"
+
+#include "core/incore_fw.h"
+#include "core/ooc_fw.h"
+#include "core/ooc_johnson.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace gapsp;
+  using namespace gapsp::bench;
+
+  print_header("Motivation — in-core prior work vs out-of-core scaling",
+               "Sec. I / Sec. VI (prior GPU APSP cannot handle our sizes)");
+
+  const auto opts = bench_options(bench_v100());
+  Table t({"n", "output", "in-core FW (ms)", "OOC FW (ms)", "OOC Johnson (ms)",
+           "OOC overhead"});
+  for (vidx_t n : {512, 1024, 1448, 2048, 2896}) {
+    const auto g = graph::make_erdos_renyi(n, 6 * n, 9000 + n);
+    const double out_mib =
+        static_cast<double>(n) * n * sizeof(dist_t) / (1 << 20);
+    std::string incore_ms = "OOM";
+    double incore_time = -1;
+    if (core::incore_fw_fits(opts.device, n)) {
+      auto store = core::make_ram_store(n);
+      const auto r = core::incore_fw_apsp(g, opts, *store);
+      incore_time = r.metrics.sim_seconds;
+      incore_ms = ms(incore_time);
+    }
+    auto s1 = core::make_ram_store(n);
+    auto s2 = core::make_ram_store(n);
+    const auto ooc = core::ooc_floyd_warshall(g, opts, *s1);
+    const auto joh = core::ooc_johnson(g, opts, *s2);
+    t.add_row({Table::count(n), Table::num(out_mib, 1) + " MiB", incore_ms,
+               ms(ooc.metrics.sim_seconds), ms(joh.metrics.sim_seconds),
+               incore_time > 0
+                   ? Table::num(ooc.metrics.sim_seconds / incore_time, 2) + "x"
+                   : "-"});
+  }
+  t.print(std::cout);
+  std::cout << "\nonce n^2*W exceeds the device ("
+            << (opts.device.memory_bytes >> 20)
+            << " MiB here), the in-core column disappears; the out-of-core "
+               "columns keep going.\n";
+  return 0;
+}

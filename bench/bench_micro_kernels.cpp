@@ -1,0 +1,111 @@
+// Microbenchmarks (google-benchmark) of the primitive kernels behind every
+// experiment: dense min-plus tiles, in-place FW, Near-Far SSSP rounds, the
+// k-way partitioner, plus ablations over the Near-Far Δ and the dynamic-
+// parallelism degree threshold.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/minplus.h"
+#include "graph/generators.h"
+#include "partition/kway.h"
+#include "sssp/dijkstra.h"
+#include "sssp/near_far.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace gapsp;
+
+std::vector<dist_t> random_tile(vidx_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<dist_t> m(static_cast<std::size_t>(n) * n);
+  for (auto& x : m) x = static_cast<dist_t>(rng.next_in(1, 1000));
+  return m;
+}
+
+void BM_MinPlusTile(benchmark::State& state) {
+  const vidx_t n = static_cast<vidx_t>(state.range(0));
+  auto a = random_tile(n, 1), b = random_tile(n, 2), c = random_tile(n, 3);
+  for (auto _ : state) {
+    core::minplus_accum(c.data(), n, a.data(), n, b.data(), n, n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * static_cast<long long>(n) *
+                          n * n);
+}
+BENCHMARK(BM_MinPlusTile)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_FwInplace(benchmark::State& state) {
+  const vidx_t n = static_cast<vidx_t>(state.range(0));
+  const auto original = random_tile(n, 4);
+  for (auto _ : state) {
+    auto m = original;
+    core::fw_inplace(m.data(), n, n);
+    benchmark::DoNotOptimize(m.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * static_cast<long long>(n) *
+                          n * n);
+}
+BENCHMARK(BM_FwInplace)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_DijkstraRoad(benchmark::State& state) {
+  const auto g = graph::make_road(40, 40, 5);
+  vidx_t src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sssp::dijkstra(g, src).data());
+    src = (src + 37) % g.num_vertices();
+  }
+}
+BENCHMARK(BM_DijkstraRoad);
+
+void BM_NearFarDeltaSweep(benchmark::State& state) {
+  // Δ sensitivity ablation: too small -> many phases, too large -> extra
+  // relaxation work (Bellman-Ford-like).
+  const auto g = graph::make_mesh(1200, 16, 6);
+  std::vector<dist_t> out(g.num_vertices());
+  sssp::NearFarConfig cfg;
+  cfg.delta = static_cast<dist_t>(state.range(0));
+  long long relax = 0;
+  for (auto _ : state) {
+    const auto st = sssp::near_far_sssp(g, 0, out, cfg);
+    relax += st.relaxations;
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["relax/iter"] =
+      static_cast<double>(relax) / state.iterations();
+}
+BENCHMARK(BM_NearFarDeltaSweep)->Arg(5)->Arg(25)->Arg(50)->Arg(200)->Arg(2000);
+
+void BM_NearFarHeavyThreshold(benchmark::State& state) {
+  // Dynamic-parallelism threshold ablation on a scale-free graph: how much
+  // of the traversal work is classified as "heavy" per threshold.
+  const auto g = graph::make_rmat(11, 16000, 7);
+  std::vector<dist_t> out(g.num_vertices());
+  sssp::NearFarConfig cfg;
+  cfg.heavy_degree_threshold = static_cast<int>(state.range(0));
+  long long heavy = 0, total = 0;
+  for (auto _ : state) {
+    const auto st = sssp::near_far_sssp(g, 0, out, cfg);
+    heavy += st.heavy_relaxations;
+    total += st.relaxations;
+  }
+  state.counters["heavy_share"] =
+      total == 0 ? 0.0 : static_cast<double>(heavy) / static_cast<double>(total);
+}
+BENCHMARK(BM_NearFarHeavyThreshold)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_KwayPartition(benchmark::State& state) {
+  const auto g = graph::make_road(45, 45, 8);
+  part::PartitionOptions opts;
+  opts.k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto p = part::kway_partition(g, opts);
+    benchmark::DoNotOptimize(p.edge_cut);
+  }
+}
+BENCHMARK(BM_KwayPartition)->Arg(4)->Arg(11)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

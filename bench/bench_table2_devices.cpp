@@ -1,0 +1,36 @@
+// Table II: specifications of the two GPUs, plus the scaled presets this
+// reproduction runs on and the measured-equivalent host-link throughputs.
+#include "bench_common.h"
+
+#include "sim/device_spec.h"
+
+int main() {
+  using namespace gapsp;
+  using namespace gapsp::bench;
+
+  print_header("Table II — device specifications (simulated)",
+               "Table II (Tesla V100 / Tesla K80)");
+
+  Table t({"device", "memory", "SMs", "max active blocks",
+           "compute (Gops/s)", "mem BW (GB/s)", "link (GB/s)",
+           "launch (us)"});
+  auto row = [&](const sim::DeviceSpec& s) {
+    t.add_row({s.name,
+               std::to_string(s.memory_bytes >> 20) + " MiB",
+               std::to_string(s.sm_count),
+               std::to_string(s.max_active_blocks),
+               Table::num(s.compute_ops_per_s / 1e9, 0),
+               Table::num(s.mem_bandwidth / 1e9, 0),
+               Table::num(s.link_bandwidth / 1e9, 2),
+               Table::num(s.kernel_launch_s * 1e6, 0)});
+  };
+  row(sim::DeviceSpec::v100());
+  row(sim::DeviceSpec::k80());
+  row(bench_v100());
+  row(bench_k80());
+  t.print(std::cout);
+  std::cout << "\nlink throughputs 11.75 / 7.23 GB/s are the paper's nvprof "
+               "measurements (Sec. V-E);\nthe scaled presets shrink memory "
+               "and resident-block capacity together (DESIGN.md §2).\n";
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Table IV: features of the graphs whose output does not fit in the host
+// store RAM budget of the Fig. 5 experiment (file-backed store required).
+#include "bench_common.h"
+
+int main() {
+  using namespace gapsp;
+  using namespace gapsp::bench;
+
+  print_header("Table IV — large graphs (output exceeds host-store budget)",
+               "Table IV (10 matrices)");
+
+  Table t({"matrix name", "n", "m", "density (%)", "output size"});
+  for (const auto& e : graph::large_zoo()) {
+    const double out_bytes = static_cast<double>(e.graph.num_vertices()) *
+                             e.graph.num_vertices() * sizeof(dist_t);
+    t.add_row({e.name, Table::count(e.graph.num_vertices()),
+               Table::count(e.graph.num_edges()),
+               Table::num(e.graph.density_percent(), 4),
+               Table::num(out_bytes / (1 << 20), 1) + " MiB"});
+  }
+  t.print(std::cout);
+  std::cout << "\nthe Fig. 5 bench solves these through the file-backed "
+               "distance store (core/dist_store).\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Multicore CPU APSP baselines.
+//
+//  * bgl_plus_apsp    — the paper's main comparator: OpenMP-style parallelism
+//                       over sources, each source a binary-heap Dijkstra
+//                       (Boost Graph Library style);
+//  * superfw_apsp     — analog of the tuned shared-memory blocked
+//                       Floyd–Warshall of [31] (Fig. 4 comparison);
+//  * galois_apsp      — analog of the Galois delta-stepping APSP (Fig. 4).
+//
+// Each runs functionally (results verifiable) and reports a modeled parallel
+// time from its operation counts and a CpuSpec machine model.
+#pragma once
+
+#include <optional>
+
+#include "baseline/cpu_spec.h"
+#include "core/dist_store.h"
+#include "graph/csr_graph.h"
+
+namespace gapsp::baseline {
+
+struct BaselineResult {
+  double sim_seconds = 0.0;   ///< modeled parallel execution time
+  double wall_seconds = 0.0;  ///< actual wall time of the functional run
+  double work_units = 0.0;    ///< counted work driving the model
+};
+
+/// Dijkstra from every source, parallelized over sources. When `store` is
+/// non-null the rows are written into it.
+BaselineResult bgl_plus_apsp(const graph::CsrGraph& g, const CpuSpec& cpu,
+                             core::DistStore* store = nullptr);
+
+/// Cache-blocked CPU Floyd–Warshall over the full n×n matrix. When
+/// `functional` is false only the cost model is evaluated (used by the
+/// Fig. 4 bench, where the paper too compares against *reported* numbers).
+BaselineResult superfw_apsp(const graph::CsrGraph& g, const CpuSpec& cpu,
+                            core::DistStore* store = nullptr,
+                            bool functional = true);
+
+/// Delta-stepping from every source, parallelized over sources.
+BaselineResult galois_apsp(const graph::CsrGraph& g, const CpuSpec& cpu,
+                           core::DistStore* store = nullptr);
+
+}  // namespace gapsp::baseline

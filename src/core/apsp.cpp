@@ -1,0 +1,58 @@
+#include "core/apsp.h"
+
+#include "core/ooc_boundary.h"
+#include "core/ooc_fw.h"
+#include "core/ooc_johnson.h"
+
+namespace gapsp::core {
+
+const char* algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kAuto:
+      return "auto";
+    case Algorithm::kBlockedFloydWarshall:
+      return "blocked-floyd-warshall";
+    case Algorithm::kJohnson:
+      return "johnson";
+    case Algorithm::kBoundary:
+      return "boundary";
+  }
+  return "?";
+}
+
+const char* sssp_kernel_name(SsspKernel k) {
+  switch (k) {
+    case SsspKernel::kNearFar:
+      return "near-far";
+    case SsspKernel::kDeltaStepping:
+      return "delta-stepping";
+    case SsspKernel::kBellmanFord:
+      return "bellman-ford";
+  }
+  return "?";
+}
+
+ApspResult solve_apsp(const graph::CsrGraph& g, const ApspOptions& opts,
+                      DistStore& store, SelectorReport* report,
+                      const SelectorOptions& sel) {
+  GAPSP_CHECK(g.num_vertices() > 0, "empty graph");
+  Algorithm algo = opts.algorithm;
+  if (algo == Algorithm::kAuto) {
+    const SelectorReport r = select_algorithm(g, opts, sel);
+    if (report != nullptr) *report = r;
+    algo = r.chosen;
+  }
+  switch (algo) {
+    case Algorithm::kBlockedFloydWarshall:
+      return ooc_floyd_warshall(g, opts, store);
+    case Algorithm::kJohnson:
+      return ooc_johnson(g, opts, store);
+    case Algorithm::kBoundary:
+      return ooc_boundary(g, opts, store);
+    case Algorithm::kAuto:
+      break;
+  }
+  throw Error("selector returned kAuto");
+}
+
+}  // namespace gapsp::core

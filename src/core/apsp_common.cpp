@@ -1,0 +1,73 @@
+#include "core/apsp_common.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace gapsp::core {
+
+void weight_block(const graph::CsrGraph& g, vidx_t row0, vidx_t col0,
+                  vidx_t rows, vidx_t cols, dist_t* dst, std::size_t ld) {
+  for (vidx_t r = 0; r < rows; ++r) {
+    dist_t* row = dst + static_cast<std::size_t>(r) * ld;
+    std::fill_n(row, cols, kInf);
+    const vidx_t u = row0 + r;
+    if (u >= col0 && u < col0 + cols) row[u - col0] = 0;
+    const auto nbr = g.neighbors(u);
+    const auto wts = g.weights(u);
+    for (std::size_t i = 0; i < nbr.size(); ++i) {
+      const vidx_t v = nbr[i];
+      if (v >= col0 && v < col0 + cols) {
+        row[v - col0] = std::min(row[v - col0], wts[i]);
+      }
+    }
+  }
+}
+
+void init_weight_matrix(const graph::CsrGraph& g, DistStore& store) {
+  const vidx_t n = g.num_vertices();
+  GAPSP_CHECK(store.n() == n, "store size does not match graph");
+  std::vector<dist_t> row(static_cast<std::size_t>(n));
+  for (vidx_t u = 0; u < n; ++u) {
+    weight_block(g, u, 0, 1, n, row.data(), row.size());
+    store.write_block(u, 0, 1, n, row.data(), row.size());
+  }
+}
+
+ApspMetrics metrics_from_device(const sim::Device& dev, double wall_seconds) {
+  const sim::DeviceMetrics dm = dev.metrics();
+  ApspMetrics m;
+  m.sim_seconds = dm.sim_seconds;
+  m.wall_seconds = wall_seconds;
+  m.kernel_seconds = dm.kernel_seconds;
+  m.transfer_seconds = dm.transfer_seconds;
+  m.bytes_h2d = dm.bytes_h2d;
+  m.bytes_d2h = dm.bytes_d2h;
+  m.transfers_h2d = dm.transfers_h2d;
+  m.transfers_d2h = dm.transfers_d2h;
+  m.kernels = dm.kernels;
+  m.child_kernels = dm.child_kernels;
+  m.total_ops = dm.total_ops;
+  m.device_peak_bytes = dm.peak_bytes;
+  return m;
+}
+
+DeviceGraph upload_graph(sim::Device& dev, sim::StreamId stream,
+                         const graph::CsrGraph& g) {
+  DeviceGraph dg;
+  dg.offsets = dev.alloc<eidx_t>(g.offsets().size(), "csr offsets");
+  dg.targets = dev.alloc<vidx_t>(
+      static_cast<std::size_t>(g.num_edges()), "csr targets");
+  dg.weights = dev.alloc<dist_t>(
+      static_cast<std::size_t>(g.num_edges()), "csr weights");
+  dev.memcpy_h2d(stream, dg.offsets.data(), g.offsets().data(),
+                 dg.offsets.bytes());
+  if (g.num_edges() > 0) {
+    dev.memcpy_h2d(stream, dg.targets.data(), g.targets().data(),
+                   dg.targets.bytes());
+    dev.memcpy_h2d(stream, dg.weights.data(), g.edge_weights().data(),
+                   dg.weights.bytes());
+  }
+  return dg;
+}
+
+}  // namespace gapsp::core

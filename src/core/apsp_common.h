@@ -1,0 +1,41 @@
+// Helpers shared by the three out-of-core implementations.
+#pragma once
+
+#include "core/apsp_options.h"
+#include "core/dist_store.h"
+#include "graph/csr_graph.h"
+#include "sim/device.h"
+
+namespace gapsp::core {
+
+/// Initializes `store` with the weight matrix of `g`: 0 on the diagonal,
+/// edge weights where arcs exist, kInf elsewhere (the Floyd–Warshall
+/// starting state).
+void init_weight_matrix(const graph::CsrGraph& g, DistStore& store);
+
+/// Fills a host row-major buffer with the weight-matrix block whose top-left
+/// corner is (row0, col0).
+void weight_block(const graph::CsrGraph& g, vidx_t row0, vidx_t col0,
+                  vidx_t rows, vidx_t cols, dist_t* dst, std::size_t ld);
+
+/// Copies the device metrics counters into an ApspMetrics (the algorithm-
+/// specific fields are left for the caller).
+ApspMetrics metrics_from_device(const sim::Device& dev, double wall_seconds);
+
+/// Uploaded CSR representation of the graph plus the h2d cost of shipping
+/// it (the `S` term of the Johnson batch formula lives in `bytes()`).
+struct DeviceGraph {
+  sim::DeviceBuffer<eidx_t> offsets;
+  sim::DeviceBuffer<vidx_t> targets;
+  sim::DeviceBuffer<dist_t> weights;
+
+  std::size_t bytes() const {
+    return offsets.bytes() + targets.bytes() + weights.bytes();
+  }
+};
+
+/// Allocates and uploads the CSR arrays (three charged h2d transfers).
+DeviceGraph upload_graph(sim::Device& dev, sim::StreamId stream,
+                         const graph::CsrGraph& g);
+
+}  // namespace gapsp::core

@@ -1,0 +1,114 @@
+// Shared option/metric/result types of the public APSP API.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "partition/kway.h"
+#include "sim/device_spec.h"
+#include "sim/trace.h"
+#include "util/common.h"
+
+namespace gapsp::core {
+
+enum class Algorithm {
+  kAuto,                  ///< density filter + cost models pick (Sec. IV)
+  kBlockedFloydWarshall,  ///< out-of-core blocked FW (Sec. III-A)
+  kJohnson,               ///< batched MSSP Johnson (Sec. III-B)
+  kBoundary,              ///< out-of-core boundary algorithm (Sec. III-C)
+};
+
+const char* algorithm_name(Algorithm a);
+
+/// SSSP kernel run inside the Johnson MSSP launch. The paper adopts
+/// Near-Far (Sec. II-B) after arguing Dijkstra exposes too little
+/// parallelism, Bellman-Ford does redundant work, and full delta-stepping
+/// pays heavy bucket-management overhead; the alternatives are kept so the
+/// argument is reproducible (bench_sssp_kernel_ablation).
+enum class SsspKernel {
+  kNearFar,
+  kDeltaStepping,
+  kBellmanFord,
+};
+
+const char* sssp_kernel_name(SsspKernel k);
+
+struct ApspOptions {
+  /// Simulated device. The default scales a V100 down (memory and SM count
+  /// together, host link unchanged) so out-of-core behaviour is exercised at
+  /// this machine's graph sizes.
+  sim::DeviceSpec device = sim::DeviceSpec::v100_scaled();
+
+  Algorithm algorithm = Algorithm::kAuto;
+  std::uint64_t seed = 1;
+
+  /// Optional timeline recorder attached to the simulated device (not
+  /// owned); export with sim::TraceRecorder::write_chrome_trace.
+  sim::TraceRecorder* trace = nullptr;
+
+  // ---- blocked Floyd–Warshall ----
+  /// Shared-memory sub-tile of the in-core blocked FW kernels.
+  int fw_tile = 64;
+
+  // ---- Johnson ----
+  /// Per-instance SSSP kernel (paper: Near-Far).
+  SsspKernel sssp_kernel = SsspKernel::kNearFar;
+  /// The constant c of bat = (L - S)/(c·m): per-instance worklist storage in
+  /// units of m edges.
+  double johnson_queue_factor = 2.0;
+  /// Near-Far bucket width; <= 0 derives it from the mean edge weight.
+  dist_t delta = 0;
+  /// Dynamic parallelism: vertices with out-degree >= threshold have their
+  /// edge lists traversed by child kernels. <= 0 disables.
+  bool dynamic_parallelism = true;
+  int heavy_degree_threshold = 16;
+
+  // ---- boundary algorithm ----
+  /// Number of components k; 0 selects the paper's experimental default
+  /// √n / 4 (Sec. V-F).
+  int num_components = 0;
+  /// Partitioning strategy (direct k-way vs recursive bisection).
+  part::Method partition_method = part::Method::kMultilevelKway;
+  /// Transfer batching (accumulate N_row block-rows per D2H transfer).
+  bool batch_transfers = true;
+  /// Double-buffered compute/transfer overlap on two streams.
+  bool overlap_transfers = true;
+};
+
+struct ApspMetrics {
+  double sim_seconds = 0.0;       ///< simulated end-to-end device makespan
+  double wall_seconds = 0.0;      ///< host wall-clock of the functional run
+  double kernel_seconds = 0.0;
+  double transfer_seconds = 0.0;
+  std::size_t bytes_h2d = 0;
+  std::size_t bytes_d2h = 0;
+  long long transfers_h2d = 0;
+  long long transfers_d2h = 0;
+  long long kernels = 0;
+  long long child_kernels = 0;
+  double total_ops = 0.0;
+  std::size_t device_peak_bytes = 0;
+
+  // Algorithm-specific (0 when not applicable).
+  int fw_num_blocks = 0;        ///< n_d
+  int johnson_batch_size = 0;   ///< bat
+  int johnson_num_batches = 0;  ///< n_b
+  int boundary_k = 0;           ///< components
+  vidx_t boundary_nodes = 0;    ///< NB
+};
+
+/// Result handle. Distances live in the DistStore the caller supplied; when
+/// `perm` is non-empty the store is in the permuted vertex order (boundary
+/// algorithm) and perm[old_id] = stored_id.
+struct ApspResult {
+  Algorithm used = Algorithm::kAuto;
+  ApspMetrics metrics;
+  std::vector<vidx_t> perm;
+
+  /// Maps an original vertex id to its row/column in the store.
+  vidx_t stored_id(vidx_t v) const {
+    return perm.empty() ? v : perm[static_cast<std::size_t>(v)];
+  }
+};
+
+}  // namespace gapsp::core

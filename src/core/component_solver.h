@@ -1,0 +1,46 @@
+// Connected-component pre-decomposition.
+//
+// APSP distances across connected components are kInf by definition, so on
+// a disconnected graph every all-pairs algorithm wastes the cross-component
+// share of its O(n²)+ work and output traffic. This wrapper splits the
+// graph into components and solves them independently, writing per-group
+// distance blocks into the full store — whose off-diagonal blocks simply
+// stay at their kInf initialization.
+//
+// Tiny components are *batched*: each device solve carries fixed costs
+// (graph upload, kernel launches), so solving hundreds of fragments one by
+// one is slower than the monolithic run even though it moves less data.
+// Components below `small_threshold` are packed into solve groups of up to
+// `group_target` vertices and solved together; the cross-fragment entries
+// inside one group are computed (and correctly come out kInf) but the
+// group totals stay near Σnᵢ² instead of n².
+#pragma once
+
+#include "core/apsp.h"
+
+namespace gapsp::core {
+
+struct ComponentSolverOptions {
+  /// Components with fewer vertices than this are packed into groups.
+  vidx_t small_threshold = 64;
+  /// Target vertex count per packed group.
+  vidx_t group_target = 512;
+};
+
+struct ComponentResult {
+  ApspResult result;  ///< aggregated metrics; perm maps old -> stored id
+  int num_components = 0;
+  int num_groups = 0;
+  vidx_t largest_component = 0;
+  /// Algorithm used per solve group (group order = store row order).
+  std::vector<Algorithm> per_group;
+};
+
+/// Solves APSP per connected component (small ones batched). The store must
+/// be freshly constructed (all kInf); cross-group entries are never written.
+/// The result's perm maps each vertex to its row in the store.
+ComponentResult solve_apsp_per_component(
+    const graph::CsrGraph& g, const ApspOptions& opts, DistStore& store,
+    const SelectorOptions& sel = {}, const ComponentSolverOptions& cs = {});
+
+}  // namespace gapsp::core

@@ -1,0 +1,266 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "core/dist_store.h"
+#include "core/ooc_fw.h"
+#include "core/ooc_johnson.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace gapsp::core {
+
+double fw_transfer_model(vidx_t n, const sim::DeviceSpec& spec) {
+  const vidx_t b = fw_block_size(spec, n);
+  const double nd = std::ceil(static_cast<double>(n) / b);
+  const double bytes =
+      nd * sizeof(dist_t) *
+      (3.0 * static_cast<double>(b) * b + static_cast<double>(n) * n);
+  return bytes / spec.link_bandwidth;
+}
+
+double johnson_transfer_model(vidx_t n, const sim::DeviceSpec& spec) {
+  return sizeof(dist_t) * static_cast<double>(n) * n / spec.link_bandwidth;
+}
+
+double boundary_transfer_model(const BoundaryPlan& plan, vidx_t n,
+                               const sim::DeviceSpec& spec) {
+  // Output volume is n² either way; batching turns it into ~k/N_row large
+  // transfers. Model the transfer count from the staging capacity.
+  const double total_bytes = sizeof(dist_t) * static_cast<double>(n) * n;
+  double transfers = static_cast<double>(plan.k) * plan.k;  // naive fallback
+  if (plan.staging_rows > 0) {
+    transfers = std::ceil(static_cast<double>(n) / plan.staging_rows);
+  }
+  return transfers * spec.transfer_latency_s +
+         total_bytes / spec.link_bandwidth;
+}
+
+double boundary_nop(vidx_t n, int k, double avg_boundary) {
+  const double dn = static_cast<double>(n);
+  const double dk = static_cast<double>(k);
+  const double b = avg_boundary;
+  return dn * dn * dn / (dk * dk) + std::pow(dk * b, 3.0) +
+         dn * dk * b * b + dn * dn * b;
+}
+
+int boundary_bucket(vidx_t n, vidx_t nb, int num_buckets) {
+  const double ideal = std::pow(static_cast<double>(n), 0.75);
+  const double ratio = std::max(1.0, static_cast<double>(nb) / ideal);
+  const int bucket = static_cast<int>(std::floor(std::log2(ratio)));
+  return std::clamp(bucket, 0, num_buckets - 1);
+}
+
+namespace {
+
+constexpr int kNumBuckets = 6;
+
+Calibration run_calibration(const ApspOptions& base) {
+  Calibration cal;
+  ApspOptions opts = base;
+  opts.algorithm = Algorithm::kAuto;
+
+  // --- FW reference runs: random graphs, the FW cost only depends on n.
+  // Two sizes give the power-law fit (paper: single point, exponent 3 —
+  // valid asymptotically; at scaled sizes the measured exponent is lower).
+  {
+    const vidx_t na = 384, nb = 768;
+    auto run_fw = [&](vidx_t n) {
+      auto g = graph::make_erdos_renyi(n, 4 * n, 7001);
+      auto store = make_ram_store(g.num_vertices());
+      return ooc_floyd_warshall(g, opts, *store).metrics.kernel_seconds;
+    };
+    const double ta = run_fw(na);
+    const double tb = run_fw(nb);
+    cal.fw_n0 = nb;
+    cal.fw_t0 = tb;
+    cal.fw_exponent = std::clamp(
+        std::log(tb / ta) / std::log(static_cast<double>(nb) / na), 1.0, 3.0);
+  }
+
+  // --- Boundary reference runs on small-separator (road) graphs, again a
+  // two-point power-law fit (paper: single point, exponent 3/2) ---
+  double fallback_c_unit = 0.0;
+  auto run_bnd = [&](vidx_t side, double* c_unit_out) {
+    auto g = graph::make_road(side, side, 7002);
+    auto store = make_ram_store(g.num_vertices());
+    const BoundaryPlan plan = plan_boundary(g, opts);
+    const ApspResult r = ooc_boundary(g, opts, plan, *store);
+    if (c_unit_out != nullptr) {
+      const double b =
+          static_cast<double>(plan.nb) / static_cast<double>(plan.k);
+      *c_unit_out = r.metrics.kernel_seconds /
+                    boundary_nop(g.num_vertices(), plan.k, b);
+    }
+    return r.metrics.kernel_seconds;
+  };
+  // Try successively smaller reference pairs until one fits the device; a
+  // device too small for all of them leaves bnd_t0 = 0 and the estimator
+  // reports boundary infeasible.
+  cal.bnd_n0 = 900;
+  cal.bnd_t0 = 0.0;
+  for (const auto& [small_side, big_side] :
+       {std::pair<vidx_t, vidx_t>{24, 36}, {18, 27}, {13, 19}}) {
+    try {
+      const double ta = run_bnd(small_side, nullptr);
+      const double tb = run_bnd(big_side, &fallback_c_unit);
+      cal.bnd_n0 = big_side * big_side;
+      cal.bnd_t0 = tb;
+      cal.bnd_exponent = std::clamp(
+          std::log(tb / ta) /
+              std::log(static_cast<double>(big_side) * big_side /
+                       (static_cast<double>(small_side) * small_side)),
+          0.5, 3.0);
+      break;
+    } catch (const Error&) {
+      continue;
+    }
+  }
+
+  // --- c_unit buckets: meshes with increasing long-range rewiring give
+  // increasing boundary counts; record time-per-operation per bucket ---
+  cal.c_unit.assign(kNumBuckets, 0.0);
+  std::vector<int> samples(kNumBuckets, 0);
+  const double rewires[] = {0.0, 0.02, 0.05, 0.10, 0.20, 0.35};
+  for (double rw : rewires) {
+    auto g = graph::make_mesh(700, 12, 7003, rw);
+    BoundaryPlan plan;
+    try {
+      plan = plan_boundary(g, opts);
+    } catch (const Error&) {
+      continue;  // this training point does not fit the device — skip
+    }
+    auto store = make_ram_store(g.num_vertices());
+    ApspResult r;
+    try {
+      r = ooc_boundary(g, opts, plan, *store);
+    } catch (const Error&) {
+      continue;
+    }
+    const double b =
+        static_cast<double>(plan.nb) / static_cast<double>(plan.k);
+    const double nop = boundary_nop(g.num_vertices(), plan.k, b);
+    const int bucket = boundary_bucket(g.num_vertices(), plan.nb, kNumBuckets);
+    cal.c_unit[bucket] += r.metrics.kernel_seconds / nop;
+    ++samples[bucket];
+  }
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (samples[i] > 0) cal.c_unit[i] /= samples[i];
+  }
+  // Fill untrained buckets from the nearest trained one; if no training
+  // point fit the device, fall back to the per-op cost of the road
+  // reference run.
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (cal.c_unit[i] != 0.0) continue;
+    for (int d = 1; d < kNumBuckets; ++d) {
+      const int lo = i - d, hi = i + d;
+      if (lo >= 0 && cal.c_unit[lo] != 0.0) {
+        cal.c_unit[i] = cal.c_unit[lo];
+        break;
+      }
+      if (hi < kNumBuckets && cal.c_unit[hi] != 0.0) {
+        cal.c_unit[i] = cal.c_unit[hi];
+        break;
+      }
+    }
+    if (cal.c_unit[i] == 0.0) cal.c_unit[i] = fallback_c_unit;
+  }
+  return cal;
+}
+
+}  // namespace
+
+const Calibration& calibrate(const ApspOptions& opts) {
+  static std::mutex mu;
+  static std::map<std::string, Calibration> cache;
+  const std::string key =
+      opts.device.name + "/" + std::to_string(opts.device.memory_bytes);
+  std::lock_guard<std::mutex> lk(mu);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, run_calibration(opts)).first;
+  }
+  return it->second;
+}
+
+CostBreakdown estimate_fw(const graph::CsrGraph& g, const ApspOptions& opts) {
+  const Calibration& cal = calibrate(opts);
+  const double scale =
+      static_cast<double>(g.num_vertices()) / static_cast<double>(cal.fw_n0);
+  CostBreakdown cost;
+  cost.compute_s = cal.fw_t0 * std::pow(scale, cal.fw_exponent);
+  cost.transfer_s = fw_transfer_model(g.num_vertices(), opts.device);
+  return cost;
+}
+
+CostBreakdown estimate_johnson(const graph::CsrGraph& g,
+                               const ApspOptions& opts, int sample_batches) {
+  const int bat =
+      johnson_batch_size(opts.device, g, opts.johnson_queue_factor);
+  const int nb =
+      static_cast<int>((g.num_vertices() + bat - 1) / bat);
+  // Randomly choose up to `sample_batches` distinct batches (paper: k = 5).
+  Rng rng(opts.seed ^ 0x5eedULL);
+  std::vector<int> chosen;
+  if (nb <= sample_batches) {
+    for (int i = 0; i < nb; ++i) chosen.push_back(i);
+  } else {
+    while (static_cast<int>(chosen.size()) < sample_batches) {
+      const int c = static_cast<int>(rng.next_below(nb));
+      if (std::find(chosen.begin(), chosen.end(), c) == chosen.end()) {
+        chosen.push_back(c);
+      }
+    }
+  }
+  const JohnsonSample sample = johnson_sample_batches(g, opts, chosen);
+  CostBreakdown cost;
+  cost.compute_s = sample.kernel_seconds * static_cast<double>(nb) /
+                   std::max(1, sample.sampled);
+  cost.transfer_s = johnson_transfer_model(g.num_vertices(), opts.device);
+  return cost;
+}
+
+CostBreakdown estimate_boundary(const graph::CsrGraph& g,
+                                const ApspOptions& opts) {
+  CostBreakdown cost;
+  BoundaryPlan plan;
+  try {
+    plan = plan_boundary(g, opts);
+  } catch (const Error&) {
+    cost.feasible = false;
+    cost.compute_s = cost.transfer_s = std::numeric_limits<double>::infinity();
+    return cost;
+  }
+  const Calibration& cal = calibrate(opts);
+  const vidx_t n = g.num_vertices();
+  const double ideal = std::pow(static_cast<double>(n), 0.75);
+  // Small-separator test on the plan's own partition (k = √n/4): the road
+  // family sits near 1.2·n^(3/4) boundary vertices, the mesh family at 4+.
+  const bool small_sep =
+      static_cast<double>(plan.nb) < 2.5 * ideal && cal.bnd_t0 > 0.0;
+  if (small_sep) {
+    const double scale =
+        static_cast<double>(n) / static_cast<double>(cal.bnd_n0);
+    cost.compute_s = cal.bnd_t0 * std::pow(scale, cal.bnd_exponent);
+  } else {
+    const double b =
+        static_cast<double>(plan.nb) / static_cast<double>(plan.k);
+    const int bucket = boundary_bucket(n, plan.nb, kNumBuckets);
+    if (cal.c_unit[bucket] <= 0.0) {
+      cost.feasible = false;
+      cost.compute_s = cost.transfer_s =
+          std::numeric_limits<double>::infinity();
+      return cost;
+    }
+    cost.compute_s = boundary_nop(n, plan.k, b) * cal.c_unit[bucket];
+  }
+  cost.transfer_s = boundary_transfer_model(plan, n, opts.device);
+  return cost;
+}
+
+}  // namespace gapsp::core

@@ -1,0 +1,81 @@
+// The detailed cost models of Sec. IV-B: data-transfer equations per
+// algorithm plus compute estimators — scaling laws calibrated from small
+// runs for Floyd–Warshall and the boundary algorithm, and batch sampling for
+// Johnson's algorithm.
+#pragma once
+
+#include "core/apsp_options.h"
+#include "core/ooc_boundary.h"
+#include "graph/csr_graph.h"
+
+namespace gapsp::core {
+
+// ---- Transfer models (Sec. IV-B1) ----
+
+/// Floyd–Warshall: T = n_d · W · (3b² + n²) / TH.
+double fw_transfer_model(vidx_t n, const sim::DeviceSpec& spec);
+
+/// Johnson: T = W · n² / TH.
+double johnson_transfer_model(vidx_t n, const sim::DeviceSpec& spec);
+
+/// Boundary: (k / N_row) transfers of S_rem bytes each.
+double boundary_transfer_model(const BoundaryPlan& plan, vidx_t n,
+                               const sim::DeviceSpec& spec);
+
+// ---- Compute models (Sec. IV-B2) ----
+
+/// Calibration data for the scaling-law models, obtained by running small
+/// training graphs through the simulator once per device configuration.
+struct Calibration {
+  // Blocked FW: measured compute time fw_t0 on a graph with fw_n0 vertices;
+  // estimate T = fw_t0 · (n/fw_n0)^fw_exponent. The paper uses the
+  // asymptotic exponent 3; at this reproduction's scaled sizes launch
+  // overhead and occupancy make the measured exponent smaller, so it is
+  // fitted from two calibration runs (see EXPERIMENTS.md).
+  double fw_t0 = 0.0;
+  vidx_t fw_n0 = 0;
+  double fw_exponent = 3.0;
+  // Boundary on a small-separator graph: T = bnd_t0 · (n/bnd_n0)^e, paper
+  // exponent 3/2, fitted the same way.
+  double bnd_t0 = 0.0;
+  vidx_t bnd_n0 = 0;
+  double bnd_exponent = 1.5;
+  // Large-separator boundary: cost per operation c_unit, bucketed by
+  // NB ∈ [n^(3/4)·2^r, n^(3/4)·2^(r+1)). Missing buckets borrow the nearest
+  // trained value.
+  std::vector<double> c_unit;
+};
+
+/// Runs the calibration workloads (cached per device name+memory, so the
+/// cost is paid once per process per configuration).
+const Calibration& calibrate(const ApspOptions& opts);
+
+/// Operation count of the boundary algorithm on a large-separator graph:
+/// N_op = n³/k² + (kB)³ + nkB² + n²B, B = average boundary nodes/component.
+double boundary_nop(vidx_t n, int k, double avg_boundary);
+
+/// c_unit bucket index for a boundary count NB on an n-vertex graph.
+int boundary_bucket(vidx_t n, vidx_t nb, int num_buckets);
+
+struct CostBreakdown {
+  double compute_s = 0.0;
+  double transfer_s = 0.0;
+  bool feasible = true;
+  double total() const { return compute_s + transfer_s; }
+};
+
+/// FW estimate: calibrated cubic scaling + transfer model.
+CostBreakdown estimate_fw(const graph::CsrGraph& g, const ApspOptions& opts);
+
+/// Johnson estimate: run `sample_batches` random batches (paper uses 5) and
+/// scale by n_b / sampled; plus the transfer model.
+CostBreakdown estimate_johnson(const graph::CsrGraph& g,
+                               const ApspOptions& opts,
+                               int sample_batches = 5);
+
+/// Boundary estimate: n^(3/2) scaling when the partition shows a small
+/// separator, N_op · c_unit otherwise; infeasible when no k fits.
+CostBreakdown estimate_boundary(const graph::CsrGraph& g,
+                                const ApspOptions& opts);
+
+}  // namespace gapsp::core

@@ -1,0 +1,90 @@
+#include "core/device_kernels.h"
+
+#include <algorithm>
+
+namespace gapsp::core {
+
+double dev_minplus(sim::Device& dev, sim::StreamId stream, dist_t* c,
+                   std::size_t ldc, const dist_t* a, std::size_t lda,
+                   const dist_t* b, std::size_t ldb, vidx_t nr, vidx_t nk,
+                   vidx_t nc, int tile) {
+  if (nr == 0 || nc == 0 || nk == 0) return 0.0;
+  const int grid = static_cast<int>(((nr + tile - 1) / tile) *
+                                    ((nc + tile - 1) / tile));
+  return dev.launch(stream, "minplus", [&](sim::LaunchCtx&) {
+    minplus_accum(c, ldc, a, lda, b, ldb, nr, nk, nc);
+    sim::KernelProfile p;
+    p.ops = minplus_ops(nr, nk, nc);
+    p.bytes = minplus_bytes(nr, nk, nc, tile);
+    p.blocks = grid;
+    return p;
+  });
+}
+
+double dev_blocked_fw(sim::Device& dev, sim::StreamId stream, dist_t* m,
+                      std::size_t ld, vidx_t n, int tile) {
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  const vidx_t nt = (n + tile - 1) / tile;
+  auto dim = [&](vidx_t t) { return std::min<vidx_t>(tile, n - t * tile); };
+  auto at = [&](vidx_t tr, vidx_t tc) {
+    return m + static_cast<std::size_t>(tr) * tile * ld +
+           static_cast<std::size_t>(tc) * tile;
+  };
+  for (vidx_t kk = 0; kk < nt; ++kk) {
+    const vidx_t dk = dim(kk);
+    // Phase 1: diagonal tile, classic FW, one thread block.
+    total += dev.launch(stream, "fw_diag", [&](sim::LaunchCtx&) {
+      fw_inplace(at(kk, kk), ld, dk);
+      sim::KernelProfile p;
+      p.ops = minplus_ops(dk, dk, dk);
+      p.bytes = 2.0 * sizeof(dist_t) * dk * dk;  // resident in shared memory
+      p.blocks = 1;
+      return p;
+    });
+    if (nt == 1) break;
+    // Phase 2: row panel A(kk, j) and column panel A(i, kk), one launch.
+    total += dev.launch(stream, "fw_panels", [&](sim::LaunchCtx&) {
+      double ops = 0.0, bytes = 0.0;
+      for (vidx_t j = 0; j < nt; ++j) {
+        if (j == kk) continue;
+        fw_row_panel(at(kk, j), ld, at(kk, kk), ld, dk, dim(j));
+        ops += minplus_ops(dk, dk, dim(j));
+        bytes += minplus_bytes(dk, dk, dim(j), tile);
+      }
+      for (vidx_t i = 0; i < nt; ++i) {
+        if (i == kk) continue;
+        fw_col_panel(at(i, kk), ld, at(kk, kk), ld, dim(i), dk);
+        ops += minplus_ops(dim(i), dk, dk);
+        bytes += minplus_bytes(dim(i), dk, dk, tile);
+      }
+      sim::KernelProfile p;
+      p.ops = ops;
+      p.bytes = bytes;
+      p.blocks = static_cast<int>(2 * (nt - 1));
+      return p;
+    });
+    // Phase 3: all remaining tiles, one launch, one block per tile.
+    total += dev.launch(stream, "fw_update", [&](sim::LaunchCtx&) {
+      double ops = 0.0, bytes = 0.0;
+      for (vidx_t i = 0; i < nt; ++i) {
+        if (i == kk) continue;
+        for (vidx_t j = 0; j < nt; ++j) {
+          if (j == kk) continue;
+          minplus_accum(at(i, j), ld, at(i, kk), ld, at(kk, j), ld, dim(i),
+                        dk, dim(j));
+          ops += minplus_ops(dim(i), dk, dim(j));
+          bytes += minplus_bytes(dim(i), dk, dim(j), tile);
+        }
+      }
+      sim::KernelProfile p;
+      p.ops = ops;
+      p.bytes = bytes;
+      p.blocks = static_cast<int>((nt - 1) * (nt - 1));
+      return p;
+    });
+  }
+  return total;
+}
+
+}  // namespace gapsp::core

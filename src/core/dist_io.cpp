@@ -1,0 +1,95 @@
+#include "core/dist_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace gapsp::core {
+namespace {
+
+constexpr char kMagic[8] = {'G', 'A', 'P', 'S', 'P', 'D', 'M', '1'};
+
+struct Header {
+  char magic[8];
+  std::int64_t n;
+  std::int64_t has_perm;
+};
+
+class FileCloser {
+ public:
+  explicit FileCloser(std::FILE* f) : f_(f) {}
+  ~FileCloser() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  std::FILE* get() const { return f_; }
+
+ private:
+  std::FILE* f_;
+};
+
+}  // namespace
+
+void save_distances(const DistStore& store, const ApspResult& result,
+                    const std::string& path) {
+  FileCloser f(std::fopen(path.c_str(), "wb"));
+  GAPSP_CHECK(f.get() != nullptr, "cannot create " + path);
+  const vidx_t n = store.n();
+  GAPSP_CHECK(result.perm.empty() ||
+                  result.perm.size() == static_cast<std::size_t>(n),
+              "result permutation does not match store");
+  Header h{};
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.n = n;
+  h.has_perm = result.perm.empty() ? 0 : 1;
+  GAPSP_CHECK(std::fwrite(&h, sizeof(h), 1, f.get()) == 1, "header write");
+  if (!result.perm.empty()) {
+    GAPSP_CHECK(std::fwrite(result.perm.data(), sizeof(vidx_t),
+                            result.perm.size(),
+                            f.get()) == result.perm.size(),
+                "permutation write");
+  }
+  std::vector<dist_t> row(static_cast<std::size_t>(n));
+  for (vidx_t r = 0; r < n; ++r) {
+    store.read_block(r, 0, 1, n, row.data(), row.size());
+    GAPSP_CHECK(std::fwrite(row.data(), sizeof(dist_t), row.size(),
+                            f.get()) == row.size(),
+                "row write to " + path);
+  }
+}
+
+LoadedDistances load_distances(const std::string& path) {
+  FileCloser f(std::fopen(path.c_str(), "rb"));
+  GAPSP_CHECK(f.get() != nullptr, "cannot open " + path);
+  Header h{};
+  GAPSP_CHECK(std::fread(&h, sizeof(h), 1, f.get()) == 1,
+              "truncated header in " + path);
+  GAPSP_CHECK(std::memcmp(h.magic, kMagic, sizeof(kMagic)) == 0,
+              path + " is not a gapsp distance file");
+  GAPSP_CHECK(h.n >= 0 && h.n < (1LL << 31), "implausible matrix size");
+  const auto n = static_cast<vidx_t>(h.n);
+
+  LoadedDistances out;
+  if (h.has_perm != 0) {
+    out.perm.resize(static_cast<std::size_t>(n));
+    GAPSP_CHECK(std::fread(out.perm.data(), sizeof(vidx_t), out.perm.size(),
+                           f.get()) == out.perm.size(),
+                "truncated permutation in " + path);
+    std::vector<std::uint8_t> seen(static_cast<std::size_t>(n), 0);
+    for (vidx_t p : out.perm) {
+      GAPSP_CHECK(p >= 0 && p < n && !seen[p],
+                  "malformed permutation in " + path);
+      seen[p] = 1;
+    }
+  }
+  out.store = make_ram_store(n);
+  std::vector<dist_t> row(static_cast<std::size_t>(n));
+  for (vidx_t r = 0; r < n; ++r) {
+    GAPSP_CHECK(std::fread(row.data(), sizeof(dist_t), row.size(), f.get()) ==
+                    row.size(),
+                "truncated matrix in " + path);
+    out.store->write_block(r, 0, 1, n, row.data(), row.size());
+  }
+  return out;
+}
+
+}  // namespace gapsp::core

@@ -1,0 +1,35 @@
+// Serialization of solved distance matrices.
+//
+// Binary format "GAPSPDM1": a small header (magic, n, permutation flag)
+// followed by the permutation (if any) and the row-major n×n dist_t matrix.
+// Lets a solved APSP (hours of work at production scale) be saved once and
+// queried forever, and lets the CLI hand results to other tools.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/apsp_options.h"
+#include "core/dist_store.h"
+
+namespace gapsp::core {
+
+/// Streams the store (and the result's permutation) to `path`.
+/// Rows are written in bounded-memory chunks.
+void save_distances(const DistStore& store, const ApspResult& result,
+                    const std::string& path);
+
+struct LoadedDistances {
+  std::unique_ptr<DistStore> store;  ///< RAM-backed
+  std::vector<vidx_t> perm;          ///< empty = identity
+
+  vidx_t stored_id(vidx_t v) const {
+    return perm.empty() ? v : perm[static_cast<std::size_t>(v)];
+  }
+};
+
+/// Reads a file written by save_distances. Throws gapsp::Error on a bad
+/// magic, truncated payload, or malformed permutation.
+LoadedDistances load_distances(const std::string& path);
+
+}  // namespace gapsp::core

@@ -1,0 +1,129 @@
+#include "core/dist_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace gapsp::core {
+
+void DistStore::check_block(vidx_t row0, vidx_t col0, vidx_t rows,
+                            vidx_t cols) const {
+  GAPSP_CHECK(row0 >= 0 && col0 >= 0 && rows >= 0 && cols >= 0 &&
+                  row0 + rows <= n_ && col0 + cols <= n_,
+              "block out of bounds");
+}
+
+dist_t DistStore::at(vidx_t u, vidx_t v) const {
+  dist_t d = kInf;
+  read_block(u, v, 1, 1, &d, 1);
+  return d;
+}
+
+namespace {
+
+class RamStore final : public DistStore {
+ public:
+  explicit RamStore(vidx_t n)
+      : DistStore(n),
+        data_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), kInf) {}
+
+  void write_block(vidx_t row0, vidx_t col0, vidx_t rows, vidx_t cols,
+                   const dist_t* src, std::size_t src_ld) override {
+    check_block(row0, col0, rows, cols);
+    for (vidx_t r = 0; r < rows; ++r) {
+      std::copy_n(src + static_cast<std::size_t>(r) * src_ld, cols,
+                  data_.data() + row_offset(row0 + r) + col0);
+    }
+  }
+
+  void read_block(vidx_t row0, vidx_t col0, vidx_t rows, vidx_t cols,
+                  dist_t* dst, std::size_t dst_ld) const override {
+    check_block(row0, col0, rows, cols);
+    for (vidx_t r = 0; r < rows; ++r) {
+      std::copy_n(data_.data() + row_offset(row0 + r) + col0, cols,
+                  dst + static_cast<std::size_t>(r) * dst_ld);
+    }
+  }
+
+ private:
+  std::size_t row_offset(vidx_t r) const {
+    return static_cast<std::size_t>(r) * static_cast<std::size_t>(n());
+  }
+  std::vector<dist_t> data_;
+};
+
+/// stdio-backed store. Rows are contiguous on disk; unwritten regions read
+/// back as kInf via an initialization pass at construction.
+class FileStore final : public DistStore {
+ public:
+  FileStore(vidx_t n, const std::string& path, bool keep_file)
+      : DistStore(n), path_(path), keep_file_(keep_file) {
+    file_ = std::fopen(path.c_str(), "wb+");
+    GAPSP_CHECK(file_ != nullptr, "cannot create dist store file " + path);
+    // Pre-fill with kInf one row at a time (bounded scratch).
+    std::vector<dist_t> row(static_cast<std::size_t>(n), kInf);
+    for (vidx_t r = 0; r < n; ++r) {
+      const std::size_t wrote =
+          std::fwrite(row.data(), sizeof(dist_t), row.size(), file_);
+      GAPSP_CHECK(wrote == row.size(), "short write initializing " + path);
+    }
+    std::fflush(file_);
+  }
+
+  ~FileStore() override {
+    if (file_ != nullptr) std::fclose(file_);
+    if (!keep_file_) std::remove(path_.c_str());
+  }
+
+  void write_block(vidx_t row0, vidx_t col0, vidx_t rows, vidx_t cols,
+                   const dist_t* src, std::size_t src_ld) override {
+    check_block(row0, col0, rows, cols);
+    for (vidx_t r = 0; r < rows; ++r) {
+      seek(row0 + r, col0);
+      const std::size_t wrote =
+          std::fwrite(src + static_cast<std::size_t>(r) * src_ld,
+                      sizeof(dist_t), static_cast<std::size_t>(cols), file_);
+      GAPSP_CHECK(wrote == static_cast<std::size_t>(cols),
+                  "short write to " + path_);
+    }
+  }
+
+  void read_block(vidx_t row0, vidx_t col0, vidx_t rows, vidx_t cols,
+                  dist_t* dst, std::size_t dst_ld) const override {
+    check_block(row0, col0, rows, cols);
+    std::fflush(file_);
+    for (vidx_t r = 0; r < rows; ++r) {
+      seek(row0 + r, col0);
+      const std::size_t got =
+          std::fread(dst + static_cast<std::size_t>(r) * dst_ld,
+                     sizeof(dist_t), static_cast<std::size_t>(cols), file_);
+      GAPSP_CHECK(got == static_cast<std::size_t>(cols),
+                  "short read from " + path_);
+    }
+  }
+
+ private:
+  void seek(vidx_t row, vidx_t col) const {
+    const long long off =
+        (static_cast<long long>(row) * n() + col) *
+        static_cast<long long>(sizeof(dist_t));
+    GAPSP_CHECK(std::fseek(file_, static_cast<long>(off), SEEK_SET) == 0,
+                "seek failed in " + path_);
+  }
+  std::string path_;
+  bool keep_file_ = false;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<DistStore> make_ram_store(vidx_t n) {
+  return std::make_unique<RamStore>(n);
+}
+
+std::unique_ptr<DistStore> make_file_store(vidx_t n, const std::string& path,
+                                           bool keep_file) {
+  return std::make_unique<FileStore>(n, path, keep_file);
+}
+
+}  // namespace gapsp::core

@@ -1,0 +1,54 @@
+// Host-side storage for the n×n output distance matrix — the object that is
+// orders of magnitude larger than the input and drives the whole paper.
+//
+// Two backends: RAM (output fits in host memory, Table III graphs) and a
+// file-backed store (output exceeds host memory, Table IV / Fig. 5 graphs).
+// All out-of-core algorithms stream block writes into this interface.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/common.h"
+
+namespace gapsp::core {
+
+class DistStore {
+ public:
+  virtual ~DistStore() = default;
+
+  vidx_t n() const { return n_; }
+
+  /// Writes a rows×cols block whose top-left corner is (row0, col0) from
+  /// `src` with leading dimension `src_ld` (elements, not bytes).
+  virtual void write_block(vidx_t row0, vidx_t col0, vidx_t rows, vidx_t cols,
+                           const dist_t* src, std::size_t src_ld) = 0;
+
+  /// Reads a block into `dst` with leading dimension `dst_ld`.
+  virtual void read_block(vidx_t row0, vidx_t col0, vidx_t rows, vidx_t cols,
+                          dist_t* dst, std::size_t dst_ld) const = 0;
+
+  /// Single-element convenience (slow path, for queries and tests).
+  dist_t at(vidx_t u, vidx_t v) const;
+
+ protected:
+  explicit DistStore(vidx_t n) : n_(n) {
+    GAPSP_CHECK(n >= 0, "negative matrix dimension");
+  }
+  void check_block(vidx_t row0, vidx_t col0, vidx_t rows, vidx_t cols) const;
+
+ private:
+  vidx_t n_;
+};
+
+/// In-memory store: a single row-major n×n buffer.
+std::unique_ptr<DistStore> make_ram_store(vidx_t n);
+
+/// File-backed store at `path` (created/truncated, n²·sizeof(dist_t) bytes,
+/// row-major). Used when the output exceeds the host RAM budget. By default
+/// the file is removed when the store is destroyed; pass keep_file=true to
+/// leave the raw matrix on disk.
+std::unique_ptr<DistStore> make_file_store(vidx_t n, const std::string& path,
+                                           bool keep_file = false);
+
+}  // namespace gapsp::core

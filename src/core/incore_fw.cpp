@@ -1,0 +1,46 @@
+#include "core/incore_fw.h"
+
+#include <vector>
+
+#include "core/device_kernels.h"
+#include "util/timer.h"
+
+namespace gapsp::core {
+
+bool incore_fw_fits(const sim::DeviceSpec& spec, vidx_t n) {
+  const double bytes =
+      static_cast<double>(n) * static_cast<double>(n) * sizeof(dist_t);
+  return bytes <= 0.95 * static_cast<double>(spec.memory_bytes);
+}
+
+ApspResult incore_fw_apsp(const graph::CsrGraph& g, const ApspOptions& opts,
+                          DistStore& store) {
+  Timer wall;
+  const vidx_t n = g.num_vertices();
+  GAPSP_CHECK(store.n() == n, "store size does not match graph");
+  sim::Device dev(opts.device);
+  dev.set_trace(opts.trace);
+
+  // The single full-matrix allocation is the make-or-break step.
+  auto mat = dev.alloc<dist_t>(
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+      "full distance matrix");
+
+  std::vector<dist_t> host(mat.size());
+  weight_block(g, 0, 0, n, n, host.data(), static_cast<std::size_t>(n));
+  dev.memcpy_h2d(sim::kDefaultStream, mat.data(), host.data(), mat.bytes(),
+                 /*async=*/false, /*pinned=*/true);
+  dev_blocked_fw(dev, sim::kDefaultStream, mat.data(), n, n, opts.fw_tile);
+  dev.memcpy_d2h(sim::kDefaultStream, host.data(), mat.data(), mat.bytes(),
+                 /*async=*/false, /*pinned=*/true);
+  store.write_block(0, 0, n, n, host.data(), static_cast<std::size_t>(n));
+  dev.synchronize();
+
+  ApspResult result;
+  result.used = Algorithm::kBlockedFloydWarshall;
+  result.metrics = metrics_from_device(dev, wall.seconds());
+  result.metrics.fw_num_blocks = 1;
+  return result;
+}
+
+}  // namespace gapsp::core

@@ -1,0 +1,20 @@
+// In-core GPU blocked Floyd–Warshall — the prior-work baseline ([16], [20]
+// in the paper): the whole n×n matrix resident in device memory, one upload,
+// one download. Fast while it fits; fails outright when it does not, which
+// is precisely the limitation the paper's out-of-core methods remove
+// (Sec. VI: "All of this work only considered small graphs").
+#pragma once
+
+#include "core/apsp_common.h"
+
+namespace gapsp::core {
+
+/// true iff the n×n matrix fits the device of `spec` (with runtime slack).
+bool incore_fw_fits(const sim::DeviceSpec& spec, vidx_t n);
+
+/// Solves APSP fully in-core. Throws gapsp::Error (device out of memory)
+/// when the matrix does not fit — no out-of-core fallback, by design.
+ApspResult incore_fw_apsp(const graph::CsrGraph& g, const ApspOptions& opts,
+                          DistStore& store);
+
+}  // namespace gapsp::core

@@ -1,0 +1,45 @@
+#include "core/minplus.h"
+
+#include <algorithm>
+
+namespace gapsp::core {
+
+void minplus_accum(dist_t* c, std::size_t ldc, const dist_t* a,
+                   std::size_t lda, const dist_t* b, std::size_t ldb,
+                   vidx_t nr, vidx_t nk, vidx_t nc) {
+  // r-k-c loop order: A[r][k] is hoisted, B row k and C row r stream
+  // sequentially — cache-friendly and auto-vectorizable.
+  for (vidx_t r = 0; r < nr; ++r) {
+    dist_t* __restrict crow = c + static_cast<std::size_t>(r) * ldc;
+    const dist_t* __restrict arow = a + static_cast<std::size_t>(r) * lda;
+    for (vidx_t k = 0; k < nk; ++k) {
+      const dist_t aval = arow[k];
+      if (aval >= kInf) continue;
+      const dist_t* __restrict brow = b + static_cast<std::size_t>(k) * ldb;
+      for (vidx_t col = 0; col < nc; ++col) {
+        // brow[col] may be kInf: aval + kInf stays >= kInf and the min is a
+        // no-op because crow is never above kInf. Guarded by the sentinel
+        // headroom of kInf (max/4), so no overflow check is needed here.
+        const dist_t cand = aval + brow[col];
+        crow[col] = std::min(crow[col], cand);
+      }
+    }
+  }
+}
+
+void fw_inplace(dist_t* m, std::size_t ld, vidx_t n) {
+  for (vidx_t k = 0; k < n; ++k) {
+    const dist_t* __restrict krow = m + static_cast<std::size_t>(k) * ld;
+    for (vidx_t i = 0; i < n; ++i) {
+      dist_t* __restrict irow = m + static_cast<std::size_t>(i) * ld;
+      const dist_t dik = irow[k];
+      if (dik >= kInf) continue;
+      for (vidx_t j = 0; j < n; ++j) {
+        const dist_t cand = dik + krow[j];
+        irow[j] = std::min(irow[j], cand);
+      }
+    }
+  }
+}
+
+}  // namespace gapsp::core

@@ -1,0 +1,321 @@
+#include "core/multi_device.h"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "core/device_kernels.h"
+#include "util/timer.h"
+
+namespace gapsp::core {
+namespace {
+
+/// LPT assignment of components to devices: largest component first onto
+/// the least-loaded device. Returns owner[i] in [0, num_devices).
+std::vector<int> assign_components(const part::BoundaryLayout& layout,
+                                   int num_devices) {
+  const int k = layout.k();
+  std::vector<int> order(static_cast<std::size_t>(k));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return layout.comp_size(a) > layout.comp_size(b);
+  });
+  std::vector<long long> load(static_cast<std::size_t>(num_devices), 0);
+  std::vector<int> owner(static_cast<std::size_t>(k), 0);
+  for (int i : order) {
+    const int d = static_cast<int>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    owner[i] = d;
+    // Step-2 work is cubic in component size; balance on that.
+    const long long ni = layout.comp_size(i);
+    load[d] += ni * ni * ni;
+    (void)ni;
+  }
+  return owner;
+}
+
+}  // namespace
+
+MultiApspResult ooc_boundary_multi(const graph::CsrGraph& g,
+                                   const ApspOptions& opts, int num_devices,
+                                   DistStore& store) {
+  Timer wall;
+  GAPSP_CHECK(num_devices >= 1, "need at least one device");
+  const vidx_t n = g.num_vertices();
+  GAPSP_CHECK(store.n() == n, "store size mismatch");
+
+  // The global single-device plan also proves per-device feasibility: every
+  // device allocates the same working set over a subset of the components.
+  ApspOptions plan_opts = opts;
+  plan_opts.batch_transfers = true;
+  plan_opts.overlap_transfers = false;  // one staging buffer per device
+  const BoundaryPlan plan = plan_boundary(g, plan_opts);
+  const part::BoundaryLayout& layout = plan.layout;
+  const int k = plan.k;
+  const vidx_t nb = plan.nb;
+  const vidx_t dmax = plan.max_comp;
+
+  const graph::CsrGraph gp = g.relabel(layout.perm);
+  std::vector<int> comp_of(static_cast<std::size_t>(n));
+  for (int c = 0; c < k; ++c) {
+    for (vidx_t v = layout.comp_offset[c]; v < layout.comp_offset[c + 1];
+         ++v) {
+      comp_of[v] = c;
+    }
+  }
+  const std::vector<int> owner = assign_components(layout, num_devices);
+
+  // ---- per-device state ----
+  struct DeviceState {
+    std::unique_ptr<sim::Device> dev;
+    sim::DeviceBuffer<dist_t> diag;
+    sim::DeviceBuffer<dist_t> bound;
+    sim::DeviceBuffer<dist_t> c2b;
+    sim::DeviceBuffer<dist_t> b2c;
+    sim::DeviceBuffer<dist_t> tmp;
+    sim::DeviceBuffer<dist_t> staging;
+    std::vector<dist_t> host_staging;
+    vidx_t staging_rows = 0;
+    vidx_t staged_rows = 0;
+    vidx_t staged_row0 = 0;
+  };
+  std::size_t bmax = 0, b2c_elems = 0;
+  std::vector<std::size_t> b2c_off(static_cast<std::size_t>(k));
+  for (int j = 0; j < k; ++j) {
+    bmax = std::max<std::size_t>(bmax, layout.comp_boundary[j]);
+    b2c_off[j] = b2c_elems;
+    b2c_elems += static_cast<std::size_t>(layout.comp_boundary[j]) *
+                 layout.comp_size(j);
+  }
+  std::vector<DeviceState> devs(static_cast<std::size_t>(num_devices));
+  for (auto& st : devs) {
+    st.dev = std::make_unique<sim::Device>(opts.device);
+    st.dev->set_trace(opts.trace);
+    st.diag = st.dev->alloc<dist_t>(static_cast<std::size_t>(dmax) * dmax,
+                                    "diagonal block");
+    st.bound = st.dev->alloc<dist_t>(static_cast<std::size_t>(nb) * nb,
+                                     "boundary matrix");
+    st.c2b =
+        st.dev->alloc<dist_t>(static_cast<std::size_t>(dmax) * bmax, "C2B");
+    st.b2c =
+        st.dev->alloc<dist_t>(std::max<std::size_t>(b2c_elems, 1), "B2C");
+    st.tmp =
+        st.dev->alloc<dist_t>(static_cast<std::size_t>(dmax) * nb, "tmp1");
+    const std::size_t stage_elems =
+        st.dev->free_bytes() / sizeof(dist_t) / 100 * 95;
+    st.staging_rows =
+        static_cast<vidx_t>(stage_elems / static_cast<std::size_t>(n));
+    GAPSP_CHECK(st.staging_rows >= dmax, "staging too small on device");
+    st.staging = st.dev->alloc<dist_t>(
+        static_cast<std::size_t>(st.staging_rows) * n, "staging");
+    st.host_staging.resize(st.staging.size());
+  }
+
+  const sim::StreamId s0 = sim::kDefaultStream;
+  std::vector<std::vector<dist_t>> dist2(static_cast<std::size_t>(k));
+  std::vector<dist_t> hbuf(static_cast<std::size_t>(dmax) *
+                           std::max<vidx_t>(n, dmax));
+
+  // ---- Step 2: per-component FW on the owning device ----
+  for (int i = 0; i < k; ++i) {
+    DeviceState& st = devs[owner[i]];
+    const vidx_t off = layout.comp_offset[i];
+    const vidx_t ni = layout.comp_size(i);
+    weight_block(gp, off, off, ni, ni, hbuf.data(), ni);
+    st.dev->memcpy_h2d(s0, st.diag.data(), hbuf.data(),
+                       static_cast<std::size_t>(ni) * ni * sizeof(dist_t));
+    dev_blocked_fw(*st.dev, s0, st.diag.data(), ni, ni, opts.fw_tile);
+    dist2[i].resize(static_cast<std::size_t>(ni) * ni);
+    st.dev->memcpy_d2h(s0, dist2[i].data(), st.diag.data(),
+                       dist2[i].size() * sizeof(dist_t));
+  }
+  // Barrier: the boundary graph needs every component's dist2.
+  double barrier2 = 0.0;
+  for (auto& st : devs) {
+    st.dev->synchronize();
+    barrier2 = std::max(barrier2, st.dev->now());
+  }
+  for (auto& st : devs) st.dev->advance_to(barrier2);
+
+  // ---- Step 3: boundary graph on device 0, then broadcast ----
+  std::vector<dist_t> hbound(static_cast<std::size_t>(nb) * nb, kInf);
+  for (vidx_t b = 0; b < nb; ++b) {
+    hbound[static_cast<std::size_t>(b) * nb + b] = 0;
+  }
+  for (int i = 0; i < k; ++i) {
+    const vidx_t bi = layout.comp_boundary[i];
+    const vidx_t ni = layout.comp_size(i);
+    const vidx_t go = layout.boundary_offset[i];
+    for (vidx_t r = 0; r < bi; ++r) {
+      for (vidx_t c = 0; c < bi; ++c) {
+        dist_t& cell = hbound[static_cast<std::size_t>(go + r) * nb + go + c];
+        cell = std::min(cell, dist2[i][static_cast<std::size_t>(r) * ni + c]);
+      }
+    }
+  }
+  for (vidx_t u = 0; u < n; ++u) {
+    const int cu = comp_of[u];
+    const auto nbr = gp.neighbors(u);
+    const auto wts = gp.weights(u);
+    for (std::size_t e = 0; e < nbr.size(); ++e) {
+      const int cv = comp_of[nbr[e]];
+      if (cu == cv) continue;
+      const vidx_t gu =
+          layout.boundary_offset[cu] + (u - layout.comp_offset[cu]);
+      const vidx_t gv =
+          layout.boundary_offset[cv] + (nbr[e] - layout.comp_offset[cv]);
+      dist_t& cell = hbound[static_cast<std::size_t>(gu) * nb + gv];
+      cell = std::min(cell, wts[e]);
+    }
+  }
+  {
+    DeviceState& st = devs[0];
+    st.dev->memcpy_h2d(s0, st.bound.data(), hbound.data(),
+                       hbound.size() * sizeof(dist_t));
+    dev_blocked_fw(*st.dev, s0, st.bound.data(), nb, nb, opts.fw_tile);
+    // Ship dist3 back so it can be broadcast to the other devices.
+    st.dev->memcpy_d2h(s0, hbound.data(), st.bound.data(),
+                       hbound.size() * sizeof(dist_t));
+    st.dev->synchronize();
+  }
+  double barrier3 = devs[0].dev->now();
+  for (auto& st : devs) st.dev->advance_to(barrier3);
+  for (int d = 1; d < num_devices; ++d) {
+    devs[d].dev->memcpy_h2d(s0, devs[d].bound.data(), hbound.data(),
+                            hbound.size() * sizeof(dist_t));
+  }
+  // Every device needs B2C of every component for its step-4 rows.
+  for (auto& st : devs) {
+    for (int j = 0; j < k; ++j) {
+      const vidx_t bj = layout.comp_boundary[j];
+      const vidx_t nj = layout.comp_size(j);
+      if (bj == 0) continue;
+      st.dev->memcpy_h2d(s0, st.b2c.data() + b2c_off[j], dist2[j].data(),
+                         static_cast<std::size_t>(bj) * nj * sizeof(dist_t));
+    }
+  }
+
+  // ---- Step 4: each device streams out its components' block-rows ----
+  auto flush = [&](DeviceState& st) {
+    if (st.staged_rows == 0) return;
+    const std::size_t bytes =
+        static_cast<std::size_t>(st.staged_rows) * n * sizeof(dist_t);
+    st.dev->memcpy_d2h(s0, st.host_staging.data(), st.staging.data(), bytes,
+                       /*async=*/false, /*pinned=*/true);
+    store.write_block(st.staged_row0, 0, st.staged_rows, n,
+                      st.host_staging.data(), static_cast<std::size_t>(n));
+    st.staged_rows = 0;
+  };
+
+  for (int i = 0; i < k; ++i) {
+    DeviceState& st = devs[owner[i]];
+    const vidx_t off = layout.comp_offset[i];
+    const vidx_t ni = layout.comp_size(i);
+    const vidx_t bi = layout.comp_boundary[i];
+
+    if (bi > 0) {
+      for (vidx_t r = 0; r < ni; ++r) {
+        std::copy_n(dist2[i].data() + static_cast<std::size_t>(r) * ni, bi,
+                    hbuf.data() + static_cast<std::size_t>(r) * bi);
+      }
+      st.dev->memcpy_h2d(s0, st.c2b.data(), hbuf.data(),
+                         static_cast<std::size_t>(ni) * bi * sizeof(dist_t));
+      st.dev->launch(s0, "fill_tmp", [&](sim::LaunchCtx&) {
+        std::fill_n(st.tmp.data(), static_cast<std::size_t>(ni) * nb, kInf);
+        sim::KernelProfile p;
+        p.bytes = static_cast<double>(ni) * nb * sizeof(dist_t);
+        p.ops = static_cast<double>(ni) * nb;
+        p.blocks = std::max(1, static_cast<int>(ni * nb / 4096));
+        return p;
+      });
+      dev_minplus(*st.dev, s0, st.tmp.data(), nb, st.c2b.data(), bi,
+                  st.bound.data() +
+                      static_cast<std::size_t>(layout.boundary_offset[i]) * nb,
+                  nb, ni, bi, nb, opts.fw_tile);
+    }
+
+    // Block-rows of one device are contiguous only per component; flush per
+    // staging fill, tracking the first staged row.
+    if (st.staged_rows + ni > st.staging_rows ||
+        (st.staged_rows > 0 && st.staged_row0 + st.staged_rows != off)) {
+      flush(st);
+    }
+    if (st.staged_rows == 0) st.staged_row0 = off;
+    dist_t* row_base =
+        st.staging.data() + static_cast<std::size_t>(st.staged_rows) * n;
+    st.dev->launch(s0, "init_block_row", [&](sim::LaunchCtx&) {
+      std::fill_n(row_base, static_cast<std::size_t>(ni) * n, kInf);
+      sim::KernelProfile p;
+      p.bytes = static_cast<double>(ni) * n * sizeof(dist_t);
+      p.ops = static_cast<double>(ni) * n;
+      p.blocks = std::max(1, static_cast<int>(ni * (n / 4096)));
+      return p;
+    });
+    for (vidx_t r = 0; r < ni; ++r) {
+      std::copy_n(dist2[i].data() + static_cast<std::size_t>(r) * ni, ni,
+                  row_base + static_cast<std::size_t>(r) * n + off);
+    }
+    st.dev->memcpy_h2d(s0, hbuf.data(), dist2[i].data(),
+                       static_cast<std::size_t>(ni) * ni * sizeof(dist_t));
+    if (bi > 0) {
+      st.dev->launch(s0, "block_row_minplus", [&](sim::LaunchCtx&) {
+        double ops = 0.0, bytes = 0.0;
+        int blocks = 0;
+        for (int j = 0; j < k; ++j) {
+          const vidx_t bj = layout.comp_boundary[j];
+          const vidx_t nj = layout.comp_size(j);
+          if (bj == 0) continue;
+          minplus_accum(row_base + layout.comp_offset[j], n,
+                        st.tmp.data() + layout.boundary_offset[j], nb,
+                        st.b2c.data() + b2c_off[j], nj, ni, bj, nj);
+          ops += minplus_ops(ni, bj, nj);
+          bytes += minplus_bytes(ni, bj, nj, opts.fw_tile);
+          blocks += ((ni + opts.fw_tile - 1) / opts.fw_tile) *
+                    ((nj + opts.fw_tile - 1) / opts.fw_tile);
+        }
+        sim::KernelProfile p;
+        p.ops = ops;
+        p.bytes = bytes;
+        p.blocks = std::max(1, blocks);
+        return p;
+      });
+    }
+    st.staged_rows += ni;
+  }
+  for (auto& st : devs) flush(st);
+
+  // ---- makespan + aggregated metrics ----
+  MultiApspResult out;
+  out.multi.num_devices = num_devices;
+  out.multi.barrier2_s = barrier2;
+  out.multi.barrier3_s = barrier3;
+  double makespan = 0.0;
+  ApspMetrics agg;
+  for (auto& st : devs) {
+    st.dev->synchronize();
+    out.multi.device_seconds.push_back(st.dev->now());
+    makespan = std::max(makespan, st.dev->now());
+    const ApspMetrics m = metrics_from_device(*st.dev, 0.0);
+    agg.kernel_seconds += m.kernel_seconds;
+    agg.transfer_seconds += m.transfer_seconds;
+    agg.bytes_h2d += m.bytes_h2d;
+    agg.bytes_d2h += m.bytes_d2h;
+    agg.transfers_h2d += m.transfers_h2d;
+    agg.transfers_d2h += m.transfers_d2h;
+    agg.kernels += m.kernels;
+    agg.child_kernels += m.child_kernels;
+    agg.total_ops += m.total_ops;
+    agg.device_peak_bytes = std::max(agg.device_peak_bytes, m.device_peak_bytes);
+  }
+  agg.sim_seconds = makespan;
+  agg.wall_seconds = wall.seconds();
+  agg.boundary_k = k;
+  agg.boundary_nodes = nb;
+  out.result.used = Algorithm::kBoundary;
+  out.result.metrics = agg;
+  out.result.perm = layout.perm;
+  return out;
+}
+
+}  // namespace gapsp::core

@@ -1,0 +1,40 @@
+// Multi-GPU out-of-core boundary algorithm — the natural extension of the
+// paper's method back toward its ancestry (Djidjev et al. designed the
+// boundary algorithm for multi-node clusters; the paper runs it on one GPU).
+//
+// Work distribution: components are assigned to devices by longest-
+// processing-time (LPT) scheduling on component size. Each device runs
+// step 2 (per-component FW) for its components; after a barrier the boundary
+// graph is assembled on the host, closed on device 0 (step 3), and
+// broadcast; each device then computes and streams out the block-rows of
+// its own components (step 4). Simulated end-to-end time is the makespan
+// across devices; every device has its own memory capacity, streams and
+// transfer link.
+#pragma once
+
+#include "core/apsp_common.h"
+#include "core/ooc_boundary.h"
+
+namespace gapsp::core {
+
+struct MultiDeviceMetrics {
+  int num_devices = 0;
+  std::vector<double> device_seconds;  ///< per-device local finish time
+  double barrier2_s = 0.0;             ///< barrier after step 2
+  double barrier3_s = 0.0;             ///< barrier after the dist3 broadcast
+};
+
+struct MultiApspResult {
+  ApspResult result;           ///< aggregated (sim_seconds = makespan)
+  MultiDeviceMetrics multi;
+};
+
+/// Runs the boundary algorithm across `num_devices` identical devices of
+/// opts.device. num_devices == 1 degrades to the single-device plan (but is
+/// still executed through this code path). Results land in `store` in the
+/// permuted order, like ooc_boundary.
+MultiApspResult ooc_boundary_multi(const graph::CsrGraph& g,
+                                   const ApspOptions& opts, int num_devices,
+                                   DistStore& store);
+
+}  // namespace gapsp::core

@@ -1,0 +1,377 @@
+#include "core/ooc_boundary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/device_kernels.h"
+#include "util/timer.h"
+
+namespace gapsp::core {
+namespace {
+
+int default_components(vidx_t n) {
+  // The paper's experimental setting: k = √n / 4 (Sec. V-F), at least 2.
+  return std::max(2, static_cast<int>(std::lround(std::sqrt(
+                         static_cast<double>(n)) / 4.0)));
+}
+
+/// Fixed (non-staging) device working set of a plan, in bytes.
+std::size_t fixed_bytes(const part::BoundaryLayout& layout) {
+  const int k = layout.k();
+  const std::size_t dmax = layout.max_comp_size();
+  const std::size_t nb = layout.num_boundary;
+  std::size_t bmax = 0;
+  std::size_t b2c_all = 0;
+  for (int j = 0; j < k; ++j) {
+    bmax = std::max<std::size_t>(bmax, layout.comp_boundary[j]);
+    b2c_all += static_cast<std::size_t>(layout.comp_boundary[j]) *
+               layout.comp_size(j);
+  }
+  const std::size_t diag = dmax * dmax;       // component FW / scratch tile
+  const std::size_t out = dmax * dmax;        // naive-mode output tile
+  const std::size_t bound = nb * nb;          // dist3 matrix
+  const std::size_t c2b = dmax * bmax;        // per-i upload
+  const std::size_t tmp = dmax * nb;          // C2B[i] ⊗ bound(i,:)
+  return (diag + out + bound + c2b + b2c_all + tmp) * sizeof(dist_t);
+}
+
+/// Global boundary index of a renumbered vertex, or -1 if interior.
+vidx_t global_boundary_index(const part::BoundaryLayout& layout, int comp,
+                             vidx_t new_id) {
+  const vidx_t local = new_id - layout.comp_offset[comp];
+  if (local >= layout.comp_boundary[comp]) return -1;
+  return layout.boundary_offset[comp] + local;
+}
+
+}  // namespace
+
+BoundaryPlan plan_boundary(const graph::CsrGraph& g, const ApspOptions& opts) {
+  const vidx_t n = g.num_vertices();
+  GAPSP_CHECK(n >= 2, "boundary algorithm needs at least two vertices");
+  int k = opts.num_components > 0 ? opts.num_components : default_components(n);
+  k = std::min<int>(k, n);
+  const std::size_t budget =
+      static_cast<std::size_t>(0.95 * static_cast<double>(opts.device.memory_bytes));
+
+  while (k >= 2) {
+    BoundaryPlan plan;
+    plan.layout =
+        part::partition_and_analyze(g, k, opts.seed, opts.partition_method);
+    plan.k = k;
+    plan.max_comp = plan.layout.max_comp_size();
+    plan.nb = plan.layout.num_boundary;
+    const std::size_t fixed = fixed_bytes(plan.layout);
+    const std::size_t one_row =
+        static_cast<std::size_t>(n) * sizeof(dist_t);
+    // Batched mode needs at least one component block-row of staging (twice
+    // that when overlapping); require it whenever batching is requested.
+    std::size_t staging_min = 0;
+    if (opts.batch_transfers) {
+      staging_min = static_cast<std::size_t>(plan.max_comp) * one_row *
+                    (opts.overlap_transfers ? 2 : 1);
+    }
+    if (fixed + staging_min <= budget) {
+      plan.s_dia = static_cast<std::size_t>(plan.max_comp) * plan.max_comp *
+                   sizeof(dist_t);
+      plan.s_bound =
+          static_cast<std::size_t>(plan.nb) * plan.nb * sizeof(dist_t);
+      plan.s_rem = budget - fixed;
+      const std::size_t buffers = opts.overlap_transfers ? 2 : 1;
+      plan.staging_rows = opts.batch_transfers
+                              ? static_cast<vidx_t>(plan.s_rem /
+                                                    (buffers * one_row))
+                              : 0;
+      return plan;
+    }
+    // The working set does not fit: fewer, larger components shrink the
+    // boundary matrix (the dominant term on large-separator graphs) — the
+    // "maximal number of components allowed is small" effect of Sec. I.
+    k /= 2;
+  }
+  throw Error(
+      "boundary algorithm infeasible on " + opts.device.name +
+      ": boundary matrix does not fit device memory for any k >= 2");
+}
+
+ApspResult ooc_boundary(const graph::CsrGraph& g, const ApspOptions& opts,
+                        const BoundaryPlan& plan, DistStore& store) {
+  Timer wall;
+  const vidx_t n = g.num_vertices();
+  GAPSP_CHECK(store.n() == n, "store size mismatch");
+  const part::BoundaryLayout& layout = plan.layout;
+  const int k = plan.k;
+  const vidx_t nb = plan.nb;
+  const vidx_t dmax = plan.max_comp;
+
+  // Work in the boundary-first renumbering (Fig. 1a).
+  const graph::CsrGraph gp = g.relabel(layout.perm);
+  std::vector<int> comp_of(static_cast<std::size_t>(n));
+  for (int c = 0; c < k; ++c) {
+    for (vidx_t v = layout.comp_offset[c]; v < layout.comp_offset[c + 1]; ++v) {
+      comp_of[v] = c;
+    }
+  }
+
+  sim::Device dev(opts.device);
+  dev.set_trace(opts.trace);
+  const sim::StreamId compute = sim::kDefaultStream;
+  const sim::StreamId copyback =
+      opts.overlap_transfers ? dev.create_stream() : compute;
+
+  // ---- device allocations (accounted against capacity) ----
+  auto diag_buf = dev.alloc<dist_t>(
+      static_cast<std::size_t>(dmax) * dmax, "diagonal block");
+  auto out_buf = dev.alloc<dist_t>(
+      static_cast<std::size_t>(dmax) * dmax, "output tile");
+  auto bound_buf = dev.alloc<dist_t>(
+      static_cast<std::size_t>(nb) * nb, "boundary matrix");
+  std::size_t bmax = 0, b2c_elems = 0;
+  std::vector<std::size_t> b2c_off(static_cast<std::size_t>(k));
+  for (int j = 0; j < k; ++j) {
+    bmax = std::max<std::size_t>(bmax, layout.comp_boundary[j]);
+    b2c_off[j] = b2c_elems;
+    b2c_elems += static_cast<std::size_t>(layout.comp_boundary[j]) *
+                 layout.comp_size(j);
+  }
+  auto c2b_buf =
+      dev.alloc<dist_t>(static_cast<std::size_t>(dmax) * bmax, "C2B[i]");
+  auto b2c_buf = dev.alloc<dist_t>(std::max<std::size_t>(b2c_elems, 1),
+                                   "B2C (all components)");
+  auto tmp_buf = dev.alloc<dist_t>(
+      static_cast<std::size_t>(dmax) * nb, "tmp1 = C2B ⊗ bound");
+
+  const bool batching = opts.batch_transfers && plan.staging_rows > 0;
+  const int nstage = batching && opts.overlap_transfers ? 2 : 1;
+  std::vector<sim::DeviceBuffer<dist_t>> staging;
+  std::vector<std::vector<dist_t>> host_staging(
+      static_cast<std::size_t>(nstage));
+  if (batching) {
+    for (int s = 0; s < nstage; ++s) {
+      staging.push_back(dev.alloc<dist_t>(
+          static_cast<std::size_t>(plan.staging_rows) * n, "staging"));
+      host_staging[s].resize(staging.back().size());
+    }
+  }
+
+  std::vector<std::vector<dist_t>> dist2(static_cast<std::size_t>(k));
+  std::vector<dist_t> hbuf(static_cast<std::size_t>(dmax) *
+                           std::max<vidx_t>(n, dmax));
+
+  // ---- Step 2: per-component APSP (blocked FW on the device) ----
+  for (int i = 0; i < k; ++i) {
+    const vidx_t off = layout.comp_offset[i];
+    const vidx_t ni = layout.comp_size(i);
+    weight_block(gp, off, off, ni, ni, hbuf.data(), ni);
+    dev.memcpy_h2d(compute, diag_buf.data(), hbuf.data(),
+                   static_cast<std::size_t>(ni) * ni * sizeof(dist_t));
+    dev_blocked_fw(dev, compute, diag_buf.data(), ni, ni, opts.fw_tile);
+    dist2[i].resize(static_cast<std::size_t>(ni) * ni);
+    dev.memcpy_d2h(compute, dist2[i].data(), diag_buf.data(),
+                   dist2[i].size() * sizeof(dist_t));
+  }
+
+  // ---- Step 3: boundary graph (virtual + cross edges), FW -> dist3 ----
+  std::vector<dist_t> hbound(static_cast<std::size_t>(nb) * nb, kInf);
+  for (vidx_t b = 0; b < nb; ++b) hbound[static_cast<std::size_t>(b) * nb + b] = 0;
+  for (int i = 0; i < k; ++i) {
+    const vidx_t bi = layout.comp_boundary[i];
+    const vidx_t ni = layout.comp_size(i);
+    const vidx_t go = layout.boundary_offset[i];
+    for (vidx_t r = 0; r < bi; ++r) {
+      for (vidx_t c = 0; c < bi; ++c) {
+        dist_t& cell = hbound[static_cast<std::size_t>(go + r) * nb + go + c];
+        cell = std::min(cell, dist2[i][static_cast<std::size_t>(r) * ni + c]);
+      }
+    }
+  }
+  for (vidx_t u = 0; u < n; ++u) {
+    const int cu = comp_of[u];
+    const auto nbr = gp.neighbors(u);
+    const auto wts = gp.weights(u);
+    for (std::size_t e = 0; e < nbr.size(); ++e) {
+      const int cv = comp_of[nbr[e]];
+      if (cu == cv) continue;
+      const vidx_t gu = global_boundary_index(layout, cu, u);
+      const vidx_t gv = global_boundary_index(layout, cv, nbr[e]);
+      GAPSP_CHECK(gu >= 0 && gv >= 0, "cross edge between non-boundary nodes");
+      dist_t& cell = hbound[static_cast<std::size_t>(gu) * nb + gv];
+      cell = std::min(cell, wts[e]);
+    }
+  }
+  dev.memcpy_h2d(compute, bound_buf.data(), hbound.data(),
+                 hbound.size() * sizeof(dist_t));
+  dev_blocked_fw(dev, compute, bound_buf.data(), nb, nb, opts.fw_tile);
+
+  // ---- Step 4 prep: upload B2C of every component (first b_j rows of
+  // dist2[j], contiguous because boundary vertices come first) ----
+  for (int j = 0; j < k; ++j) {
+    const vidx_t bj = layout.comp_boundary[j];
+    const vidx_t nj = layout.comp_size(j);
+    if (bj == 0) continue;
+    dev.memcpy_h2d(compute, b2c_buf.data() + b2c_off[j], dist2[j].data(),
+                   static_cast<std::size_t>(bj) * nj * sizeof(dist_t));
+  }
+
+  // ---- Step 4: A(i,j) = min(direct, C2B[i] ⊗ bound(i,j) ⊗ B2C[j]) ----
+  // Batched mode: finished block-rows accumulate in a staging buffer that is
+  // flushed with one large transfer; overlap mode ping-pongs two buffers.
+  int active = 0;                // staging buffer being filled
+  vidx_t staged_rows = 0;        // rows currently in `active`
+  vidx_t staged_row0 = 0;        // matrix row of the first staged row
+  std::vector<sim::Event> stage_free(static_cast<std::size_t>(nstage));
+
+  auto flush_staging = [&]() {
+    if (staged_rows == 0) return;
+    const std::size_t bytes = static_cast<std::size_t>(staged_rows) * n *
+                              sizeof(dist_t);
+    if (opts.overlap_transfers) {
+      // Transfer stream waits for the compute stream to finish this buffer.
+      dev.wait_event(copyback, dev.record_event(compute));
+      dev.memcpy_d2h(copyback, host_staging[active].data(),
+                     staging[active].data(), bytes, /*async=*/true,
+                     /*pinned=*/true);
+      stage_free[active] = dev.record_event(copyback);
+    } else {
+      dev.memcpy_d2h(compute, host_staging[active].data(),
+                     staging[active].data(), bytes, /*async=*/false,
+                     /*pinned=*/true);
+    }
+    store.write_block(staged_row0, 0, staged_rows, n,
+                      host_staging[active].data(), static_cast<std::size_t>(n));
+    active = (active + 1) % nstage;
+    // Before refilling the next buffer, compute must wait until its previous
+    // transfer drained (no-op for the first pass / non-overlap mode).
+    dev.wait_event(compute, stage_free[active]);
+    staged_rows = 0;
+  };
+
+  for (int i = 0; i < k; ++i) {
+    const vidx_t off = layout.comp_offset[i];
+    const vidx_t ni = layout.comp_size(i);
+    const vidx_t bi = layout.comp_boundary[i];
+
+    // Upload C2B[i]: columns 0..b_i of dist2[i], packed on the host.
+    if (bi > 0) {
+      for (vidx_t r = 0; r < ni; ++r) {
+        std::copy_n(dist2[i].data() + static_cast<std::size_t>(r) * ni, bi,
+                    hbuf.data() + static_cast<std::size_t>(r) * bi);
+      }
+      dev.memcpy_h2d(compute, c2b_buf.data(), hbuf.data(),
+                     static_cast<std::size_t>(ni) * bi * sizeof(dist_t));
+      // tmp = C2B[i] ⊗ bound(i, :)  (b_i × NB view of dist3), one launch.
+      dev.launch(compute, "fill_tmp", [&](sim::LaunchCtx&) {
+        std::fill_n(tmp_buf.data(), static_cast<std::size_t>(ni) * nb, kInf);
+        sim::KernelProfile p;
+        p.bytes = static_cast<double>(ni) * nb * sizeof(dist_t);
+        p.ops = static_cast<double>(ni) * nb;
+        p.blocks = std::max(1, static_cast<int>(ni * nb / 4096));
+        return p;
+      });
+      dev_minplus(dev, compute, tmp_buf.data(), nb, c2b_buf.data(), bi,
+                  bound_buf.data() + static_cast<std::size_t>(
+                                         layout.boundary_offset[i]) * nb,
+                  nb, ni, bi, nb, opts.fw_tile);
+    }
+
+    if (batching) {
+      if (staged_rows + ni > plan.staging_rows) flush_staging();
+      GAPSP_CHECK(ni <= plan.staging_rows, "staging too small for component");
+      if (staged_rows == 0) staged_row0 = off;
+      dist_t* row_base =
+          staging[active].data() + static_cast<std::size_t>(staged_rows) * n;
+      // Initialize the block-row: kInf everywhere, dist2 on the diagonal.
+      dev.launch(compute, "init_block_row", [&](sim::LaunchCtx&) {
+        std::fill_n(row_base, static_cast<std::size_t>(ni) * n, kInf);
+        sim::KernelProfile p;
+        p.bytes = static_cast<double>(ni) * n * sizeof(dist_t);
+        p.ops = static_cast<double>(ni) * n;
+        p.blocks = std::max(1, static_cast<int>(ni * (n / 4096)));
+        return p;
+      });
+      for (vidx_t r = 0; r < ni; ++r) {
+        std::copy_n(dist2[i].data() + static_cast<std::size_t>(r) * ni, ni,
+                    row_base + static_cast<std::size_t>(r) * n + off);
+      }
+      // Charge the dist2 upload as one h2d transfer (the scatter above is
+      // the functional side of it).
+      dev.memcpy_h2d(compute, hbuf.data(), dist2[i].data(),
+                     static_cast<std::size_t>(ni) * ni * sizeof(dist_t));
+      // One launch computes the whole block-row: for every j,
+      // A(i,j) = min(A(i,j), tmp(:, bnd_j) ⊗ B2C[j]).
+      if (bi > 0) {
+        dev.launch(compute, "block_row_minplus", [&](sim::LaunchCtx&) {
+          double ops = 0.0, bytes = 0.0;
+          int blocks = 0;
+          for (int j = 0; j < k; ++j) {
+            const vidx_t bj = layout.comp_boundary[j];
+            const vidx_t nj = layout.comp_size(j);
+            if (bj == 0) continue;
+            minplus_accum(row_base + layout.comp_offset[j], n,
+                          tmp_buf.data() + layout.boundary_offset[j], nb,
+                          b2c_buf.data() + b2c_off[j], nj, ni, bj, nj);
+            ops += minplus_ops(ni, bj, nj);
+            bytes += minplus_bytes(ni, bj, nj, opts.fw_tile);
+            blocks += ((ni + opts.fw_tile - 1) / opts.fw_tile) *
+                      ((nj + opts.fw_tile - 1) / opts.fw_tile);
+          }
+          sim::KernelProfile p;
+          p.ops = ops;
+          p.bytes = bytes;
+          p.blocks = std::max(1, blocks);
+          return p;
+        });
+      }
+      staged_rows += ni;
+    } else {
+      // Naive mode (Fig. 8 baseline): one tile at a time, one synchronous
+      // pageable transfer per tile — k² small transfers.
+      for (int j = 0; j < k; ++j) {
+        const vidx_t nj = layout.comp_size(j);
+        const vidx_t bj = layout.comp_boundary[j];
+        dev.launch(compute, "init_tile", [&](sim::LaunchCtx&) {
+          if (i == j) {
+            std::copy_n(dist2[i].data(), static_cast<std::size_t>(ni) * ni,
+                        out_buf.data());
+          } else {
+            std::fill_n(out_buf.data(), static_cast<std::size_t>(ni) * nj,
+                        kInf);
+          }
+          sim::KernelProfile p;
+          p.bytes = static_cast<double>(ni) * nj * sizeof(dist_t);
+          p.ops = static_cast<double>(ni) * nj;
+          return p;
+        });
+        if (bi > 0 && bj > 0) {
+          dev_minplus(dev, compute, out_buf.data(), nj,
+                      tmp_buf.data() + layout.boundary_offset[j], nb,
+                      b2c_buf.data() + b2c_off[j], nj, ni, bj, nj,
+                      opts.fw_tile);
+        }
+        dev.memcpy_d2h(compute, hbuf.data(), out_buf.data(),
+                       static_cast<std::size_t>(ni) * nj * sizeof(dist_t),
+                       /*async=*/false, /*pinned=*/false);
+        store.write_block(off, layout.comp_offset[j], ni, nj, hbuf.data(),
+                          static_cast<std::size_t>(nj));
+      }
+    }
+  }
+  if (batching) flush_staging();
+  dev.synchronize();
+
+  ApspResult result;
+  result.used = Algorithm::kBoundary;
+  result.metrics = metrics_from_device(dev, wall.seconds());
+  result.metrics.boundary_k = k;
+  result.metrics.boundary_nodes = nb;
+  result.perm = layout.perm;
+  return result;
+}
+
+ApspResult ooc_boundary(const graph::CsrGraph& g, const ApspOptions& opts,
+                        DistStore& store) {
+  return ooc_boundary(g, opts, plan_boundary(g, opts), store);
+}
+
+}  // namespace gapsp::core

@@ -1,0 +1,49 @@
+// Out-of-core boundary algorithm (Algorithm 3 of the paper, after Djidjev
+// et al.), with the paper's two optimizations:
+//
+//  * transfer batching — finished block-rows of the output are accumulated
+//    in a device staging buffer of size S_rem = L - S_dia - S_bound and
+//    shipped to the host in few large transfers instead of k² small ones;
+//  * compute/transfer overlap — two staging buffers and two streams, so the
+//    min-plus kernels of the next block-rows run while the previous batch is
+//    in flight to pinned host memory.
+//
+// Steps: (1) k-way partition (our multilevel partitioner standing in for
+// METIS) and boundary-first renumbering; (2) per-component blocked FW on the
+// device (dist2); (3) boundary-graph FW over virtual + cross edges (dist3);
+// (4) A(i,j) = min(direct, C2B[i] ⊗ bound(i,j) ⊗ B2C[j]) streamed to the
+// host store in the permuted order.
+#pragma once
+
+#include "core/apsp_common.h"
+#include "partition/boundary.h"
+
+namespace gapsp::core {
+
+/// Placement decisions and memory accounting for one run. Exposed for the
+/// Sec. IV cost models and the benches.
+struct BoundaryPlan {
+  part::BoundaryLayout layout;
+  int k = 0;                ///< components actually used (may be < requested)
+  vidx_t max_comp = 0;      ///< N_max
+  vidx_t nb = 0;            ///< total boundary vertices NB
+  std::size_t s_dia = 0;    ///< diagonal-block working set, bytes
+  std::size_t s_bound = 0;  ///< boundary matrix, bytes
+  std::size_t s_rem = 0;    ///< staging budget, bytes
+  vidx_t staging_rows = 0;  ///< output rows per staging buffer
+};
+
+/// Partitions and sizes the run. Starts from opts.num_components (0 → the
+/// paper's √n/4 default) and halves k until the working set fits the
+/// device; throws gapsp::Error if no k >= 2 fits.
+BoundaryPlan plan_boundary(const graph::CsrGraph& g, const ApspOptions& opts);
+
+/// Runs Algorithm 3 with a precomputed plan.
+ApspResult ooc_boundary(const graph::CsrGraph& g, const ApspOptions& opts,
+                        const BoundaryPlan& plan, DistStore& store);
+
+/// Plans and runs.
+ApspResult ooc_boundary(const graph::CsrGraph& g, const ApspOptions& opts,
+                        DistStore& store);
+
+}  // namespace gapsp::core

@@ -1,0 +1,106 @@
+#include "core/ooc_fw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/device_kernels.h"
+#include "util/timer.h"
+
+namespace gapsp::core {
+
+vidx_t fw_block_size(const sim::DeviceSpec& spec, vidx_t n) {
+  // Three resident blocks (A(i,j), A(i,k), A(k,j)); keep ~5% slack for the
+  // runtime. b is also capped at n (single-block in-core case).
+  const double budget = 0.95 * static_cast<double>(spec.memory_bytes);
+  const double b = std::sqrt(budget / (3.0 * sizeof(dist_t)));
+  GAPSP_CHECK(b >= 32.0, "device too small for blocked Floyd-Warshall");
+  return std::min<vidx_t>(n, static_cast<vidx_t>(b));
+}
+
+ApspResult ooc_floyd_warshall(const graph::CsrGraph& g,
+                              const ApspOptions& opts, DistStore& store) {
+  Timer wall;
+  const vidx_t n = g.num_vertices();
+  GAPSP_CHECK(store.n() == n, "store size does not match graph");
+  sim::Device dev(opts.device);
+  dev.set_trace(opts.trace);
+  const vidx_t b = fw_block_size(dev.spec(), n);
+  const vidx_t nd = (n + b - 1) / b;
+  auto bdim = [&](vidx_t t) { return std::min<vidx_t>(b, n - t * b); };
+
+  init_weight_matrix(g, store);
+
+  auto tile_buf = dev.alloc<dist_t>(static_cast<std::size_t>(b) * b, "A(i,j)");
+  auto row_buf = dev.alloc<dist_t>(static_cast<std::size_t>(b) * b, "A(k,j)");
+  auto col_buf = dev.alloc<dist_t>(static_cast<std::size_t>(b) * b, "A(i,k)");
+  std::vector<dist_t> host(static_cast<std::size_t>(b) * b);  // pinned staging
+
+  const sim::StreamId s = sim::kDefaultStream;
+
+  auto load = [&](sim::DeviceBuffer<dist_t>& buf, vidx_t ti, vidx_t tj) {
+    const vidx_t rows = bdim(ti), cols = bdim(tj);
+    store.read_block(ti * b, tj * b, rows, cols, host.data(), cols);
+    dev.memcpy_h2d(s, buf.data(), host.data(),
+                   static_cast<std::size_t>(rows) * cols * sizeof(dist_t),
+                   /*async=*/false, /*pinned=*/true);
+  };
+  auto save = [&](const sim::DeviceBuffer<dist_t>& buf, vidx_t ti, vidx_t tj) {
+    const vidx_t rows = bdim(ti), cols = bdim(tj);
+    dev.memcpy_d2h(s, host.data(), buf.data(),
+                   static_cast<std::size_t>(rows) * cols * sizeof(dist_t),
+                   /*async=*/false, /*pinned=*/true);
+    store.write_block(ti * b, tj * b, rows, cols, host.data(), cols);
+  };
+
+  for (vidx_t k = 0; k < nd; ++k) {
+    const vidx_t dk = bdim(k);
+    // --- Stage 1: close the diagonal block with an in-core blocked FW ---
+    load(row_buf, k, k);  // row_buf doubles as the diagonal block A(k,k)
+    dev_blocked_fw(dev, s, row_buf.data(), dk, dk, opts.fw_tile);
+    save(row_buf, k, k);
+
+    // --- Stage 2: row panels A(k,j) and column panels A(i,k) ---
+    // row_buf keeps the closed A(k,k) resident through this stage.
+    for (vidx_t j = 0; j < nd; ++j) {
+      if (j == k) continue;
+      load(tile_buf, k, j);
+      // A(k,j) = min(A(k,j), A(k,k) ⊗ A(k,j))
+      dev_minplus(dev, s, tile_buf.data(), bdim(j), row_buf.data(), dk,
+                  tile_buf.data(), bdim(j), dk, dk, bdim(j), opts.fw_tile);
+      save(tile_buf, k, j);
+    }
+    for (vidx_t i = 0; i < nd; ++i) {
+      if (i == k) continue;
+      load(tile_buf, i, k);
+      // A(i,k) = min(A(i,k), A(i,k) ⊗ A(k,k))
+      dev_minplus(dev, s, tile_buf.data(), dk, tile_buf.data(), dk,
+                  row_buf.data(), dk, bdim(i), dk, dk, opts.fw_tile);
+      save(tile_buf, i, k);
+    }
+
+    // --- Stage 3: A(i,j) = min(A(i,j), A(i,k) ⊗ A(k,j)) ---
+    for (vidx_t i = 0; i < nd; ++i) {
+      if (i == k) continue;
+      load(col_buf, i, k);  // cached for the whole row of updates
+      for (vidx_t j = 0; j < nd; ++j) {
+        if (j == k) continue;
+        load(row_buf, k, j);
+        load(tile_buf, i, j);
+        dev_minplus(dev, s, tile_buf.data(), bdim(j), col_buf.data(), dk,
+                    row_buf.data(), bdim(j), bdim(i), dk, bdim(j),
+                    opts.fw_tile);
+        save(tile_buf, i, j);
+      }
+    }
+  }
+  dev.synchronize();
+
+  ApspResult result;
+  result.used = Algorithm::kBlockedFloydWarshall;
+  result.metrics = metrics_from_device(dev, wall.seconds());
+  result.metrics.fw_num_blocks = static_cast<int>(nd);
+  return result;
+}
+
+}  // namespace gapsp::core

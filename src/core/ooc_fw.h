@@ -1,0 +1,24 @@
+// Out-of-core blocked Floyd–Warshall (Algorithm 1 of the paper).
+//
+// The n×n distance matrix is tiled into n_d×n_d blocks of side b, where b is
+// the largest block size whose working set (three resident blocks) fits the
+// device. Each round k runs the classic three stages — diagonal block FW,
+// row/column panel updates against the closed diagonal, then the min-plus
+// update of every remaining block — streaming every block between the host
+// store and the device. Data movement is O(n_d · n²); compute is O(n³).
+#pragma once
+
+#include "core/apsp_common.h"
+
+namespace gapsp::core {
+
+/// Largest block side b such that three b×b dist_t blocks (plus slack) fit
+/// in the device memory of `spec`. Exposed for the Sec. IV cost models.
+vidx_t fw_block_size(const sim::DeviceSpec& spec, vidx_t n);
+
+/// Runs Algorithm 1. `store` receives the final distances (original vertex
+/// order). The graph's weight matrix is written into `store` first.
+ApspResult ooc_floyd_warshall(const graph::CsrGraph& g,
+                              const ApspOptions& opts, DistStore& store);
+
+}  // namespace gapsp::core

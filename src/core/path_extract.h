@@ -1,0 +1,45 @@
+// Shortest-path reconstruction from a completed distance matrix.
+//
+// The out-of-core solvers produce distances only (like the paper); storing a
+// predecessor matrix would double the already output-dominated footprint.
+// Instead, paths are reconstructed on demand by distance backtracking: a
+// vertex w is the predecessor of v on a shortest u→v path iff
+// dist(u,w) + weight(w,v) == dist(u,v). Each query costs
+// O(path_length · max_in_degree) distance-store lookups and needs only the
+// transposed graph — no extra device or store memory.
+#pragma once
+
+#include <vector>
+
+#include "core/apsp_options.h"
+#include "core/dist_store.h"
+#include "graph/csr_graph.h"
+
+namespace gapsp::core {
+
+class PathExtractor {
+ public:
+  /// `store`/`result` must come from a completed solve over `g`. The graph
+  /// is transposed once at construction.
+  PathExtractor(const graph::CsrGraph& g, const DistStore& store,
+                const ApspResult& result);
+
+  /// Shortest distance u → v (kInf when unreachable).
+  dist_t distance(vidx_t u, vidx_t v) const;
+
+  /// Vertex sequence of one shortest u → v path, inclusive of both
+  /// endpoints. Returns {u} when u == v and {} when v is unreachable.
+  std::vector<vidx_t> path(vidx_t u, vidx_t v) const;
+
+  /// Sum of edge weights along `path` as stored in the graph; kInf if the
+  /// sequence is not a valid walk. Exposed for verification.
+  dist_t walk_length(const std::vector<vidx_t>& path) const;
+
+ private:
+  const graph::CsrGraph& g_;
+  graph::CsrGraph reverse_;
+  const DistStore& store_;
+  std::vector<vidx_t> perm_;  // empty = identity
+};
+
+}  // namespace gapsp::core

@@ -1,0 +1,49 @@
+#include "core/selector.h"
+
+#include <limits>
+
+namespace gapsp::core {
+
+const AlgoEstimate& SelectorReport::estimate(Algorithm a) const {
+  for (const auto& e : estimates) {
+    if (e.algo == a) return e;
+  }
+  throw Error("no estimate for algorithm");
+}
+
+SelectorReport select_algorithm(const graph::CsrGraph& g,
+                                const ApspOptions& opts,
+                                const SelectorOptions& sel) {
+  SelectorReport report;
+  report.density_percent = g.density_percent();
+
+  bool consider_fw = false, consider_boundary = false;
+  if (report.density_percent > sel.dense_percent) {
+    consider_fw = true;  // Johnson vs blocked FW
+  } else if (report.density_percent < sel.sparse_percent) {
+    consider_boundary = true;  // Johnson vs boundary
+  }
+  // Johnson is always a candidate (and the sole one in the middle band).
+
+  AlgoEstimate fw{Algorithm::kBlockedFloydWarshall, consider_fw, {}};
+  AlgoEstimate johnson{Algorithm::kJohnson, true, {}};
+  AlgoEstimate boundary{Algorithm::kBoundary, consider_boundary, {}};
+
+  johnson.cost = estimate_johnson(g, opts, sel.sample_batches);
+  if (consider_fw) fw.cost = estimate_fw(g, opts);
+  if (consider_boundary) boundary.cost = estimate_boundary(g, opts);
+
+  report.estimates = {fw, johnson, boundary};
+  report.chosen = Algorithm::kJohnson;
+  double best = johnson.cost.total();
+  for (const auto& e : report.estimates) {
+    if (!e.considered || !e.cost.feasible) continue;
+    if (e.cost.total() < best) {
+      best = e.cost.total();
+      report.chosen = e.algo;
+    }
+  }
+  return report;
+}
+
+}  // namespace gapsp::core

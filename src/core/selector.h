@@ -1,0 +1,46 @@
+// The paper's implementation selector (Sec. IV): a density filter prunes the
+// candidate set cheaply, then the detailed cost models pick the winner.
+//
+// Filter rules (Sec. IV-C), thresholds configurable because they scale with
+// graph size (density = m/n² shrinks as 1/n for bounded-degree graphs):
+//   density > dense_percent   -> {Johnson, blocked Floyd-Warshall}
+//   density < sparse_percent  -> {Johnson, Boundary}
+//   otherwise                 -> Johnson only
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cost_model.h"
+
+namespace gapsp::core {
+
+struct SelectorOptions {
+  /// Density filter thresholds, in percent of n² (paper defaults: 1%/0.01%
+  /// at SuiteSparse scale).
+  double dense_percent = 1.0;
+  double sparse_percent = 0.01;
+  /// Batches sampled for the Johnson estimate (paper: 5).
+  int sample_batches = 5;
+};
+
+struct AlgoEstimate {
+  Algorithm algo = Algorithm::kAuto;
+  bool considered = false;   ///< survived the density filter
+  CostBreakdown cost;        ///< filled only when considered
+};
+
+struct SelectorReport {
+  double density_percent = 0.0;
+  std::vector<AlgoEstimate> estimates;  ///< FW, Johnson, Boundary (in order)
+  Algorithm chosen = Algorithm::kJohnson;
+
+  const AlgoEstimate& estimate(Algorithm a) const;
+};
+
+/// Applies the density filter and cost models; never returns kAuto.
+SelectorReport select_algorithm(const graph::CsrGraph& g,
+                                const ApspOptions& opts,
+                                const SelectorOptions& sel = {});
+
+}  // namespace gapsp::core

@@ -1,0 +1,94 @@
+#include "graph/csr_graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gapsp::graph {
+
+CsrGraph CsrGraph::from_edges(vidx_t n, std::vector<Edge> edges,
+                              bool symmetrize) {
+  GAPSP_CHECK(n >= 0, "vertex count must be non-negative");
+  if (symmetrize) {
+    const std::size_t original = edges.size();
+    edges.reserve(original * 2);
+    for (std::size_t i = 0; i < original; ++i) {
+      edges.push_back(Edge{edges[i].dst, edges[i].src, edges[i].weight});
+    }
+  }
+  for (const Edge& e : edges) {
+    GAPSP_CHECK(e.src >= 0 && e.src < n && e.dst >= 0 && e.dst < n,
+                "edge endpoint out of range");
+    GAPSP_CHECK(e.weight >= 0 && e.weight < kInf, "edge weight out of range");
+  }
+  // Drop self loops, then sort and deduplicate keeping the lightest arc.
+  std::erase_if(edges, [](const Edge& e) { return e.src == e.dst; });
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.src != b.src) return a.src < b.src;
+    if (a.dst != b.dst) return a.dst < b.dst;
+    return a.weight < b.weight;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const Edge& a, const Edge& b) {
+                            return a.src == b.src && a.dst == b.dst;
+                          }),
+              edges.end());
+
+  CsrGraph g;
+  g.n_ = n;
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  g.targets_.resize(edges.size());
+  g.weights_.resize(edges.size());
+  for (const Edge& e : edges) ++g.offsets_[static_cast<std::size_t>(e.src) + 1];
+  std::partial_sum(g.offsets_.begin(), g.offsets_.end(), g.offsets_.begin());
+  std::vector<eidx_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    const eidx_t at = cursor[e.src]++;
+    g.targets_[at] = e.dst;
+    g.weights_[at] = e.weight;
+    g.max_weight_ = std::max(g.max_weight_, e.weight);
+  }
+  return g;
+}
+
+double CsrGraph::density_percent() const {
+  if (n_ == 0) return 0.0;
+  const double nn = static_cast<double>(n_) * static_cast<double>(n_);
+  return 100.0 * static_cast<double>(num_edges()) / nn;
+}
+
+double CsrGraph::mean_weight() const {
+  if (weights_.empty()) return 0.0;
+  double sum = 0.0;
+  for (dist_t w : weights_) sum += static_cast<double>(w);
+  return sum / static_cast<double>(weights_.size());
+}
+
+CsrGraph CsrGraph::transpose() const {
+  std::vector<Edge> rev;
+  rev.reserve(targets_.size());
+  for (vidx_t u = 0; u < n_; ++u) {
+    const auto nbr = neighbors(u);
+    const auto wts = weights(u);
+    for (std::size_t i = 0; i < nbr.size(); ++i) {
+      rev.push_back(Edge{nbr[i], u, wts[i]});
+    }
+  }
+  return from_edges(n_, std::move(rev), /*symmetrize=*/false);
+}
+
+CsrGraph CsrGraph::relabel(std::span<const vidx_t> perm) const {
+  GAPSP_CHECK(static_cast<vidx_t>(perm.size()) == n_,
+              "permutation size mismatch");
+  std::vector<Edge> edges;
+  edges.reserve(targets_.size());
+  for (vidx_t u = 0; u < n_; ++u) {
+    const auto nbr = neighbors(u);
+    const auto wts = weights(u);
+    for (std::size_t i = 0; i < nbr.size(); ++i) {
+      edges.push_back(Edge{perm[u], perm[nbr[i]], wts[i]});
+    }
+  }
+  return from_edges(n_, std::move(edges), /*symmetrize=*/false);
+}
+
+}  // namespace gapsp::graph

@@ -1,0 +1,84 @@
+// Compressed-sparse-row weighted graph — the input representation shared by
+// every APSP implementation in this project.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace gapsp::graph {
+
+/// A single weighted directed edge (construction-time representation).
+struct Edge {
+  vidx_t src = 0;
+  vidx_t dst = 0;
+  dist_t weight = 1;
+};
+
+/// Immutable CSR adjacency structure with integer weights.
+///
+/// Conventions:
+///  * vertices are [0, n); no self-loops are stored;
+///  * parallel edges are collapsed keeping the minimum weight;
+///  * "undirected" inputs are stored as two directed arcs.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds from an edge list. When `symmetrize` is true every edge is also
+  /// inserted in the reverse direction (SuiteSparse matrices are symmetric).
+  /// Self-loops are dropped; duplicates keep the smallest weight.
+  static CsrGraph from_edges(vidx_t n, std::vector<Edge> edges,
+                             bool symmetrize);
+
+  vidx_t num_vertices() const { return n_; }
+  eidx_t num_edges() const { return static_cast<eidx_t>(targets_.size()); }
+
+  /// density in percent, m / n^2 * 100 — the paper's selector metric.
+  double density_percent() const;
+
+  std::span<const vidx_t> neighbors(vidx_t u) const {
+    return {targets_.data() + offsets_[u],
+            static_cast<std::size_t>(offsets_[u + 1] - offsets_[u])};
+  }
+  std::span<const dist_t> weights(vidx_t u) const {
+    return {weights_.data() + offsets_[u],
+            static_cast<std::size_t>(offsets_[u + 1] - offsets_[u])};
+  }
+  vidx_t out_degree(vidx_t u) const {
+    return static_cast<vidx_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  std::span<const eidx_t> offsets() const { return offsets_; }
+  std::span<const vidx_t> targets() const { return targets_; }
+  std::span<const dist_t> edge_weights() const { return weights_; }
+
+  /// Graph with every arc reversed.
+  CsrGraph transpose() const;
+
+  /// Relabels vertices: vertex u becomes perm[u]. perm must be a bijection
+  /// on [0, n). Used by the boundary algorithm to make components contiguous
+  /// with boundary vertices first.
+  CsrGraph relabel(std::span<const vidx_t> perm) const;
+
+  /// Storage footprint in bytes when resident on the (simulated) device —
+  /// the `S` term of the Johnson batch-size formula.
+  std::size_t bytes() const {
+    return offsets_.size() * sizeof(eidx_t) +
+           targets_.size() * sizeof(vidx_t) + weights_.size() * sizeof(dist_t);
+  }
+
+  dist_t max_weight() const { return max_weight_; }
+  double mean_weight() const;
+
+ private:
+  vidx_t n_ = 0;
+  std::vector<eidx_t> offsets_{0};
+  std::vector<vidx_t> targets_;
+  std::vector<dist_t> weights_;
+  dist_t max_weight_ = 0;
+};
+
+}  // namespace gapsp::graph

@@ -1,0 +1,292 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace gapsp::graph {
+namespace {
+
+dist_t rand_weight(Rng& rng, const WeightConfig& w) {
+  return static_cast<dist_t>(rng.next_in(w.min_weight, w.max_weight));
+}
+
+/// Appends a uniformly random attachment tree over [0, n), guaranteeing
+/// connectivity without biasing degree much.
+void add_spanning_tree(std::vector<Edge>& edges, vidx_t n, Rng& rng,
+                       const WeightConfig& w) {
+  std::vector<vidx_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  for (vidx_t i = n - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.next_below(static_cast<std::uint64_t>(i) + 1)]);
+  }
+  for (vidx_t i = 1; i < n; ++i) {
+    const vidx_t parent = order[rng.next_below(static_cast<std::uint64_t>(i))];
+    edges.push_back(Edge{order[i], parent, rand_weight(rng, w)});
+  }
+}
+
+/// Simple union-find used to patch connectivity with local edges only.
+class UnionFind {
+ public:
+  explicit UnionFind(vidx_t n) : parent_(static_cast<std::size_t>(n)) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  vidx_t find(vidx_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool unite(vidx_t a, vidx_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<vidx_t> parent_;
+};
+
+}  // namespace
+
+CsrGraph make_road(vidx_t rows, vidx_t cols, std::uint64_t seed,
+                   double drop_fraction, double shortcut_fraction,
+                   WeightConfig w) {
+  GAPSP_CHECK(rows > 0 && cols > 0, "grid dimensions must be positive");
+  Rng rng(seed);
+  const vidx_t n = rows * cols;
+  auto id = [cols](vidx_t r, vidx_t c) { return r * cols + c; };
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * 2);
+  UnionFind uf(n);
+  auto push = [&](vidx_t u, vidx_t v) {
+    edges.push_back(Edge{u, v, rand_weight(rng, w)});
+    uf.unite(u, v);
+  };
+  for (vidx_t r = 0; r < rows; ++r) {
+    for (vidx_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols && !rng.next_bool(drop_fraction)) push(id(r, c), id(r, c + 1));
+      if (r + 1 < rows && !rng.next_bool(drop_fraction)) push(id(r, c), id(r + 1, c));
+      // Occasional local diagonal (an overpass / shortcut road).
+      if (r + 1 < rows && c + 1 < cols && rng.next_bool(shortcut_fraction)) {
+        push(id(r, c), id(r + 1, c + 1));
+      }
+    }
+  }
+  // Patch connectivity with *local* edges only (row-major neighbours), so
+  // the separator structure of the grid is preserved.
+  for (vidx_t v = 1; v < n; ++v) {
+    if (uf.find(v - 1) != uf.find(v)) push(v - 1, v);
+  }
+  return CsrGraph::from_edges(n, std::move(edges), /*symmetrize=*/true);
+}
+
+CsrGraph make_mesh(vidx_t n, int avg_degree, std::uint64_t seed,
+                   double rewire_fraction, WeightConfig w) {
+  GAPSP_CHECK(n > 0 && avg_degree > 0, "bad mesh parameters");
+  Rng rng(seed);
+  std::vector<double> px(static_cast<std::size_t>(n)),
+      py(static_cast<std::size_t>(n));
+  for (vidx_t v = 0; v < n; ++v) {
+    px[v] = rng.next_double();
+    py[v] = rng.next_double();
+  }
+  // Bucket grid sized so each cell holds ~avg_degree points.
+  const int cells = std::max(
+      1, static_cast<int>(std::sqrt(static_cast<double>(n) / avg_degree)));
+  std::vector<std::vector<vidx_t>> bucket(
+      static_cast<std::size_t>(cells) * cells);
+  for (vidx_t v = 0; v < n; ++v) {
+    const int cx = std::min(cells - 1, static_cast<int>(px[v] * cells));
+    const int cy = std::min(cells - 1, static_cast<int>(py[v] * cells));
+    bucket[static_cast<std::size_t>(cy) * cells + cx].push_back(v);
+  }
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * avg_degree / 2);
+  std::vector<std::pair<double, vidx_t>> cand;
+  for (vidx_t v = 0; v < n; ++v) {
+    cand.clear();
+    const int cx = std::min(cells - 1, static_cast<int>(px[v] * cells));
+    const int cy = std::min(cells - 1, static_cast<int>(py[v] * cells));
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int bx = cx + dx, by = cy + dy;
+        if (bx < 0 || by < 0 || bx >= cells || by >= cells) continue;
+        for (vidx_t u : bucket[static_cast<std::size_t>(by) * cells + bx]) {
+          if (u == v) continue;
+          const double d2 = (px[u] - px[v]) * (px[u] - px[v]) +
+                            (py[u] - py[v]) * (py[u] - py[v]);
+          cand.emplace_back(d2, u);
+        }
+      }
+    }
+    const std::size_t want = std::min<std::size_t>(
+        cand.size(), static_cast<std::size_t>(avg_degree) / 2 + 1);
+    std::partial_sort(cand.begin(),
+                      cand.begin() + static_cast<std::ptrdiff_t>(want),
+                      cand.end());
+    for (std::size_t i = 0; i < want; ++i) {
+      if (rng.next_bool(rewire_fraction)) {
+        // Long-range rewire: destroys the separator like FEM fill-in couplings.
+        const vidx_t u = static_cast<vidx_t>(rng.next_below(n));
+        if (u != v) edges.push_back(Edge{v, u, rand_weight(rng, w)});
+      } else {
+        edges.push_back(Edge{v, cand[i].second, rand_weight(rng, w)});
+      }
+    }
+  }
+  add_spanning_tree(edges, n, rng, w);
+  return CsrGraph::from_edges(n, std::move(edges), /*symmetrize=*/true);
+}
+
+CsrGraph make_rmat(int scale, eidx_t num_edges, std::uint64_t seed, double a,
+                   double b, double c, bool connect, WeightConfig w) {
+  GAPSP_CHECK(scale > 0 && scale < 31, "bad R-MAT scale");
+  GAPSP_CHECK(a > 0 && b >= 0 && c >= 0 && a + b + c < 1.0,
+              "R-MAT probabilities must sum below 1");
+  Rng rng(seed);
+  const vidx_t n = static_cast<vidx_t>(1) << scale;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(num_edges) + (connect ? n : 0));
+  for (eidx_t e = 0; e < num_edges; ++e) {
+    vidx_t src = 0, dst = 0;
+    for (int level = 0; level < scale; ++level) {
+      const double r = rng.next_double();
+      src <<= 1;
+      dst <<= 1;
+      if (r < a) {
+        // top-left quadrant: neither bit set
+      } else if (r < a + b) {
+        dst |= 1;
+      } else if (r < a + b + c) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    if (src != dst) edges.push_back(Edge{src, dst, rand_weight(rng, w)});
+  }
+  if (connect) add_spanning_tree(edges, n, rng, w);
+  return CsrGraph::from_edges(n, std::move(edges), /*symmetrize=*/true);
+}
+
+CsrGraph make_erdos_renyi(vidx_t n, eidx_t num_edges, std::uint64_t seed,
+                          bool connect, WeightConfig w) {
+  GAPSP_CHECK(n > 1, "Erdős–Rényi graphs need at least two vertices");
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(num_edges) + (connect ? n : 0));
+  for (eidx_t e = 0; e < num_edges; ++e) {
+    const vidx_t u = static_cast<vidx_t>(rng.next_below(n));
+    const vidx_t v = static_cast<vidx_t>(rng.next_below(n));
+    if (u != v) edges.push_back(Edge{u, v, rand_weight(rng, w)});
+  }
+  if (connect) add_spanning_tree(edges, n, rng, w);
+  return CsrGraph::from_edges(n, std::move(edges), /*symmetrize=*/true);
+}
+
+CsrGraph make_dense(vidx_t n, double density_percent, std::uint64_t seed,
+                    WeightConfig w) {
+  GAPSP_CHECK(density_percent > 0 && density_percent <= 100,
+              "density must be in (0, 100]");
+  const auto target = static_cast<eidx_t>(
+      density_percent / 100.0 * static_cast<double>(n) * n / 2.0);
+  return make_erdos_renyi(n, target, seed, /*connect=*/true, w);
+}
+
+CsrGraph make_small_world(vidx_t n, int k, double rewire, std::uint64_t seed,
+                          WeightConfig w) {
+  GAPSP_CHECK(n > 2 && k >= 1 && k < n / 2, "bad small-world parameters");
+  GAPSP_CHECK(rewire >= 0.0 && rewire <= 1.0, "rewire must be in [0, 1]");
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * k);
+  for (vidx_t v = 0; v < n; ++v) {
+    for (int d = 1; d <= k; ++d) {
+      vidx_t u = (v + d) % n;
+      if (rng.next_bool(rewire)) {
+        u = static_cast<vidx_t>(rng.next_below(n));
+        if (u == v) continue;
+      }
+      edges.push_back(Edge{v, u, rand_weight(rng, w)});
+    }
+  }
+  // Rewiring can in principle disconnect the ring; keep the lattice backbone
+  // connected with local patches only.
+  UnionFind uf(n);
+  for (const Edge& e : edges) uf.unite(e.src, e.dst);
+  for (vidx_t v = 1; v < n; ++v) {
+    if (uf.find(v - 1) != uf.find(v)) {
+      edges.push_back(Edge{v - 1, v, rand_weight(rng, w)});
+      uf.unite(v - 1, v);
+    }
+  }
+  return CsrGraph::from_edges(n, std::move(edges), /*symmetrize=*/true);
+}
+
+CsrGraph make_preferential(vidx_t n, int attach, std::uint64_t seed,
+                           WeightConfig w) {
+  GAPSP_CHECK(n > attach && attach >= 1, "bad preferential parameters");
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * attach);
+  // Endpoint pool: sampling uniformly from past edge endpoints realizes
+  // degree-proportional attachment.
+  std::vector<vidx_t> pool;
+  pool.reserve(2 * static_cast<std::size_t>(n) * attach);
+  // Seed clique over the first attach+1 vertices.
+  for (vidx_t a = 0; a <= attach; ++a) {
+    for (vidx_t b = a + 1; b <= attach; ++b) {
+      edges.push_back(Edge{a, b, rand_weight(rng, w)});
+      pool.push_back(a);
+      pool.push_back(b);
+    }
+  }
+  for (vidx_t v = attach + 1; v < n; ++v) {
+    for (int e = 0; e < attach; ++e) {
+      const vidx_t target = pool[rng.next_below(pool.size())];
+      if (target == v) continue;
+      edges.push_back(Edge{v, target, rand_weight(rng, w)});
+      pool.push_back(v);
+      pool.push_back(target);
+    }
+  }
+  return CsrGraph::from_edges(n, std::move(edges), /*symmetrize=*/true);
+}
+
+CsrGraph make_grid3d(vidx_t x, vidx_t y, vidx_t z, std::uint64_t seed,
+                     WeightConfig w) {
+  GAPSP_CHECK(x > 0 && y > 0 && z > 0, "grid dimensions must be positive");
+  Rng rng(seed);
+  const vidx_t n = x * y * z;
+  auto id = [&](vidx_t i, vidx_t j, vidx_t k) { return (k * y + j) * x + i; };
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * 3);
+  for (vidx_t k = 0; k < z; ++k) {
+    for (vidx_t j = 0; j < y; ++j) {
+      for (vidx_t i = 0; i < x; ++i) {
+        if (i + 1 < x) {
+          edges.push_back(Edge{id(i, j, k), id(i + 1, j, k), rand_weight(rng, w)});
+        }
+        if (j + 1 < y) {
+          edges.push_back(Edge{id(i, j, k), id(i, j + 1, k), rand_weight(rng, w)});
+        }
+        if (k + 1 < z) {
+          edges.push_back(Edge{id(i, j, k), id(i, j, k + 1), rand_weight(rng, w)});
+        }
+      }
+    }
+  }
+  return CsrGraph::from_edges(n, std::move(edges), /*symmetrize=*/true);
+}
+
+}  // namespace gapsp::graph

@@ -1,0 +1,73 @@
+// Synthetic graph generators standing in for the paper's SuiteSparse inputs.
+//
+// Three families matter for the paper's analysis:
+//  * road-like graphs         — near-planar, small separator (Table III "Yes");
+//  * mesh-like graphs         — FEM matrices: denser, large separator;
+//  * scale-free R-MAT graphs  — the paper's synthetic scaling workload.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.h"
+
+namespace gapsp::graph {
+
+/// Parameters shared by all generators.
+struct WeightConfig {
+  dist_t min_weight = 1;
+  dist_t max_weight = 100;
+};
+
+/// Road-network-like graph: a rows×cols 4-neighbour grid with a fraction of
+/// the grid edges deleted (dead ends / sparse rural areas) and a few local
+/// diagonal shortcuts added. Connectivity is preserved via a random spanning
+/// tree. Undirected. Separator is O(sqrt(n)) like real road networks.
+CsrGraph make_road(vidx_t rows, vidx_t cols, std::uint64_t seed,
+                   double drop_fraction = 0.15, double shortcut_fraction = 0.05,
+                   WeightConfig w = {});
+
+/// FEM-mesh-like graph: random points in the unit square connected to their
+/// `avg_degree` nearest neighbours (bucketed search) plus a `rewire_fraction`
+/// of uniformly random long-range edges. The long-range edges destroy the
+/// small separator, matching the paper's "other sparse graphs" (pkustk14,
+/// SiO2, ...). Undirected and connected.
+CsrGraph make_mesh(vidx_t n, int avg_degree, std::uint64_t seed,
+                   double rewire_fraction = 0.08, WeightConfig w = {});
+
+/// R-MAT scale-free generator (Chakrabarti et al.), the paper's synthetic
+/// workload. Generates `num_edges` directed edges over `n = 2^scale`
+/// vertices then symmetrizes. Default skew (0.57, 0.19, 0.19, 0.05).
+CsrGraph make_rmat(int scale, eidx_t num_edges, std::uint64_t seed,
+                   double a = 0.57, double b = 0.19, double c = 0.19,
+                   bool connect = true, WeightConfig w = {});
+
+/// Erdős–Rényi G(n, m) graph, undirected, optionally forced connected.
+CsrGraph make_erdos_renyi(vidx_t n, eidx_t num_edges, std::uint64_t seed,
+                          bool connect = true, WeightConfig w = {});
+
+/// Dense random graph with the exact density given in percent (of n^2
+/// ordered pairs) — used by the density-filter experiments (Table VI regime).
+CsrGraph make_dense(vidx_t n, double density_percent, std::uint64_t seed,
+                    WeightConfig w = {});
+
+/// Watts–Strogatz small world: a ring lattice where each vertex connects to
+/// its k nearest ring neighbours, each edge rewired to a random endpoint
+/// with probability `rewire`. rewire = 0 gives a pure ring (tiny separator);
+/// rewire near 1 approaches a random graph (no separator) — a controllable
+/// knob for separator-sensitivity tests.
+CsrGraph make_small_world(vidx_t n, int k, double rewire, std::uint64_t seed,
+                          WeightConfig w = {});
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `attach` existing vertices with probability proportional to degree.
+/// Produces the heavy-tailed hubs the dynamic-parallelism optimization
+/// targets, with guaranteed connectivity.
+CsrGraph make_preferential(vidx_t n, int attach, std::uint64_t seed,
+                           WeightConfig w = {});
+
+/// 3-D grid (x × y × z, 6-neighbour): separator Θ(n^(2/3)) — between the
+/// road (n^(1/2)) and expander regimes; stresses the separator classifier.
+CsrGraph make_grid3d(vidx_t x, vidx_t y, vidx_t z, std::uint64_t seed,
+                     WeightConfig w = {});
+
+}  // namespace gapsp::graph

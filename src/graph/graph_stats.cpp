@@ -1,0 +1,58 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace gapsp::graph {
+
+DegreeStats degree_stats(const CsrGraph& g) {
+  DegreeStats s;
+  const vidx_t n = g.num_vertices();
+  if (n == 0) return s;
+  s.min = g.out_degree(0);
+  for (vidx_t v = 0; v < n; ++v) {
+    const vidx_t d = g.out_degree(v);
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+    s.mean += d;
+  }
+  s.mean /= static_cast<double>(n);
+  return s;
+}
+
+std::vector<vidx_t> component_labels(const CsrGraph& g) {
+  const vidx_t n = g.num_vertices();
+  std::vector<vidx_t> label(static_cast<std::size_t>(n), -1);
+  vidx_t next = 0;
+  std::queue<vidx_t> q;
+  for (vidx_t s = 0; s < n; ++s) {
+    if (label[s] != -1) continue;
+    label[s] = next;
+    q.push(s);
+    while (!q.empty()) {
+      const vidx_t u = q.front();
+      q.pop();
+      for (vidx_t v : g.neighbors(u)) {
+        if (label[v] == -1) {
+          label[v] = next;
+          q.push(v);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+vidx_t count_components(const CsrGraph& g) {
+  const auto label = component_labels(g);
+  vidx_t max_label = -1;
+  for (vidx_t l : label) max_label = std::max(max_label, l);
+  return max_label + 1;
+}
+
+bool is_connected(const CsrGraph& g) {
+  return g.num_vertices() == 0 || count_components(g) == 1;
+}
+
+}  // namespace gapsp::graph

@@ -1,0 +1,29 @@
+// Structural statistics used by the selector and the feature tables
+// (Table III / IV in the paper).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace gapsp::graph {
+
+struct DegreeStats {
+  vidx_t min = 0;
+  vidx_t max = 0;
+  double mean = 0.0;
+};
+
+DegreeStats degree_stats(const CsrGraph& g);
+
+/// Number of weakly connected components (graphs here are symmetric, so this
+/// equals the number of connected components).
+vidx_t count_components(const CsrGraph& g);
+
+/// Component id per vertex (BFS labelling).
+std::vector<vidx_t> component_labels(const CsrGraph& g);
+
+/// true iff every vertex is reachable from vertex 0.
+bool is_connected(const CsrGraph& g);
+
+}  // namespace gapsp::graph

@@ -1,0 +1,101 @@
+#include "graph/matrix_market.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace gapsp::graph {
+namespace {
+
+struct Header {
+  bool pattern = false;
+  bool symmetric = false;
+};
+
+Header parse_banner(const std::string& line) {
+  std::istringstream ss(line);
+  std::string banner, object, format, field, symmetry;
+  ss >> banner >> object >> format >> field >> symmetry;
+  GAPSP_CHECK(banner == "%%MatrixMarket", "missing MatrixMarket banner");
+  GAPSP_CHECK(object == "matrix", "only 'matrix' objects are supported");
+  GAPSP_CHECK(format == "coordinate", "only coordinate format is supported");
+  GAPSP_CHECK(field == "real" || field == "integer" || field == "pattern",
+              "unsupported field type: " + field);
+  GAPSP_CHECK(symmetry == "general" || symmetry == "symmetric",
+              "unsupported symmetry: " + symmetry);
+  return Header{field == "pattern", symmetry == "symmetric"};
+}
+
+dist_t value_to_weight(double v) {
+  const double a = std::min(std::round(std::abs(v)),
+                            static_cast<double>(kInf - 1));
+  return std::max<dist_t>(1, static_cast<dist_t>(a));
+}
+
+}  // namespace
+
+CsrGraph read_matrix_market(std::istream& in) {
+  std::string line;
+  GAPSP_CHECK(static_cast<bool>(std::getline(in, line)), "empty .mtx stream");
+  const Header header = parse_banner(line);
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream dims(line);
+  long long rows = 0, cols = 0, nnz = 0;
+  GAPSP_CHECK(static_cast<bool>(dims >> rows >> cols >> nnz),
+              "malformed size line");
+  GAPSP_CHECK(rows == cols, "matrix must be square to be a graph");
+  GAPSP_CHECK(rows > 0 && nnz >= 0, "bad matrix dimensions");
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(nnz));
+  for (long long e = 0; e < nnz; ++e) {
+    GAPSP_CHECK(static_cast<bool>(std::getline(in, line)),
+                "fewer entries than announced nnz");
+    std::istringstream es(line);
+    long long r = 0, c = 0;
+    double v = 1.0;
+    GAPSP_CHECK(static_cast<bool>(es >> r >> c), "malformed entry line");
+    if (!header.pattern) {
+      GAPSP_CHECK(static_cast<bool>(es >> v), "missing value on entry line");
+    }
+    GAPSP_CHECK(r >= 1 && r <= rows && c >= 1 && c <= cols,
+                "entry index out of range");
+    edges.push_back(Edge{static_cast<vidx_t>(r - 1),
+                         static_cast<vidx_t>(c - 1), value_to_weight(v)});
+  }
+  return CsrGraph::from_edges(static_cast<vidx_t>(rows), std::move(edges),
+                              /*symmetrize=*/header.symmetric);
+}
+
+CsrGraph read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  GAPSP_CHECK(in.good(), "cannot open " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(const CsrGraph& g, std::ostream& out) {
+  out << "%%MatrixMarket matrix coordinate integer general\n";
+  out << "% written by gapsp\n";
+  out << g.num_vertices() << " " << g.num_vertices() << " " << g.num_edges()
+      << "\n";
+  for (vidx_t u = 0; u < g.num_vertices(); ++u) {
+    const auto nbr = g.neighbors(u);
+    const auto wts = g.weights(u);
+    for (std::size_t i = 0; i < nbr.size(); ++i) {
+      out << (u + 1) << " " << (nbr[i] + 1) << " " << wts[i] << "\n";
+    }
+  }
+}
+
+void write_matrix_market_file(const CsrGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  GAPSP_CHECK(out.good(), "cannot open " + path + " for writing");
+  write_matrix_market(g, out);
+  GAPSP_CHECK(out.good(), "write failed for " + path);
+}
+
+}  // namespace gapsp::graph

@@ -1,0 +1,23 @@
+// Matrix Market (.mtx) reader/writer so real SuiteSparse matrices can be fed
+// through the same pipeline as the synthetic zoo.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr_graph.h"
+
+namespace gapsp::graph {
+
+/// Reads a `matrix coordinate {real,integer,pattern} {general,symmetric}`
+/// Matrix Market file into a weighted graph. Values are mapped to weights by
+/// rounding |v| and clamping to [1, max]; `pattern` entries get weight 1.
+/// Rectangular matrices are rejected. Throws gapsp::Error on malformed input.
+CsrGraph read_matrix_market(std::istream& in);
+CsrGraph read_matrix_market_file(const std::string& path);
+
+/// Writes the graph as a general integer coordinate matrix.
+void write_matrix_market(const CsrGraph& g, std::ostream& out);
+void write_matrix_market_file(const CsrGraph& g, const std::string& path);
+
+}  // namespace gapsp::graph

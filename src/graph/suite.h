@@ -1,0 +1,36 @@
+// Named synthetic stand-ins for the paper's SuiteSparse inputs (Tables III
+// and IV), scaled to this machine. Each entry keeps the property the paper's
+// analysis depends on: road-family graphs have a small separator, mesh-family
+// graphs are denser with a large separator, R-MAT entries are scale-free.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace gapsp::graph {
+
+enum class ZooFamily { kRoad, kMesh, kRmat, kWeb, kRandom };
+
+struct ZooEntry {
+  std::string name;        ///< SuiteSparse matrix this instance stands in for
+  ZooFamily family;
+  bool small_separator;    ///< the paper's Table III classification
+  CsrGraph graph;
+};
+
+/// The 11 small-separator graphs of Table III (road / redistricting family).
+std::vector<ZooEntry> small_separator_zoo();
+
+/// The 8 "other sparse" graphs of Table III (FEM mesh family).
+std::vector<ZooEntry> other_sparse_zoo();
+
+/// The 10 large graphs of Table IV (output exceeds host-store RAM budget).
+std::vector<ZooEntry> large_zoo();
+
+/// Looks up one entry by stand-in name across all three zoos.
+std::optional<ZooEntry> zoo_by_name(const std::string& name);
+
+}  // namespace gapsp::graph

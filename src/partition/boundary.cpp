@@ -1,0 +1,89 @@
+#include "partition/boundary.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gapsp::part {
+
+vidx_t BoundaryLayout::max_comp_size() const {
+  vidx_t mx = 0;
+  for (int i = 0; i < k(); ++i) mx = std::max(mx, comp_size(i));
+  return mx;
+}
+
+BoundaryLayout analyze_boundary(const graph::CsrGraph& g, Partition partition) {
+  const vidx_t n = g.num_vertices();
+  const int k = partition.k;
+  GAPSP_CHECK(static_cast<vidx_t>(partition.assignment.size()) == n,
+              "partition does not match graph");
+  BoundaryLayout out;
+  out.is_boundary.assign(static_cast<std::size_t>(n), 0);
+  for (vidx_t u = 0; u < n; ++u) {
+    for (vidx_t v : g.neighbors(u)) {
+      if (partition.assignment[u] != partition.assignment[v]) {
+        out.is_boundary[u] = 1;
+        out.is_boundary[v] = 1;
+      }
+    }
+  }
+  for (auto b : out.is_boundary) out.num_boundary += b;
+
+  // Component ranges.
+  out.comp_offset.assign(static_cast<std::size_t>(k) + 1, 0);
+  out.comp_boundary.assign(static_cast<std::size_t>(k), 0);
+  for (vidx_t v = 0; v < n; ++v) {
+    ++out.comp_offset[static_cast<std::size_t>(partition.assignment[v]) + 1];
+    if (out.is_boundary[v]) ++out.comp_boundary[partition.assignment[v]];
+  }
+  for (int i = 0; i < k; ++i) out.comp_offset[i + 1] += out.comp_offset[i];
+
+  out.boundary_offset.assign(static_cast<std::size_t>(k) + 1, 0);
+  for (int i = 0; i < k; ++i) {
+    out.boundary_offset[i + 1] = out.boundary_offset[i] + out.comp_boundary[i];
+  }
+
+  // Boundary-first renumbering: within component i, boundary vertices take
+  // new ids comp_offset[i].., interior vertices follow.
+  out.perm.assign(static_cast<std::size_t>(n), 0);
+  out.inv_perm.assign(static_cast<std::size_t>(n), 0);
+  std::vector<vidx_t> bcursor(static_cast<std::size_t>(k));
+  std::vector<vidx_t> icursor(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    bcursor[i] = out.comp_offset[i];
+    icursor[i] = out.comp_offset[i] + out.comp_boundary[i];
+  }
+  for (vidx_t v = 0; v < n; ++v) {
+    const int c = partition.assignment[v];
+    const vidx_t nv = out.is_boundary[v] ? bcursor[c]++ : icursor[c]++;
+    out.perm[v] = nv;
+    out.inv_perm[nv] = v;
+  }
+  out.partition = std::move(partition);
+  return out;
+}
+
+BoundaryLayout partition_and_analyze(const graph::CsrGraph& g, int k,
+                                     std::uint64_t seed, Method method) {
+  PartitionOptions opts;
+  opts.k = k;
+  opts.seed = seed;
+  opts.method = method;
+  return analyze_boundary(g, kway_partition(g, opts));
+}
+
+double separator_ratio(const graph::CsrGraph& g, std::uint64_t seed) {
+  const vidx_t n = g.num_vertices();
+  if (n < 4) return 1.0;
+  const int k = std::max(
+      2, static_cast<int>(std::lround(std::sqrt(static_cast<double>(n)))));
+  const auto layout = partition_and_analyze(g, k, seed);
+  const double ideal = std::pow(static_cast<double>(n), 0.75);  // √(k·n), k=√n
+  return static_cast<double>(layout.num_boundary) / ideal;
+}
+
+bool has_small_separator(const graph::CsrGraph& g, double threshold,
+                         std::uint64_t seed) {
+  return separator_ratio(g, seed) < threshold;
+}
+
+}  // namespace gapsp::part

@@ -1,0 +1,64 @@
+// Boundary analysis on top of a k-way partition: identifies boundary
+// vertices (both endpoints of every cut edge, as in Sec. III-C), builds the
+// boundary-first vertex renumbering of Fig. 1(a), and exposes the layout the
+// out-of-core boundary algorithm operates on.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "partition/kway.h"
+
+namespace gapsp::part {
+
+struct BoundaryLayout {
+  Partition partition;
+
+  /// 1 iff the vertex (original id) is a boundary vertex.
+  std::vector<std::uint8_t> is_boundary;
+  vidx_t num_boundary = 0;
+
+  /// Renumbering, old id -> new id. Components occupy contiguous new-id
+  /// ranges; within each component the boundary vertices come first.
+  std::vector<vidx_t> perm;
+  /// Inverse renumbering, new id -> old id.
+  std::vector<vidx_t> inv_perm;
+
+  /// comp_offset[i]..comp_offset[i+1] is component i's new-id range (k+1).
+  std::vector<vidx_t> comp_offset;
+  /// Number of boundary vertices in component i (they occupy the first
+  /// comp_boundary[i] new ids of the component's range).
+  std::vector<vidx_t> comp_boundary;
+
+  /// boundary_offset[i]..boundary_offset[i+1] is component i's index range
+  /// in the global boundary ordering (k+1); the global boundary graph of
+  /// step 3 is indexed this way.
+  std::vector<vidx_t> boundary_offset;
+
+  int k() const { return partition.k; }
+  vidx_t comp_size(int i) const { return comp_offset[i + 1] - comp_offset[i]; }
+  vidx_t max_comp_size() const;
+};
+
+/// Computes boundary vertices and the boundary-first renumbering for a
+/// partitioned graph.
+BoundaryLayout analyze_boundary(const graph::CsrGraph& g, Partition partition);
+
+/// Convenience: partition with k components then analyze.
+BoundaryLayout partition_and_analyze(const graph::CsrGraph& g, int k,
+                                     std::uint64_t seed = 1,
+                                     Method method = Method::kMultilevelKway);
+
+/// The paper's small-separator test (Sec. IV-B2 / Table III): with k = √n
+/// components, a planar-like graph has ~√(k·n) = n^(3/4) boundary vertices.
+/// Returns #boundary / n^(3/4); values near 1 mean a small separator.
+double separator_ratio(const graph::CsrGraph& g, std::uint64_t seed = 1);
+
+/// Classification used throughout the paper: ratio below `threshold` counts
+/// as a small separator. The paper's own Table III "Yes" graphs reach
+/// ratios ≈ 2.5 (wy2010: 12,665 boundary vs √(kn) = 5,031) while the "No"
+/// graphs sit at 6–20; the default threshold of 4 splits the two classes.
+bool has_small_separator(const graph::CsrGraph& g, double threshold = 4.0,
+                         std::uint64_t seed = 1);
+
+}  // namespace gapsp::part

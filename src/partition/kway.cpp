@@ -1,0 +1,458 @@
+#include "partition/kway.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+#include "util/rng.h"
+
+namespace gapsp::part {
+namespace {
+
+/// Internal weighted graph used across coarsening levels. Edge weights count
+/// contracted multiplicity (how many original arcs an edge represents);
+/// vertex weights count contracted original vertices.
+struct LevelGraph {
+  vidx_t n = 0;
+  std::vector<eidx_t> offsets;
+  std::vector<vidx_t> targets;
+  std::vector<eidx_t> eweights;
+  std::vector<vidx_t> vweights;
+};
+
+LevelGraph from_csr(const graph::CsrGraph& g) {
+  LevelGraph lg;
+  lg.n = g.num_vertices();
+  lg.offsets.assign(g.offsets().begin(), g.offsets().end());
+  lg.targets.assign(g.targets().begin(), g.targets().end());
+  lg.eweights.assign(lg.targets.size(), 1);
+  lg.vweights.assign(static_cast<std::size_t>(lg.n), 1);
+  return lg;
+}
+
+/// Heavy-edge matching: visit vertices in random order, match each unmatched
+/// vertex with its unmatched neighbour of maximum edge weight.
+std::vector<vidx_t> heavy_edge_matching(const LevelGraph& g, Rng& rng) {
+  std::vector<vidx_t> match(static_cast<std::size_t>(g.n), -1);
+  std::vector<vidx_t> order(static_cast<std::size_t>(g.n));
+  std::iota(order.begin(), order.end(), 0);
+  for (vidx_t i = g.n - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.next_below(static_cast<std::uint64_t>(i) + 1)]);
+  }
+  for (vidx_t u : order) {
+    if (match[u] != -1) continue;
+    vidx_t best = -1;
+    eidx_t best_w = -1;
+    for (eidx_t e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+      const vidx_t v = g.targets[e];
+      if (v == u || match[v] != -1) continue;
+      if (g.eweights[e] > best_w) {
+        best_w = g.eweights[e];
+        best = v;
+      }
+    }
+    match[u] = best == -1 ? u : best;
+    if (best != -1) match[best] = u;
+  }
+  for (vidx_t u = 0; u < g.n; ++u) {
+    if (match[u] == -1) match[u] = u;
+  }
+  return match;
+}
+
+struct Contraction {
+  LevelGraph coarse;
+  std::vector<vidx_t> fine_to_coarse;
+};
+
+Contraction contract(const LevelGraph& g, const std::vector<vidx_t>& match) {
+  Contraction out;
+  out.fine_to_coarse.assign(static_cast<std::size_t>(g.n), -1);
+  vidx_t nc = 0;
+  for (vidx_t u = 0; u < g.n; ++u) {
+    if (out.fine_to_coarse[u] != -1) continue;
+    out.fine_to_coarse[u] = nc;
+    const vidx_t v = match[u];
+    if (v != u) out.fine_to_coarse[v] = nc;
+    ++nc;
+  }
+  // Aggregate edges (cu, cv) by sorting.
+  struct CEdge {
+    vidx_t u, v;
+    eidx_t w;
+  };
+  std::vector<CEdge> cedges;
+  cedges.reserve(g.targets.size());
+  for (vidx_t u = 0; u < g.n; ++u) {
+    const vidx_t cu = out.fine_to_coarse[u];
+    for (eidx_t e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+      const vidx_t cv = out.fine_to_coarse[g.targets[e]];
+      if (cu != cv) cedges.push_back(CEdge{cu, cv, g.eweights[e]});
+    }
+  }
+  std::sort(cedges.begin(), cedges.end(), [](const CEdge& a, const CEdge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  LevelGraph& c = out.coarse;
+  c.n = nc;
+  c.offsets.assign(static_cast<std::size_t>(nc) + 1, 0);
+  c.vweights.assign(static_cast<std::size_t>(nc), 0);
+  for (vidx_t u = 0; u < g.n; ++u) {
+    c.vweights[out.fine_to_coarse[u]] += g.vweights[u];
+  }
+  std::size_t i = 0;
+  while (i < cedges.size()) {
+    std::size_t j = i;
+    eidx_t w = 0;
+    while (j < cedges.size() && cedges[j].u == cedges[i].u &&
+           cedges[j].v == cedges[i].v) {
+      w += cedges[j].w;
+      ++j;
+    }
+    c.targets.push_back(cedges[i].v);
+    c.eweights.push_back(w);
+    ++c.offsets[static_cast<std::size_t>(cedges[i].u) + 1];
+    i = j;
+  }
+  std::partial_sum(c.offsets.begin(), c.offsets.end(), c.offsets.begin());
+  return out;
+}
+
+/// Greedy region growing on the coarsest graph: seeds spread by repeated
+/// farthest-BFS, then grow the currently-smallest region through its most
+/// strongly connected frontier vertex.
+std::vector<vidx_t> initial_partition(const LevelGraph& g, int k,
+                                      const std::vector<double>& frac,
+                                      Rng& rng) {
+  std::vector<vidx_t> part(static_cast<std::size_t>(g.n), -1);
+  if (k == 1) {
+    std::fill(part.begin(), part.end(), 0);
+    return part;
+  }
+  // Seed selection: farthest-point BFS sweep.
+  std::vector<vidx_t> seeds;
+  seeds.push_back(static_cast<vidx_t>(rng.next_below(g.n)));
+  std::vector<int> hop(static_cast<std::size_t>(g.n));
+  while (static_cast<int>(seeds.size()) < k) {
+    std::fill(hop.begin(), hop.end(), -1);
+    std::queue<vidx_t> q;
+    for (vidx_t s : seeds) {
+      hop[s] = 0;
+      q.push(s);
+    }
+    while (!q.empty()) {
+      const vidx_t u = q.front();
+      q.pop();
+      for (eidx_t e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+        const vidx_t v = g.targets[e];
+        if (hop[v] == -1) {
+          hop[v] = hop[u] + 1;
+          q.push(v);
+        }
+      }
+    }
+    vidx_t far = -1;
+    int far_hop = -1;
+    for (vidx_t v = 0; v < g.n; ++v) {
+      if (hop[v] > far_hop) {
+        far_hop = hop[v];
+        far = v;
+      }
+    }
+    if (far == -1 || std::find(seeds.begin(), seeds.end(), far) != seeds.end()) {
+      // Disconnected leftover or degenerate graph: pick any unseeded vertex.
+      far = -1;
+      for (vidx_t v = 0; v < g.n; ++v) {
+        if (std::find(seeds.begin(), seeds.end(), v) == seeds.end()) {
+          far = v;
+          break;
+        }
+      }
+      if (far == -1) break;
+    }
+    seeds.push_back(far);
+  }
+  // Grow regions: total vertex weight balanced.
+  vidx_t total_w = 0;
+  for (vidx_t w : g.vweights) total_w += w;
+  std::vector<vidx_t> region_w(static_cast<std::size_t>(k), 0);
+  using QItem = std::pair<eidx_t, vidx_t>;  // (connection weight, vertex)
+  std::vector<std::priority_queue<QItem>> frontier(static_cast<std::size_t>(k));
+  for (int p = 0; p < static_cast<int>(seeds.size()); ++p) {
+    part[seeds[p]] = p;
+    region_w[p] += g.vweights[seeds[p]];
+    for (eidx_t e = g.offsets[seeds[p]]; e < g.offsets[seeds[p] + 1]; ++e) {
+      frontier[p].push({g.eweights[e], g.targets[e]});
+    }
+  }
+  vidx_t assigned = 0;
+  for (vidx_t v = 0; v < g.n; ++v) {
+    if (part[v] != -1) ++assigned;
+  }
+  auto relative_load = [&](int q2) {
+    return static_cast<double>(region_w[q2]) / frac[q2];
+  };
+  while (assigned < g.n) {
+    // Pick the (target-relative) lightest region that still has a frontier.
+    int p = -1;
+    for (int q2 = 0; q2 < k; ++q2) {
+      if (frontier[q2].empty()) continue;
+      if (p == -1 || relative_load(q2) < relative_load(p)) p = q2;
+    }
+    if (p == -1) {
+      // All frontiers empty (disconnected graph): assign leftovers to the
+      // lightest region directly.
+      int lightest = 0;
+      for (int q2 = 1; q2 < k; ++q2) {
+        if (region_w[q2] < region_w[lightest]) lightest = q2;
+      }
+      for (vidx_t v = 0; v < g.n; ++v) {
+        if (part[v] == -1) {
+          part[v] = lightest;
+          region_w[lightest] += g.vweights[v];
+          ++assigned;
+        }
+      }
+      break;
+    }
+    vidx_t v = -1;
+    while (!frontier[p].empty()) {
+      v = frontier[p].top().second;
+      frontier[p].pop();
+      if (part[v] == -1) break;
+      v = -1;
+    }
+    if (v == -1) continue;
+    part[v] = p;
+    region_w[p] += g.vweights[v];
+    ++assigned;
+    for (eidx_t e = g.offsets[v]; e < g.offsets[v + 1]; ++e) {
+      if (part[g.targets[e]] == -1) {
+        frontier[p].push({g.eweights[e], g.targets[e]});
+      }
+    }
+  }
+  return part;
+}
+
+/// One greedy boundary refinement pass. Moves boundary vertices to the
+/// neighbouring component with the largest cut-weight gain while respecting
+/// the balance bound. Returns total gain achieved.
+eidx_t refine_pass(const LevelGraph& g, std::vector<vidx_t>& part, int k,
+                   const std::vector<double>& frac, double max_imbalance) {
+  vidx_t total_w = 0;
+  for (vidx_t w : g.vweights) total_w += w;
+  std::vector<double> limit(static_cast<std::size_t>(k));
+  for (int p = 0; p < k; ++p) {
+    limit[p] = max_imbalance * static_cast<double>(total_w) * frac[p];
+  }
+  std::vector<vidx_t> region_w(static_cast<std::size_t>(k), 0);
+  for (vidx_t v = 0; v < g.n; ++v) region_w[part[v]] += g.vweights[v];
+
+  eidx_t total_gain = 0;
+  std::vector<eidx_t> conn(static_cast<std::size_t>(k), 0);
+  for (vidx_t v = 0; v < g.n; ++v) {
+    const int home = part[v];
+    bool boundary = false;
+    for (eidx_t e = g.offsets[v]; e < g.offsets[v + 1]; ++e) {
+      if (part[g.targets[e]] != home) {
+        boundary = true;
+        break;
+      }
+    }
+    if (!boundary) continue;
+    std::fill(conn.begin(), conn.end(), 0);
+    for (eidx_t e = g.offsets[v]; e < g.offsets[v + 1]; ++e) {
+      conn[part[g.targets[e]]] += g.eweights[e];
+    }
+    int best = home;
+    eidx_t best_gain = 0;
+    for (int p = 0; p < k; ++p) {
+      if (p == home) continue;
+      const eidx_t gain = conn[p] - conn[home];
+      const double new_w = region_w[p] + g.vweights[v];
+      if (gain > best_gain && new_w <= limit[p] &&
+          region_w[home] - g.vweights[v] > 0) {
+        best_gain = gain;
+        best = p;
+      }
+    }
+    if (best != home) {
+      region_w[home] -= g.vweights[v];
+      region_w[best] += g.vweights[v];
+      part[v] = best;
+      total_gain += best_gain;
+    }
+  }
+  return total_gain;
+}
+
+}  // namespace
+
+vidx_t Partition::max_size() const {
+  vidx_t mx = 0;
+  for (vidx_t s : sizes) mx = std::max(mx, s);
+  return mx;
+}
+
+double Partition::imbalance() const {
+  const vidx_t n = static_cast<vidx_t>(assignment.size());
+  if (n == 0 || k == 0) return 1.0;
+  const double ideal = std::ceil(static_cast<double>(n) / k);
+  return static_cast<double>(max_size()) / ideal;
+}
+
+namespace {
+
+/// Multilevel pipeline over the whole graph (shared by both methods).
+Partition multilevel_partition(const graph::CsrGraph& g,
+                               const PartitionOptions& opts);
+
+/// Recursive bisection: split into two with the multilevel 2-way pipeline,
+/// recurse on the induced halves until k parts exist.
+void bisect_recurse(const graph::CsrGraph& g,
+                    const std::vector<vidx_t>& vertices, int k,
+                    const PartitionOptions& opts, int first_part,
+                    std::vector<vidx_t>& assignment) {
+  if (k == 1) {
+    for (vidx_t v : vertices) assignment[v] = first_part;
+    return;
+  }
+  // Induced subgraph over `vertices`.
+  std::vector<vidx_t> local_id(assignment.size(), -1);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    local_id[vertices[i]] = static_cast<vidx_t>(i);
+  }
+  std::vector<graph::Edge> edges;
+  for (vidx_t u : vertices) {
+    const auto nbr = g.neighbors(u);
+    const auto wts = g.weights(u);
+    for (std::size_t e = 0; e < nbr.size(); ++e) {
+      if (local_id[nbr[e]] != -1) {
+        edges.push_back(
+            graph::Edge{local_id[u], local_id[nbr[e]], wts[e]});
+      }
+    }
+  }
+  const graph::CsrGraph sub = graph::CsrGraph::from_edges(
+      static_cast<vidx_t>(vertices.size()), std::move(edges),
+      /*symmetrize=*/false);
+  PartitionOptions bi = opts;
+  bi.k = 2;
+  bi.method = Method::kMultilevelKway;
+  bi.seed = opts.seed * 6364136223846793005ULL + 1442695040888963407ULL;
+  bi.target_fractions.clear();
+  const Partition half = multilevel_partition(sub, bi);
+  std::vector<vidx_t> left, right;
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    (half.assignment[i] == 0 ? left : right).push_back(vertices[i]);
+  }
+  // Degenerate split (tiny or disconnected pieces): fall back to halving.
+  if (left.empty() || right.empty()) {
+    left.assign(vertices.begin(), vertices.begin() + vertices.size() / 2);
+    right.assign(vertices.begin() + vertices.size() / 2, vertices.end());
+  }
+  // Split the part budget proportionally to the *achieved* side sizes, so
+  // balance survives imperfect bisections and odd k.
+  int k_left = static_cast<int>(std::lround(
+      static_cast<double>(k) * static_cast<double>(left.size()) /
+      static_cast<double>(vertices.size())));
+  k_left = std::clamp(k_left, 1, k - 1);
+  bisect_recurse(g, left, k_left, opts, first_part, assignment);
+  bisect_recurse(g, right, k - k_left, opts, first_part + k_left, assignment);
+}
+
+}  // namespace
+
+Partition kway_partition(const graph::CsrGraph& g,
+                         const PartitionOptions& opts) {
+  const vidx_t n = g.num_vertices();
+  GAPSP_CHECK(opts.k >= 1, "partition requires k >= 1");
+  GAPSP_CHECK(opts.k <= std::max<vidx_t>(n, 1), "k exceeds vertex count");
+  if (opts.method == Method::kRecursiveBisection && opts.k > 1) {
+    std::vector<vidx_t> all(static_cast<std::size_t>(n));
+    std::iota(all.begin(), all.end(), 0);
+    Partition result;
+    result.k = opts.k;
+    result.assignment.assign(static_cast<std::size_t>(n), 0);
+    bisect_recurse(g, all, opts.k, opts, 0, result.assignment);
+    result.sizes.assign(static_cast<std::size_t>(opts.k), 0);
+    for (vidx_t v = 0; v < n; ++v) ++result.sizes[result.assignment[v]];
+    for (vidx_t u = 0; u < n; ++u) {
+      for (vidx_t v : g.neighbors(u)) {
+        if (result.assignment[u] != result.assignment[v]) ++result.edge_cut;
+      }
+    }
+    return result;
+  }
+  return multilevel_partition(g, opts);
+}
+
+namespace {
+
+Partition multilevel_partition(const graph::CsrGraph& g,
+                               const PartitionOptions& opts) {
+  const vidx_t n = g.num_vertices();
+  Rng rng(opts.seed);
+
+  // --- Coarsening phase ---
+  std::vector<LevelGraph> levels;
+  std::vector<std::vector<vidx_t>> projections;  // fine -> coarse per level
+  levels.push_back(from_csr(g));
+  const vidx_t coarse_target =
+      std::max<vidx_t>(static_cast<vidx_t>(opts.k) * 16, 128);
+  while (levels.back().n > coarse_target) {
+    auto match = heavy_edge_matching(levels.back(), rng);
+    auto contraction = contract(levels.back(), match);
+    if (contraction.coarse.n >= levels.back().n * 95 / 100) break;  // stalled
+    projections.push_back(std::move(contraction.fine_to_coarse));
+    levels.push_back(std::move(contraction.coarse));
+  }
+
+  // --- Initial partition on the coarsest level ---
+  std::vector<double> frac = opts.target_fractions;
+  if (frac.empty()) {
+    frac.assign(static_cast<std::size_t>(opts.k), 1.0 / opts.k);
+  }
+  GAPSP_CHECK(static_cast<int>(frac.size()) == opts.k,
+              "target_fractions size must equal k");
+  std::vector<vidx_t> part =
+      initial_partition(levels.back(), opts.k, frac, rng);
+  for (int pass = 0; pass < opts.refine_passes; ++pass) {
+    if (refine_pass(levels.back(), part, opts.k, frac, opts.max_imbalance) ==
+        0) {
+      break;
+    }
+  }
+
+  // --- Uncoarsening with refinement at each level ---
+  for (std::size_t level = levels.size() - 1; level-- > 0;) {
+    const auto& proj = projections[level];
+    std::vector<vidx_t> fine_part(proj.size());
+    for (std::size_t v = 0; v < proj.size(); ++v) fine_part[v] = part[proj[v]];
+    part = std::move(fine_part);
+    for (int pass = 0; pass < opts.refine_passes; ++pass) {
+      if (refine_pass(levels[level], part, opts.k, frac,
+                      opts.max_imbalance) == 0) {
+        break;
+      }
+    }
+  }
+
+  Partition result;
+  result.k = opts.k;
+  result.assignment = std::move(part);
+  result.sizes.assign(static_cast<std::size_t>(opts.k), 0);
+  for (vidx_t v = 0; v < n; ++v) ++result.sizes[result.assignment[v]];
+  for (vidx_t u = 0; u < n; ++u) {
+    for (vidx_t v : g.neighbors(u)) {
+      if (result.assignment[u] != result.assignment[v]) ++result.edge_cut;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+}  // namespace gapsp::part

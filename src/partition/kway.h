@@ -1,0 +1,60 @@
+// From-scratch multilevel k-way graph partitioner — the substitute for the
+// METIS call in step 1 of the paper's boundary algorithm (Sec. III-C).
+//
+// Pipeline (classic multilevel scheme):
+//   coarsen   — heavy-edge matching, contracting matched pairs, until the
+//               coarse graph is small;
+//   initial   — greedy region growing from spread-out seeds on the coarsest
+//               graph, balanced by vertex weight;
+//   uncoarsen — project the partition back level by level, running a greedy
+//               boundary Kernighan–Lin refinement at each level.
+//
+// The objective is the paper's: balanced components and as few boundary
+// vertices (endpoints of cut edges) as possible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace gapsp::part {
+
+/// Partitioning strategy. Direct multilevel k-way (METIS_PartGraphKway
+/// analogue) usually yields fewer boundary vertices; recursive bisection
+/// (METIS_PartGraphRecursive analogue) is kept for the partitioner-quality
+/// ablation — boundary count feeds straight into the boundary algorithm's
+/// cost.
+enum class Method {
+  kMultilevelKway,
+  kRecursiveBisection,
+};
+
+struct PartitionOptions {
+  int k = 2;                 ///< number of components
+  double max_imbalance = 1.15;  ///< max component size / ideal size
+  int refine_passes = 6;     ///< boundary-KL passes per level
+  std::uint64_t seed = 1;
+  Method method = Method::kMultilevelKway;
+  /// Optional per-part weight targets (fractions summing to ~1). Empty
+  /// means equal parts. Recursive bisection uses this internally to split
+  /// proportionally when k is odd.
+  std::vector<double> target_fractions;
+};
+
+struct Partition {
+  int k = 0;
+  std::vector<vidx_t> assignment;  ///< vertex -> component in [0, k)
+  std::vector<vidx_t> sizes;       ///< vertices per component
+  eidx_t edge_cut = 0;             ///< directed arcs crossing components
+
+  vidx_t max_size() const;
+  /// max component size divided by ceil(n/k).
+  double imbalance() const;
+};
+
+/// Partitions g into opts.k components. Requires opts.k >= 1 and
+/// opts.k <= num_vertices. Deterministic for a fixed seed.
+Partition kway_partition(const graph::CsrGraph& g, const PartitionOptions& opts);
+
+}  // namespace gapsp::part

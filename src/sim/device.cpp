@@ -1,0 +1,162 @@
+#include "sim/device.h"
+
+#include <algorithm>
+
+namespace gapsp::sim {
+
+void LaunchCtx::child_launch(const KernelProfile& profile) {
+  child_seconds_ += dev_.spec().child_launch_s + dev_.kernel_time(profile);
+  ++children_;
+}
+
+StreamId Device::create_stream() {
+  // New streams become usable from "now" on the host timeline.
+  stream_ready_.push_back(host_time_);
+  return static_cast<StreamId>(stream_ready_.size() - 1);
+}
+
+Event Device::record_event(StreamId s) {
+  GAPSP_CHECK(s >= 0 && s < static_cast<StreamId>(stream_ready_.size()),
+              "bad stream id");
+  return Event{stream_ready_[s]};
+}
+
+void Device::wait_event(StreamId s, const Event& e) {
+  GAPSP_CHECK(s >= 0 && s < static_cast<StreamId>(stream_ready_.size()),
+              "bad stream id");
+  stream_ready_[s] = std::max(stream_ready_[s], e.time);
+}
+
+void Device::synchronize() {
+  for (double t : stream_ready_) host_time_ = std::max(host_time_, t);
+  metrics_.sim_seconds = host_time_;
+}
+
+void Device::advance_to(double t) {
+  host_time_ = std::max(host_time_, t);
+  for (double& ready : stream_ready_) ready = std::max(ready, t);
+  metrics_.sim_seconds = std::max(metrics_.sim_seconds, host_time_);
+}
+
+void Device::stream_synchronize(StreamId s) {
+  GAPSP_CHECK(s >= 0 && s < static_cast<StreamId>(stream_ready_.size()),
+              "bad stream id");
+  host_time_ = std::max(host_time_, stream_ready_[s]);
+  metrics_.sim_seconds = std::max(metrics_.sim_seconds, host_time_);
+}
+
+double Device::kernel_time(const KernelProfile& p) const {
+  // Occupancy: a grid with fewer blocks than the device can keep resident
+  // only reaches a proportional fraction of peak throughput.
+  const double occupancy =
+      std::clamp(static_cast<double>(std::max(1, p.blocks)) /
+                     static_cast<double>(std::max(1, spec_.max_active_blocks)),
+                 0.0, 1.0);
+  const double eff = std::clamp(p.efficiency, 1e-3, 1.0) * occupancy;
+  const double compute = p.ops / (spec_.compute_ops_per_s * eff);
+  const double memory = p.bytes / (spec_.mem_bandwidth * eff);
+  return std::max(compute, memory);
+}
+
+double Device::transfer_time(std::size_t bytes, bool pinned) const {
+  const double bw =
+      spec_.link_bandwidth * (pinned ? 1.0 : spec_.pageable_penalty);
+  return spec_.transfer_latency_s + static_cast<double>(bytes) / bw;
+}
+
+void Device::do_copy(StreamId s, void* dst, const void* src, std::size_t bytes,
+                     bool async, bool pinned, bool to_device) {
+  GAPSP_CHECK(s >= 0 && s < static_cast<StreamId>(stream_ready_.size()),
+              "bad stream id");
+  if (bytes > 0) std::memcpy(dst, src, bytes);
+  const double dur = transfer_time(bytes, pinned);
+  const double start = std::max(stream_ready_[s], host_time_);
+  stream_ready_[s] = start + dur;
+  metrics_.transfer_seconds += dur;
+  if (trace_ != nullptr) {
+    TraceEvent e;
+    e.name = to_device ? "h2d" : "d2h";
+    e.kind = to_device ? TraceEvent::Kind::kH2D : TraceEvent::Kind::kD2H;
+    e.stream = s;
+    e.start_s = start;
+    e.end_s = start + dur;
+    e.bytes = static_cast<double>(bytes);
+    trace_->record(std::move(e));
+  }
+  if (to_device) {
+    metrics_.bytes_h2d += bytes;
+    ++metrics_.transfers_h2d;
+  } else {
+    metrics_.bytes_d2h += bytes;
+    ++metrics_.transfers_d2h;
+  }
+  if (!async) {
+    host_time_ = stream_ready_[s];
+    metrics_.sim_seconds = std::max(metrics_.sim_seconds, host_time_);
+  }
+}
+
+void Device::memcpy_h2d(StreamId s, void* dst, const void* src,
+                        std::size_t bytes, bool async, bool pinned) {
+  do_copy(s, dst, src, bytes, async, pinned, /*to_device=*/true);
+}
+
+void Device::memcpy_d2h(StreamId s, void* dst, const void* src,
+                        std::size_t bytes, bool async, bool pinned) {
+  do_copy(s, dst, src, bytes, async, pinned, /*to_device=*/false);
+}
+
+double Device::launch(StreamId s, const std::string& name,
+                      const std::function<KernelProfile(LaunchCtx&)>& body) {
+  GAPSP_CHECK(s >= 0 && s < static_cast<StreamId>(stream_ready_.size()),
+              "bad stream id: " + name);
+  LaunchCtx ctx(*this);
+  const KernelProfile profile = body(ctx);  // real work happens here
+  const double dur =
+      spec_.kernel_launch_s + kernel_time(profile) + ctx.child_seconds();
+  const double start = std::max(stream_ready_[s], host_time_);
+  stream_ready_[s] = start + dur;
+  metrics_.kernel_seconds += dur;
+  metrics_.total_ops += profile.ops;
+  ++metrics_.kernels;
+  metrics_.child_kernels += ctx.children_;
+  if (trace_ != nullptr) {
+    TraceEvent e;
+    e.name = name;
+    e.kind = TraceEvent::Kind::kKernel;
+    e.stream = s;
+    e.start_s = start;
+    e.end_s = start + dur;
+    e.ops = profile.ops;
+    e.bytes = profile.bytes;
+    e.child_kernels = static_cast<int>(ctx.children_);
+    trace_->record(std::move(e));
+  }
+  return dur;
+}
+
+void Device::reserve_bytes(std::size_t bytes, const char* what) {
+  GAPSP_CHECK(used_bytes_ + bytes <= spec_.memory_bytes,
+              std::string("device out of memory allocating ") + what + ": " +
+                  std::to_string(bytes) + " bytes requested, " +
+                  std::to_string(spec_.memory_bytes - used_bytes_) +
+                  " available on " + spec_.name);
+  used_bytes_ += bytes;
+  peak_bytes_ = std::max(peak_bytes_, used_bytes_);
+}
+
+void Device::release_bytes(std::size_t bytes) {
+  GAPSP_CHECK(bytes <= used_bytes_, "device allocator underflow");
+  used_bytes_ -= bytes;
+}
+
+DeviceMetrics Device::metrics() const {
+  DeviceMetrics m = metrics_;
+  m.peak_bytes = peak_bytes_;
+  double makespan = host_time_;
+  for (double t : stream_ready_) makespan = std::max(makespan, t);
+  m.sim_seconds = makespan;
+  return m;
+}
+
+}  // namespace gapsp::sim

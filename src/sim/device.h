@@ -1,0 +1,217 @@
+// Functional GPU device simulator.
+//
+// Kernels are ordinary C++ callables that run on the host and produce real
+// results; the simulator's job is (a) to enforce the device memory capacity,
+// so out-of-core algorithms cannot cheat, and (b) to maintain a discrete-
+// event timeline that charges every kernel launch and host<->device transfer
+// a cost derived from the DeviceSpec. Streams and events follow CUDA
+// semantics: async operations advance only their stream's clock, blocking
+// operations join the host clock to the stream, and `synchronize()` is the
+// makespan over all streams. See DESIGN.md §2 for why this substitution
+// preserves the paper's behaviour.
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/device_spec.h"
+#include "sim/trace.h"
+#include "util/common.h"
+
+namespace gapsp::sim {
+
+/// Cost declaration for one kernel: how much scalar work it did, how many
+/// device-memory bytes it touched, over how many thread blocks, and how
+/// regular its control flow was (1 = perfectly regular).
+struct KernelProfile {
+  double ops = 0.0;
+  double bytes = 0.0;
+  int blocks = 1;
+  double efficiency = 1.0;
+};
+
+using StreamId = int;
+constexpr StreamId kDefaultStream = 0;
+
+/// A recorded point on a stream's timeline (CUDA event analogue).
+struct Event {
+  double time = 0.0;
+};
+
+struct DeviceMetrics {
+  double sim_seconds = 0.0;       ///< host clock after the last synchronize()
+  double kernel_seconds = 0.0;    ///< sum of kernel durations
+  double transfer_seconds = 0.0;  ///< sum of transfer durations
+  std::size_t bytes_h2d = 0;
+  std::size_t bytes_d2h = 0;
+  long long transfers_h2d = 0;
+  long long transfers_d2h = 0;
+  long long kernels = 0;
+  long long child_kernels = 0;
+  double total_ops = 0.0;
+  std::size_t peak_bytes = 0;     ///< high-water mark of device allocations
+};
+
+class Device;
+
+/// Handed to a kernel body; lets it launch dynamic-parallelism children.
+/// Child kernels execute inline (the body just does the work) but are
+/// charged separately, at their own occupancy — which is the whole point of
+/// the paper's dynamic-parallelism optimization for high-degree vertices.
+class LaunchCtx {
+ public:
+  void child_launch(const KernelProfile& profile);
+  double child_seconds() const { return child_seconds_; }
+
+ private:
+  friend class Device;
+  explicit LaunchCtx(const Device& dev) : dev_(dev) {}
+  const Device& dev_;
+  double child_seconds_ = 0.0;
+  long long children_ = 0;
+};
+
+/// Capacity-tracked device allocation. Holds real host memory (the simulator
+/// computes real results) but counts against DeviceSpec::memory_bytes.
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(DeviceBuffer&& other) noexcept { *this = std::move(other); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept;
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  ~DeviceBuffer() { release(); }
+
+  T* data() { return storage_.data(); }
+  const T* data() const { return storage_.data(); }
+  std::size_t size() const { return storage_.size(); }
+  std::size_t bytes() const { return storage_.size() * sizeof(T); }
+  T& operator[](std::size_t i) { return storage_[i]; }
+  const T& operator[](std::size_t i) const { return storage_[i]; }
+
+  void release();
+
+ private:
+  friend class Device;
+  DeviceBuffer(Device* dev, std::size_t count)
+      : dev_(dev), storage_(count) {}
+  Device* dev_ = nullptr;
+  std::vector<T> storage_;
+};
+
+class Device {
+ public:
+  explicit Device(DeviceSpec spec) : spec_(std::move(spec)) {}
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  // ---- memory ----
+
+  /// Allocates `count` elements of T. Throws gapsp::Error when the request
+  /// would exceed the device capacity.
+  template <typename T>
+  DeviceBuffer<T> alloc(std::size_t count, const char* what = "buffer") {
+    reserve_bytes(count * sizeof(T), what);
+    return DeviceBuffer<T>(this, count);
+  }
+
+  std::size_t used_bytes() const { return used_bytes_; }
+  std::size_t free_bytes() const { return spec_.memory_bytes - used_bytes_; }
+
+  // ---- streams & events ----
+
+  /// Creates an additional stream; stream 0 always exists.
+  StreamId create_stream();
+  Event record_event(StreamId s);
+  /// Makes stream `s` wait until `e` (cross-stream dependency).
+  void wait_event(StreamId s, const Event& e);
+  /// Joins the host clock to all stream clocks (cudaDeviceSynchronize).
+  void synchronize();
+  /// Joins the host clock to one stream (cudaStreamSynchronize).
+  void stream_synchronize(StreamId s);
+
+  /// Advances the host clock and every stream clock to at least `t` —
+  /// models a synchronization barrier across multiple devices.
+  void advance_to(double t);
+
+  double now() const { return host_time_; }
+
+  // ---- transfers ----
+
+  /// Host-to-device copy of `bytes` from `src` to `dst` (real memcpy plus a
+  /// timeline charge). `async` follows cudaMemcpyAsync semantics; `pinned`
+  /// selects full link bandwidth vs the pageable penalty.
+  void memcpy_h2d(StreamId s, void* dst, const void* src, std::size_t bytes,
+                  bool async = false, bool pinned = false);
+  void memcpy_d2h(StreamId s, void* dst, const void* src, std::size_t bytes,
+                  bool async = false, bool pinned = false);
+
+  // ---- kernels ----
+
+  /// Launches a kernel on stream `s`. The body executes immediately (it must
+  /// perform the real computation) and returns its KernelProfile; the
+  /// timeline charge is derived from that profile plus any dynamic-
+  /// parallelism children launched through the ctx. Returns the simulated
+  /// kernel duration in seconds.
+  double launch(StreamId s, const std::string& name,
+                const std::function<KernelProfile(LaunchCtx&)>& body);
+
+  // ---- modeled costs (exposed for the Sec. IV cost models) ----
+
+  /// Duration of a kernel with the given profile at its declared occupancy.
+  double kernel_time(const KernelProfile& p) const;
+  /// Duration of one transfer of `bytes`.
+  double transfer_time(std::size_t bytes, bool pinned) const;
+
+  DeviceMetrics metrics() const;
+
+  /// Attaches a timeline recorder (nullptr detaches). Not owned.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+ private:
+  template <typename T>
+  friend class DeviceBuffer;
+
+  void reserve_bytes(std::size_t bytes, const char* what);
+  void release_bytes(std::size_t bytes);
+  void do_copy(StreamId s, void* dst, const void* src, std::size_t bytes,
+               bool async, bool pinned, bool to_device);
+
+  DeviceSpec spec_;
+  std::size_t used_bytes_ = 0;
+  std::size_t peak_bytes_ = 0;
+
+  double host_time_ = 0.0;
+  std::vector<double> stream_ready_{0.0};  // stream 0
+  DeviceMetrics metrics_{};
+  TraceRecorder* trace_ = nullptr;
+};
+
+template <typename T>
+DeviceBuffer<T>& DeviceBuffer<T>::operator=(DeviceBuffer&& other) noexcept {
+  if (this != &other) {
+    release();
+    dev_ = other.dev_;
+    storage_ = std::move(other.storage_);
+    other.dev_ = nullptr;
+    other.storage_.clear();
+  }
+  return *this;
+}
+
+template <typename T>
+void DeviceBuffer<T>::release() {
+  if (dev_ != nullptr) {
+    dev_->release_bytes(storage_.size() * sizeof(T));
+    dev_ = nullptr;
+  }
+  storage_.clear();
+  storage_.shrink_to_fit();
+}
+
+}  // namespace gapsp::sim

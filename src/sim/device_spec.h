@@ -1,0 +1,105 @@
+// Device performance/capacity descriptions for the simulator.
+//
+// The presets mirror Table II of the paper (Tesla V100 and Tesla K80) with
+// the host-link throughputs the authors measured with nvprof (11.75 GB/s and
+// 7.23 GB/s). `with_memory()` produces a capacity-scaled variant so the
+// out-of-core machinery is exercised at this machine's graph sizes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace gapsp::sim {
+
+struct DeviceSpec {
+  std::string name;
+
+  /// Usable device memory in bytes. Allocations beyond this fail, which is
+  /// what forces every algorithm in this project out of core.
+  std::size_t memory_bytes = 0;
+
+  int sm_count = 0;
+  /// Maximum concurrently resident thread blocks. Kernels launched with
+  /// fewer blocks run at proportionally lower throughput (the occupancy
+  /// effect behind the paper's dynamic-parallelism optimization).
+  int max_active_blocks = 0;
+
+  /// Peak scalar min-plus/relax operation throughput (ops/s) at full
+  /// occupancy and perfectly regular control flow.
+  double compute_ops_per_s = 0;
+  /// Device-memory bandwidth (bytes/s).
+  double mem_bandwidth = 0;
+
+  /// Host link (PCIe) bandwidth, bytes/s, and fixed per-transfer overhead.
+  double link_bandwidth = 0;
+  double transfer_latency_s = 10e-6;
+  /// Pageable (non-pinned) host memory reaches only this fraction of link
+  /// bandwidth — why the overlap optimization stages through pinned buffers.
+  double pageable_penalty = 0.35;
+
+  /// Fixed cost of a kernel launch from the host, and of a device-side
+  /// (dynamic parallelism) child launch.
+  double kernel_launch_s = 8e-6;
+  double child_launch_s = 3e-6;
+
+  /// Tesla V100-like preset (16 GB HBM2, 80 SMs, PCIe ~11.75 GB/s).
+  static DeviceSpec v100();
+  /// Tesla K80-like preset (12 GB GDDR5 per GK210, 13 SMs, PCIe ~7.23 GB/s).
+  static DeviceSpec k80();
+
+  /// Capacity-scaled presets for this machine's graph sizes: device memory
+  /// AND resident-block capacity are shrunk together (a "mini-V100" with
+  /// proportionally fewer SMs), while the host link keeps its measured
+  /// throughput — PCIe does not shrink with the working set. This keeps the
+  /// occupancy regimes (Johnson's small-bat under-utilization, single-block
+  /// diagonal FW kernels) at the same relative positions the paper's full
+  /// devices exhibit at SuiteSparse scale. See DESIGN.md §2.
+  static DeviceSpec v100_scaled(std::size_t memory = 8u << 20) {
+    DeviceSpec s = v100().with_memory(memory);
+    s.name = "Tesla V100 (simulated, scaled)";
+    s.max_active_blocks = 32;
+    return s;
+  }
+  static DeviceSpec k80_scaled(std::size_t memory = 6u << 20) {
+    DeviceSpec s = k80().with_memory(memory);
+    s.name = "Tesla K80 (simulated, scaled)";
+    s.max_active_blocks = 8;
+    return s;
+  }
+
+  /// Same throughput characteristics with a different memory capacity —
+  /// used to scale experiments down to this machine's graph sizes.
+  DeviceSpec with_memory(std::size_t bytes) const {
+    DeviceSpec s = *this;
+    s.memory_bytes = bytes;
+    return s;
+  }
+};
+
+inline DeviceSpec DeviceSpec::v100() {
+  DeviceSpec s;
+  s.name = "Tesla V100 (simulated)";
+  s.memory_bytes = 16ull << 30;
+  s.sm_count = 80;
+  s.max_active_blocks = 160;
+  s.compute_ops_per_s = 2.0e12;
+  s.mem_bandwidth = 900e9;
+  s.link_bandwidth = 11.75e9;  // paper-measured D2H throughput
+  return s;
+}
+
+inline DeviceSpec DeviceSpec::k80() {
+  DeviceSpec s;
+  s.name = "Tesla K80 (simulated)";
+  s.memory_bytes = 12ull << 30;
+  s.sm_count = 13;
+  s.max_active_blocks = 26;
+  s.compute_ops_per_s = 0.55e12;
+  s.mem_bandwidth = 240e9;
+  s.link_bandwidth = 7.23e9;  // paper-measured D2H throughput
+  s.kernel_launch_s = 12e-6;
+  s.child_launch_s = 5e-6;
+  return s;
+}
+
+}  // namespace gapsp::sim

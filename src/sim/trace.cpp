@@ -1,0 +1,56 @@
+#include "sim/trace.h"
+
+#include <ostream>
+
+namespace gapsp::sim {
+namespace {
+
+const char* kind_name(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kKernel:
+      return "kernel";
+    case TraceEvent::Kind::kH2D:
+      return "h2d";
+    case TraceEvent::Kind::kD2H:
+      return "d2h";
+  }
+  return "?";
+}
+
+/// Escapes the few characters kernel names could contain.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+double TraceRecorder::total(TraceEvent::Kind kind) const {
+  double sum = 0.0;
+  for (const auto& e : events_) {
+    if (e.kind == kind) sum += e.duration_s();
+  }
+  return sum;
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : events_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+       << kind_name(e.kind) << "\",\"ph\":\"X\",\"pid\":0,\"tid\":"
+       << e.stream << ",\"ts\":" << e.start_s * 1e6
+       << ",\"dur\":" << e.duration_s() * 1e6 << ",\"args\":{\"ops\":"
+       << e.ops << ",\"bytes\":" << e.bytes << ",\"children\":"
+       << e.child_kernels << "}}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace gapsp::sim

@@ -1,0 +1,46 @@
+// Timeline tracing for the device simulator. When a TraceRecorder is
+// attached to a Device, every kernel launch and transfer is recorded with
+// its simulated start/end time, and the trace can be exported in the
+// chrome://tracing JSON format — one lane per stream — to inspect exactly
+// how the batching/overlap optimizations reshape the timeline.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gapsp::sim {
+
+struct TraceEvent {
+  enum class Kind { kKernel, kH2D, kD2H };
+
+  std::string name;
+  Kind kind = Kind::kKernel;
+  int stream = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double ops = 0.0;
+  double bytes = 0.0;
+  int child_kernels = 0;
+
+  double duration_s() const { return end_s - start_s; }
+};
+
+class TraceRecorder {
+ public:
+  void record(TraceEvent event) { events_.push_back(std::move(event)); }
+  void clear() { events_.clear(); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Total busy time per kind (seconds of simulated occupancy).
+  double total(TraceEvent::Kind kind) const;
+
+  /// chrome://tracing "traceEvents" JSON; streams map to tids.
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace gapsp::sim

@@ -1,0 +1,32 @@
+#include "sssp/bellman_ford.h"
+
+namespace gapsp::sssp {
+
+BellmanFordResult bellman_ford(const graph::CsrGraph& g, vidx_t source) {
+  const vidx_t n = g.num_vertices();
+  GAPSP_CHECK(source >= 0 && source < n, "source out of range");
+  BellmanFordResult r;
+  r.dist.assign(static_cast<std::size_t>(n), kInf);
+  r.dist[source] = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++r.rounds;
+    for (vidx_t u = 0; u < n; ++u) {
+      if (r.dist[u] >= kInf) continue;
+      const auto nbr = g.neighbors(u);
+      const auto wts = g.weights(u);
+      for (std::size_t i = 0; i < nbr.size(); ++i) {
+        ++r.relaxations;
+        const dist_t nd = sat_add(r.dist[u], wts[i]);
+        if (nd < r.dist[nbr[i]]) {
+          r.dist[nbr[i]] = nd;
+          changed = true;
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace gapsp::sssp

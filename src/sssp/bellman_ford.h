@@ -1,0 +1,22 @@
+// Round-based Bellman-Ford. Kept as (a) the maximally-parallel endpoint of
+// the SSSP spectrum the paper discusses in Sec. II-B, and (b) a second
+// correctness oracle for the Near-Far implementation.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace gapsp::sssp {
+
+struct BellmanFordResult {
+  std::vector<dist_t> dist;
+  int rounds = 0;               ///< relaxation sweeps until convergence
+  long long relaxations = 0;    ///< total edges examined
+};
+
+/// Runs until no distance changes (at most n-1 rounds for non-negative
+/// weights). O(n·m) worst case.
+BellmanFordResult bellman_ford(const graph::CsrGraph& g, vidx_t source);
+
+}  // namespace gapsp::sssp

@@ -1,0 +1,23 @@
+// Delta-stepping (Meyer & Sanders) — the SSSP variant used by the Galois
+// comparison point in Fig. 4, and the generalization the paper's Near-Far
+// implementation simplifies.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace gapsp::sssp {
+
+struct DeltaSteppingResult {
+  std::vector<dist_t> dist;
+  int buckets_processed = 0;
+  long long relaxations = 0;
+};
+
+/// Bucketed SSSP. `delta` <= 0 selects a heuristic bucket width (mean edge
+/// weight), matching common practice.
+DeltaSteppingResult delta_stepping(const graph::CsrGraph& g, vidx_t source,
+                                   dist_t delta = 0);
+
+}  // namespace gapsp::sssp

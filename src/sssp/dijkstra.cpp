@@ -1,0 +1,46 @@
+#include "sssp/dijkstra.h"
+
+#include <queue>
+
+namespace gapsp::sssp {
+
+void dijkstra_into(const graph::CsrGraph& g, vidx_t source,
+                   std::span<dist_t> out, SsspCounters* counters) {
+  const vidx_t n = g.num_vertices();
+  GAPSP_CHECK(source >= 0 && source < n, "source out of range");
+  GAPSP_CHECK(out.size() == static_cast<std::size_t>(n),
+              "output span has wrong length");
+  std::fill(out.begin(), out.end(), kInf);
+  out[source] = 0;
+  using Item = std::pair<dist_t, vidx_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  heap.push({0, source});
+  SsspCounters local;
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    ++local.heap_pops;
+    if (d != out[u]) continue;  // stale entry (lazy deletion)
+    const auto nbr = g.neighbors(u);
+    const auto wts = g.weights(u);
+    for (std::size_t i = 0; i < nbr.size(); ++i) {
+      ++local.relaxations;
+      const dist_t nd = sat_add(d, wts[i]);
+      if (nd < out[nbr[i]]) {
+        out[nbr[i]] = nd;
+        heap.push({nd, nbr[i]});
+        ++local.heap_pushes;
+      }
+    }
+  }
+  if (counters != nullptr) *counters += local;
+}
+
+std::vector<dist_t> dijkstra(const graph::CsrGraph& g, vidx_t source,
+                             SsspCounters* counters) {
+  std::vector<dist_t> dist(static_cast<std::size_t>(g.num_vertices()));
+  dijkstra_into(g, source, dist, counters);
+  return dist;
+}
+
+}  // namespace gapsp::sssp

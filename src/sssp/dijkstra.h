@@ -1,0 +1,36 @@
+// Binary-heap Dijkstra — the correctness reference for every APSP
+// implementation in the project, and the per-source worker of the BGL-plus
+// multicore baseline (Sec. V-C).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace gapsp::sssp {
+
+/// Operation counters fed into the CPU machine model (baseline costing).
+struct SsspCounters {
+  long long heap_pops = 0;
+  long long heap_pushes = 0;
+  long long relaxations = 0;
+
+  SsspCounters& operator+=(const SsspCounters& o) {
+    heap_pops += o.heap_pops;
+    heap_pushes += o.heap_pushes;
+    relaxations += o.relaxations;
+    return *this;
+  }
+};
+
+/// Single-source shortest paths from `source`; unreachable vertices get
+/// kInf. Lazy-deletion binary heap, O((n+m) log n).
+std::vector<dist_t> dijkstra(const graph::CsrGraph& g, vidx_t source,
+                             SsspCounters* counters = nullptr);
+
+/// In-place variant writing into a caller-provided row of length n.
+void dijkstra_into(const graph::CsrGraph& g, vidx_t source,
+                   std::span<dist_t> out, SsspCounters* counters = nullptr);
+
+}  // namespace gapsp::sssp

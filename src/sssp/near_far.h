@@ -1,0 +1,40 @@
+// Near-Far SSSP (Davidson et al.) — the simplification of delta-stepping the
+// paper adopts for its GPU Johnson implementation (Sec. II-B): a two-level
+// worklist where vertices below the current threshold i·Δ go to the Near
+// queue and are processed now, everything else waits in the Far queue.
+//
+// This is the *functional* form shared by the device kernel (one instance
+// per simulated thread block inside the MSSP launch) and by host-side tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace gapsp::sssp {
+
+struct NearFarStats {
+  long long relaxations = 0;      ///< edges examined
+  long long vertices_processed = 0;  ///< Near-queue pops (incl. duplicates)
+  int phases = 0;                 ///< Near/Far swaps (threshold bumps)
+  /// Edges examined at vertices whose out-degree is >= the dynamic-
+  /// parallelism threshold — work that the paper offloads to child kernels.
+  long long heavy_relaxations = 0;
+};
+
+struct NearFarConfig {
+  /// Bucket width Δ; <= 0 picks mean edge weight (common heuristic).
+  dist_t delta = 0;
+  /// Vertices with out-degree >= this are counted as "heavy" for the
+  /// dynamic-parallelism optimization; <= 0 disables the split.
+  int heavy_degree_threshold = 0;
+};
+
+/// Runs one Near-Far SSSP from `source`, writing distances of all n vertices
+/// into `dist_out` (length n, preinitialized by this function).
+NearFarStats near_far_sssp(const graph::CsrGraph& g, vidx_t source,
+                           std::span<dist_t> dist_out,
+                           const NearFarConfig& cfg = {});
+
+}  // namespace gapsp::sssp

@@ -1,0 +1,39 @@
+// Minimal command-line flag parser for the tools:
+//   --flag value   |   --flag=value   |   --switch
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace gapsp {
+
+class Args {
+ public:
+  /// Parses argv. Tokens starting with "--" are flags; a following token
+  /// that is not itself a flag becomes the value. Remaining tokens are
+  /// positional. Throws gapsp::Error on a repeated flag.
+  Args(int argc, const char* const* argv);
+
+  bool has(const std::string& flag) const { return flags_.count(flag) > 0; }
+
+  std::optional<std::string> get(const std::string& flag) const;
+  std::string get_or(const std::string& flag, const std::string& dflt) const;
+  long long get_int_or(const std::string& flag, long long dflt) const;
+  double get_double_or(const std::string& flag, double dflt) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags seen but never queried — typo detection for tools.
+  std::vector<std::string> unknown(
+      const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gapsp

@@ -1,0 +1,15 @@
+#include "util/common.h"
+
+#include <sstream>
+
+namespace gapsp::detail {
+
+void fail_check(const char* expr, const std::string& msg,
+                const std::source_location& loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ":" << loc.line() << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace gapsp::detail

@@ -1,0 +1,44 @@
+// Streaming summary statistics (Welford) used by the cost models (batch-time
+// variance, Sec. IV-B2) and by benchmark reporting.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace gapsp {
+
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// Coefficient of variation in percent — the paper reports batch execution
+  /// time spread as 1.67%–13.4% of the mean.
+  double cv_percent() const { return mean_ == 0.0 ? 0.0 : 100.0 * stddev() / mean_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace gapsp

@@ -1,0 +1,34 @@
+// Minimal fixed-width table printer so every bench binary emits the same
+// row/series layout as the paper's tables and figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gapsp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; cells beyond the header count are dropped, missing
+  /// cells are rendered empty.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column-aligned plain text plus a separator under headers.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Formats a double with `digits` decimal places.
+  static std::string num(double v, int digits = 3);
+  /// Formats an integer with thousands separators (paper-style "14,988").
+  static std::string count(long long v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gapsp

@@ -1,0 +1,88 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace gapsp {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task.fn();
+  }
+}
+
+void ThreadPool::enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    tasks_.push(Task{std::move(fn)});
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  if (count == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t chunks = (count + grain - 1) / grain;
+  if (chunks == 1 || workers_.size() <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  const std::size_t launches = std::min(chunks, workers_.size());
+  auto body = [&] {
+    for (;;) {
+      const std::size_t c = next.fetch_add(1);
+      if (c >= chunks) break;
+      const std::size_t lo = c * grain;
+      const std::size_t hi = std::min(count, lo + grain);
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }
+    if (done.fetch_add(1) + 1 == launches) {
+      std::lock_guard<std::mutex> lk(done_mu);
+      done_cv.notify_one();
+    }
+  };
+  for (std::size_t t = 1; t < launches; ++t) enqueue(body);
+  body();  // the calling thread participates as launch #0
+  std::unique_lock<std::mutex> lk(done_mu);
+  done_cv.wait(lk, [&] { return done.load() == launches; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace gapsp

@@ -1,0 +1,50 @@
+// Fixed-size thread pool with a parallel_for helper. The device simulator
+// uses it to execute kernel grids; the CPU baselines use it to parallelize
+// over SSSP sources. On a single-core host it degrades to inline execution.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gapsp {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, count), blocking until all iterations finish.
+  /// Iterations are distributed in contiguous chunks of `grain`.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
+
+  /// Shared process-wide pool (sized to the hardware).
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void worker_loop();
+  void enqueue(std::function<void()> fn);
+
+  std::vector<std::thread> workers_;
+  std::queue<Task> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace gapsp

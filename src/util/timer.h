@@ -1,0 +1,24 @@
+// Wall-clock timing helper.
+#pragma once
+
+#include <chrono>
+
+namespace gapsp {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed wall time in seconds since construction / last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace gapsp

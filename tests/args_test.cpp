@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "util/args.h"
+
+namespace gapsp {
+namespace {
+
+Args parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, FlagWithSeparateValue) {
+  const auto a = parse({"--input", "graph.mtx"});
+  EXPECT_EQ(a.get_or("input", ""), "graph.mtx");
+}
+
+TEST(Args, FlagWithEqualsValue) {
+  const auto a = parse({"--device=k80"});
+  EXPECT_EQ(a.get_or("device", ""), "k80");
+}
+
+TEST(Args, SwitchWithoutValue) {
+  const auto a = parse({"--stats", "--input", "x"});
+  EXPECT_TRUE(a.has("stats"));
+  EXPECT_EQ(a.get_or("stats", "?"), "");
+}
+
+TEST(Args, SwitchFollowedByFlagTakesNoValue) {
+  const auto a = parse({"--keep-store", "--store", "file"});
+  EXPECT_TRUE(a.has("keep-store"));
+  EXPECT_EQ(a.get_or("keep-store", "?"), "");
+  EXPECT_EQ(a.get_or("store", ""), "file");
+}
+
+TEST(Args, PositionalArguments) {
+  const auto a = parse({"pos1", "--flag", "v", "pos2"});
+  // "pos2" is consumed as --flag's value? No: --flag takes "v"; "pos2" is
+  // positional.
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "pos1");
+  EXPECT_EQ(a.positional()[1], "pos2");
+}
+
+TEST(Args, MissingFlagGivesDefault) {
+  const auto a = parse({});
+  EXPECT_FALSE(a.get("missing").has_value());
+  EXPECT_EQ(a.get_or("missing", "dflt"), "dflt");
+  EXPECT_EQ(a.get_int_or("missing", 42), 42);
+  EXPECT_EQ(a.get_double_or("missing", 2.5), 2.5);
+}
+
+TEST(Args, IntAndDoubleParsing) {
+  const auto a = parse({"--n", "128", "--ratio", "0.25"});
+  EXPECT_EQ(a.get_int_or("n", 0), 128);
+  EXPECT_DOUBLE_EQ(a.get_double_or("ratio", 0), 0.25);
+}
+
+TEST(Args, BadNumberThrows) {
+  const auto a = parse({"--n", "abc"});
+  EXPECT_THROW(a.get_int_or("n", 0), Error);
+  EXPECT_THROW(a.get_double_or("n", 0), Error);
+}
+
+TEST(Args, RepeatedFlagThrows) {
+  EXPECT_THROW(parse({"--x", "1", "--x", "2"}), Error);
+}
+
+TEST(Args, EmptyFlagNameThrows) { EXPECT_THROW(parse({"--", "v"}), Error); }
+
+TEST(Args, UnknownDetection) {
+  const auto a = parse({"--known", "1", "--typo", "2"});
+  const auto unknown = a.unknown({"known", "other"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Args, NegativeNumberAsValue) {
+  // A negative number does not start with "--", so it binds as a value.
+  const auto a = parse({"--offset", "-5"});
+  EXPECT_EQ(a.get_int_or("offset", 0), -5);
+}
+
+}  // namespace
+}  // namespace gapsp

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baseline/baselines.h"
+#include "graph/generators.h"
+#include "sssp/dijkstra.h"
+#include "test_util.h"
+
+namespace gapsp::baseline {
+namespace {
+
+TEST(CpuSpec, PresetsSane) {
+  const auto ivy = CpuSpec::e5_2680_v2();
+  const auto haswell = CpuSpec::e5_2698_v3();
+  EXPECT_EQ(ivy.threads, 28);
+  EXPECT_EQ(haswell.threads, 64);
+  EXPECT_GT(ivy.effective_threads(), 1.0);
+  EXPECT_LT(ivy.effective_threads(), ivy.threads);
+}
+
+TEST(BglPlus, RowsMatchDijkstra) {
+  const auto g = graph::make_road(12, 12, 111);
+  auto store = core::make_ram_store(g.num_vertices());
+  bgl_plus_apsp(g, CpuSpec::e5_2680_v2(), store.get());
+  const vidx_t n = g.num_vertices();
+  std::vector<dist_t> row(n);
+  for (vidx_t u = 0; u < n; u += 13) {
+    const auto ref = sssp::dijkstra(g, u);
+    store->read_block(u, 0, 1, n, row.data(), n);
+    ASSERT_EQ(row, ref);
+  }
+}
+
+TEST(BglPlus, ModeledTimePositiveAndWorkBased) {
+  const auto g = graph::make_mesh(300, 10, 112);
+  const auto r = bgl_plus_apsp(g, CpuSpec::e5_2680_v2());
+  EXPECT_GT(r.work_units, static_cast<double>(g.num_edges()));
+  EXPECT_GT(r.sim_seconds, 0.0);
+  EXPECT_GT(r.wall_seconds, 0.0);
+}
+
+TEST(BglPlus, MoreThreadsModeledFaster) {
+  const auto g = graph::make_mesh(250, 10, 113);
+  auto few = CpuSpec::e5_2680_v2();
+  few.threads = 4;
+  auto many = CpuSpec::e5_2680_v2();
+  many.threads = 32;
+  EXPECT_GT(bgl_plus_apsp(g, few).sim_seconds,
+            bgl_plus_apsp(g, many).sim_seconds);
+}
+
+TEST(SuperFw, MatchesDijkstra) {
+  const auto g = graph::make_erdos_renyi(100, 420, 114);
+  auto store = core::make_ram_store(g.num_vertices());
+  superfw_apsp(g, CpuSpec::e5_2698_v3(), store.get());
+  const vidx_t n = g.num_vertices();
+  std::vector<dist_t> row(n);
+  for (vidx_t u = 0; u < n; u += 7) {
+    const auto ref = sssp::dijkstra(g, u);
+    store->read_block(u, 0, 1, n, row.data(), n);
+    ASSERT_EQ(row, ref);
+  }
+}
+
+TEST(SuperFw, ModelOnlyModeSkipsWork) {
+  const auto g = graph::make_erdos_renyi(400, 1500, 115);
+  const auto modeled = superfw_apsp(g, CpuSpec::e5_2698_v3(), nullptr,
+                                    /*functional=*/false);
+  EXPECT_GT(modeled.sim_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(modeled.work_units,
+                   2.0 * 400.0 * 400.0 * 400.0);
+}
+
+TEST(SuperFw, ModeledTimeIsCubic) {
+  const auto g1 = graph::make_erdos_renyi(100, 300, 116);
+  const auto g2 = graph::make_erdos_renyi(200, 600, 116);
+  const auto r1 = superfw_apsp(g1, CpuSpec::e5_2698_v3(), nullptr, false);
+  const auto r2 = superfw_apsp(g2, CpuSpec::e5_2698_v3(), nullptr, false);
+  EXPECT_NEAR(r2.sim_seconds / r1.sim_seconds, 8.0, 1e-9);
+}
+
+TEST(Galois, RowsMatchDijkstra) {
+  const auto g = graph::make_rmat(7, 800, 117);
+  auto store = core::make_ram_store(g.num_vertices());
+  galois_apsp(g, CpuSpec::e5_2698_v3(), store.get());
+  const vidx_t n = g.num_vertices();
+  std::vector<dist_t> row(n);
+  for (vidx_t u = 0; u < n; u += 11) {
+    const auto ref = sssp::dijkstra(g, u);
+    store->read_block(u, 0, 1, n, row.data(), n);
+    ASSERT_EQ(row, ref);
+  }
+}
+
+TEST(Galois, SlowerPerUnitThanBglOnSameGraph) {
+  // Sanity of the Fig. 4 shape: delta-stepping bucket overhead makes the
+  // Galois model slower than BGL-plus on sparse graphs (the paper reports
+  // 79.9-152.6x for us vs Galois but only ~2-12x vs BGL-plus... relative
+  // ordering Galois > BGL holds for these workloads).
+  const auto g = graph::make_road(16, 16, 118);
+  const auto bgl = bgl_plus_apsp(g, CpuSpec::e5_2680_v2());
+  const auto gal = galois_apsp(g, CpuSpec::e5_2698_v3());
+  EXPECT_GT(gal.sim_seconds, bgl.sim_seconds);
+}
+
+}  // namespace
+}  // namespace gapsp::baseline

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cost_model.h"
+#include "core/ooc_fw.h"
+#include "core/ooc_johnson.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace gapsp::core {
+namespace {
+
+ApspOptions model_opts() {
+  ApspOptions o;
+  o.device = test::tiny_device(2u << 20);
+  o.fw_tile = 32;
+  return o;
+}
+
+TEST(TransferModels, FwMatchesClosedForm) {
+  const auto spec = test::tiny_device(1u << 20);
+  const vidx_t n = 5000;
+  const vidx_t b = fw_block_size(spec, n);
+  const double nd = std::ceil(static_cast<double>(n) / b);
+  const double expect = nd * sizeof(dist_t) *
+                        (3.0 * b * b + static_cast<double>(n) * n) /
+                        spec.link_bandwidth;
+  EXPECT_NEAR(fw_transfer_model(n, spec), expect, expect * 1e-12);
+}
+
+TEST(TransferModels, JohnsonIsN2OverThroughput) {
+  const auto spec = test::tiny_device();
+  EXPECT_NEAR(johnson_transfer_model(1000, spec),
+              4.0 * 1e6 / spec.link_bandwidth, 1e-12);
+}
+
+TEST(TransferModels, JohnsonBelowFwForManyBlocks) {
+  // FW moves n_d times the matrix; Johnson moves it once.
+  const auto spec = test::tiny_device(1u << 20);
+  EXPECT_GT(fw_transfer_model(4000, spec), johnson_transfer_model(4000, spec));
+}
+
+TEST(TransferModels, BoundaryCountsBatchedTransfers) {
+  const auto g = graph::make_road(16, 16, 81);
+  const auto opts = model_opts();
+  const auto plan = plan_boundary(g, opts);
+  const double t = boundary_transfer_model(plan, g.num_vertices(), opts.device);
+  const double bytes = sizeof(dist_t) *
+                       static_cast<double>(g.num_vertices()) *
+                       g.num_vertices();
+  EXPECT_GT(t, bytes / opts.device.link_bandwidth);  // latency included
+  EXPECT_LT(t, bytes / opts.device.link_bandwidth +
+                   1000 * opts.device.transfer_latency_s);
+}
+
+TEST(BoundaryNop, FormulaTerms) {
+  // N_op = n³/k² + (kB)³ + nkB² + n²B
+  const double nop = boundary_nop(100, 4, 2.0);
+  EXPECT_DOUBLE_EQ(nop, 1e6 / 16 + 512.0 + 100.0 * 4 * 4 + 1e4 * 2);
+}
+
+TEST(BoundaryBucket, RangesDoubleFromIdeal) {
+  const vidx_t n = 10000;  // n^(3/4) = 1000
+  EXPECT_EQ(boundary_bucket(n, 500, 6), 0);   // below ideal clamps to 0
+  EXPECT_EQ(boundary_bucket(n, 1500, 6), 0);  // [1, 2)·ideal
+  EXPECT_EQ(boundary_bucket(n, 2500, 6), 1);  // [2, 4)·ideal
+  EXPECT_EQ(boundary_bucket(n, 5000, 6), 2);  // [4, 8)·ideal
+  EXPECT_EQ(boundary_bucket(n, 900000, 6), 5);  // clamps at the top
+}
+
+TEST(Calibration, ProducesPositiveReferencePoints) {
+  const auto& cal = calibrate(model_opts());
+  EXPECT_GT(cal.fw_t0, 0.0);
+  EXPECT_GT(cal.fw_n0, 0);
+  EXPECT_GT(cal.bnd_t0, 0.0);
+  EXPECT_GT(cal.bnd_n0, 0);
+  for (double c : cal.c_unit) EXPECT_GT(c, 0.0);
+}
+
+TEST(Calibration, CachedPerDeviceConfig) {
+  const auto opts = model_opts();
+  const Calibration& a = calibrate(opts);
+  const Calibration& b = calibrate(opts);
+  EXPECT_EQ(&a, &b);
+  auto other = opts;
+  other.device = test::tiny_device(3u << 20);
+  EXPECT_NE(&calibrate(other), &a);
+}
+
+TEST(Estimates, FwPowerLawScaling) {
+  const auto opts = model_opts();
+  const auto& cal = calibrate(opts);
+  EXPECT_GE(cal.fw_exponent, 1.0);
+  EXPECT_LE(cal.fw_exponent, 3.0);
+  const auto g1 = graph::make_erdos_renyi(200, 800, 82);
+  const auto g2 = graph::make_erdos_renyi(400, 1600, 82);
+  const auto e1 = estimate_fw(g1, opts);
+  const auto e2 = estimate_fw(g2, opts);
+  EXPECT_NEAR(e2.compute_s / e1.compute_s, std::pow(2.0, cal.fw_exponent),
+              0.01);
+}
+
+TEST(Estimates, FwPredictsActualWithinFactor) {
+  const auto opts = model_opts();
+  const auto g = graph::make_erdos_renyi(300, 2000, 83);
+  const auto est = estimate_fw(g, opts);
+  auto store = make_ram_store(g.num_vertices());
+  const auto actual = ooc_floyd_warshall(g, opts, *store);
+  EXPECT_GT(est.total(), actual.metrics.sim_seconds / 3.0);
+  EXPECT_LT(est.total(), actual.metrics.sim_seconds * 3.0);
+}
+
+TEST(Estimates, JohnsonPredictsActualWithinFactor) {
+  const auto opts = model_opts();
+  const auto g = graph::make_mesh(500, 12, 84);
+  const auto est = estimate_johnson(g, opts, 5);
+  auto store = make_ram_store(g.num_vertices());
+  const auto actual = ooc_johnson(g, opts, *store);
+  EXPECT_GT(est.total(), actual.metrics.sim_seconds / 2.0);
+  EXPECT_LT(est.total(), actual.metrics.sim_seconds * 2.0);
+}
+
+TEST(Estimates, BoundaryPredictsActualOnSmallSeparator) {
+  const auto opts = model_opts();
+  const auto g = graph::make_road(22, 22, 85);
+  const auto est = estimate_boundary(g, opts);
+  ASSERT_TRUE(est.feasible);
+  auto store = make_ram_store(g.num_vertices());
+  const auto actual = ooc_boundary(g, opts, *store);
+  EXPECT_GT(est.total(), actual.metrics.sim_seconds / 3.0);
+  EXPECT_LT(est.total(), actual.metrics.sim_seconds * 3.0);
+}
+
+TEST(Estimates, BoundaryInfeasibleReported) {
+  const auto g = graph::make_mesh(600, 14, 86, 0.3);
+  auto opts = model_opts();
+  opts.device = test::tiny_device(64u << 10);
+  const auto est = estimate_boundary(g, opts);
+  EXPECT_FALSE(est.feasible);
+  EXPECT_TRUE(std::isinf(est.total()));
+}
+
+TEST(Estimates, JohnsonSamplingUsesFewBatches) {
+  // Sampling must be much cheaper than the full run: it runs <= 5 batches.
+  const auto opts = model_opts();
+  const auto g = graph::make_erdos_renyi(600, 2400, 87);
+  const int bat = johnson_batch_size(opts.device, g, opts.johnson_queue_factor);
+  const int nb = (g.num_vertices() + bat - 1) / bat;
+  ASSERT_GT(nb, 5);
+  const auto est = estimate_johnson(g, opts, 5);
+  EXPECT_GT(est.compute_s, 0.0);
+}
+
+}  // namespace
+}  // namespace gapsp::core

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/dist_io.h"
+#include "core/ooc_boundary.h"
+#include "core/ooc_johnson.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace gapsp::core {
+namespace {
+
+std::string tmp_path(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(DistIo, RoundTripIdentityPermutation) {
+  const auto g = graph::make_erdos_renyi(60, 250, 801);
+  auto store = make_ram_store(g.num_vertices());
+  ApspOptions opts;
+  opts.device = test::tiny_device(1u << 20);
+  const auto r = ooc_johnson(g, opts, *store);
+
+  const std::string path = tmp_path("dist_io_id.bin");
+  save_distances(*store, r, path);
+  const auto loaded = load_distances(path);
+  ASSERT_EQ(loaded.store->n(), g.num_vertices());
+  EXPECT_TRUE(loaded.perm.empty());
+  for (vidx_t u = 0; u < g.num_vertices(); u += 7) {
+    for (vidx_t v = 0; v < g.num_vertices(); v += 5) {
+      EXPECT_EQ(loaded.store->at(u, v), store->at(u, v));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DistIo, RoundTripWithBoundaryPermutation) {
+  const auto g = graph::make_road(12, 12, 802);
+  auto store = make_ram_store(g.num_vertices());
+  ApspOptions opts;
+  opts.device = test::tiny_device(2u << 20);
+  opts.fw_tile = 32;
+  const auto r = ooc_boundary(g, opts, *store);
+  ASSERT_FALSE(r.perm.empty());
+
+  const std::string path = tmp_path("dist_io_perm.bin");
+  save_distances(*store, r, path);
+  const auto loaded = load_distances(path);
+  ASSERT_EQ(loaded.perm.size(), r.perm.size());
+  // Query through the loaded mapping, compare with Dijkstra.
+  const auto ref = sssp::dijkstra(g, 3);
+  for (vidx_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(loaded.store->at(loaded.stored_id(3), loaded.stored_id(v)),
+              ref[v]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DistIo, RejectsBadMagic) {
+  const std::string path = tmp_path("dist_io_bad.bin");
+  std::ofstream(path) << "this is not a distance matrix";
+  EXPECT_THROW(load_distances(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(DistIo, RejectsTruncatedMatrix) {
+  const auto g = graph::make_erdos_renyi(40, 120, 803);
+  auto store = make_ram_store(g.num_vertices());
+  ApspOptions opts;
+  opts.device = test::tiny_device(1u << 20);
+  const auto r = ooc_johnson(g, opts, *store);
+  const std::string path = tmp_path("dist_io_trunc.bin");
+  save_distances(*store, r, path);
+  // Chop off the tail.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  }
+  EXPECT_THROW(load_distances(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(DistIo, RejectsMissingFile) {
+  EXPECT_THROW(load_distances("/nonexistent/nowhere.gapsp"), Error);
+}
+
+TEST(DistIo, RejectsMalformedPermutation) {
+  // Hand-craft a header announcing a permutation, then write a bogus one.
+  const std::string path = tmp_path("dist_io_badperm.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    const char magic[8] = {'G', 'A', 'P', 'S', 'P', 'D', 'M', '1'};
+    const std::int64_t n = 2, has_perm = 1;
+    out.write(magic, 8);
+    out.write(reinterpret_cast<const char*>(&n), 8);
+    out.write(reinterpret_cast<const char*>(&has_perm), 8);
+    const vidx_t perm[2] = {0, 0};  // not a bijection
+    out.write(reinterpret_cast<const char*>(perm), sizeof(perm));
+    const dist_t m[4] = {0, 1, 1, 0};
+    out.write(reinterpret_cast<const char*>(m), sizeof(m));
+  }
+  EXPECT_THROW(load_distances(path), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gapsp::core

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/dist_store.h"
+
+namespace gapsp::core {
+namespace {
+
+class DistStoreBackends
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<DistStore> make(vidx_t n) {
+    if (std::string(GetParam()) == "ram") return make_ram_store(n);
+    return make_file_store(
+        n, testing::TempDir() + "/gapsp_store_test_" +
+               std::to_string(reinterpret_cast<std::uintptr_t>(this)) + ".bin");
+  }
+};
+
+TEST_P(DistStoreBackends, FreshStoreReadsInfinity) {
+  auto s = make(4);
+  EXPECT_EQ(s->at(0, 0), kInf);
+  EXPECT_EQ(s->at(3, 3), kInf);
+}
+
+TEST_P(DistStoreBackends, WriteReadSingleBlock) {
+  auto s = make(4);
+  std::vector<dist_t> block{1, 2, 3, 4};
+  s->write_block(1, 1, 2, 2, block.data(), 2);
+  std::vector<dist_t> out(4, -1);
+  s->read_block(1, 1, 2, 2, out.data(), 2);
+  EXPECT_EQ(out, block);
+  EXPECT_EQ(s->at(0, 0), kInf);  // untouched region
+  EXPECT_EQ(s->at(1, 2), 2);
+}
+
+TEST_P(DistStoreBackends, StridedWriteAndRead) {
+  auto s = make(5);
+  // Source with ld=4, writing a 2x3 block.
+  std::vector<dist_t> src{1, 2, 3, 99, 4, 5, 6, 99};
+  s->write_block(2, 1, 2, 3, src.data(), 4);
+  std::vector<dist_t> dst(10, -1);
+  s->read_block(2, 1, 2, 3, dst.data(), 5);  // ld=5
+  EXPECT_EQ(dst[0], 1);
+  EXPECT_EQ(dst[2], 3);
+  EXPECT_EQ(dst[5], 4);
+  EXPECT_EQ(dst[7], 6);
+  EXPECT_EQ(dst[3], -1);  // padding untouched
+}
+
+TEST_P(DistStoreBackends, OverlappingWritesLastWins) {
+  auto s = make(3);
+  std::vector<dist_t> a(9, 7);
+  s->write_block(0, 0, 3, 3, a.data(), 3);
+  std::vector<dist_t> b{42};
+  s->write_block(1, 1, 1, 1, b.data(), 1);
+  EXPECT_EQ(s->at(1, 1), 42);
+  EXPECT_EQ(s->at(1, 0), 7);
+}
+
+TEST_P(DistStoreBackends, FullMatrixRoundTrip) {
+  const vidx_t n = 17;
+  auto s = make(n);
+  std::vector<dist_t> m(static_cast<std::size_t>(n) * n);
+  for (std::size_t i = 0; i < m.size(); ++i) m[i] = static_cast<dist_t>(i);
+  s->write_block(0, 0, n, n, m.data(), n);
+  std::vector<dist_t> out(m.size());
+  s->read_block(0, 0, n, n, out.data(), n);
+  EXPECT_EQ(out, m);
+}
+
+TEST_P(DistStoreBackends, RowWiseWritesComposeToFullMatrix) {
+  const vidx_t n = 9;
+  auto s = make(n);
+  std::vector<dist_t> row(n);
+  for (vidx_t r = 0; r < n; ++r) {
+    for (vidx_t c = 0; c < n; ++c) row[c] = r * 100 + c;
+    s->write_block(r, 0, 1, n, row.data(), n);
+  }
+  EXPECT_EQ(s->at(4, 7), 407);
+  EXPECT_EQ(s->at(8, 0), 800);
+}
+
+TEST_P(DistStoreBackends, OutOfBoundsRejected) {
+  auto s = make(4);
+  std::vector<dist_t> b(16);
+  EXPECT_THROW(s->write_block(3, 3, 2, 2, b.data(), 2), Error);
+  EXPECT_THROW(s->read_block(0, 0, 5, 1, b.data(), 1), Error);
+  EXPECT_THROW(s->write_block(-1, 0, 1, 1, b.data(), 1), Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, DistStoreBackends,
+                         ::testing::Values("ram", "file"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST(DistStore, FileStoreBadPathThrows) {
+  EXPECT_THROW(make_file_store(4, "/nonexistent-dir/x/y.bin"), Error);
+}
+
+TEST(DistStore, FileRemovedByDefault) {
+  const std::string path = testing::TempDir() + "/gapsp_store_rm.bin";
+  {
+    auto s = make_file_store(3, path);
+    EXPECT_EQ(s->n(), 3);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_EQ(f, nullptr);
+  if (f != nullptr) std::fclose(f);
+}
+
+TEST(DistStore, KeepFileLeavesRawMatrixOnDisk) {
+  const std::string path = testing::TempDir() + "/gapsp_store_keep.bin";
+  {
+    auto s = make_file_store(3, path, /*keep_file=*/true);
+    std::vector<dist_t> m(9);
+    for (std::size_t i = 0; i < 9; ++i) m[i] = static_cast<dist_t>(i + 1);
+    s->write_block(0, 0, 3, 3, m.data(), 3);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  dist_t v = 0;
+  ASSERT_EQ(std::fread(&v, sizeof(v), 1, f), 1u);
+  EXPECT_EQ(v, 1);
+  std::fseek(f, 8 * sizeof(dist_t), SEEK_SET);
+  ASSERT_EQ(std::fread(&v, sizeof(v), 1, f), 1u);
+  EXPECT_EQ(v, 9);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(DistStore, ZeroSizeStoreIsValid) {
+  auto s = make_ram_store(0);
+  EXPECT_EQ(s->n(), 0);
+}
+
+}  // namespace
+}  // namespace gapsp::core

@@ -1,0 +1,89 @@
+// Randomized cross-checking ("fuzz") sweep: random graph family × random
+// size × random device memory × every algorithm, validated on sampled rows
+// against the Dijkstra oracle. Complements the deterministic property
+// tests with breadth across the configuration space.
+#include <gtest/gtest.h>
+
+#include "core/apsp.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace gapsp::core {
+namespace {
+
+graph::CsrGraph random_graph(Rng& rng) {
+  const int family = static_cast<int>(rng.next_below(7));
+  const auto seed = rng.next_u64();
+  switch (family) {
+    case 0: {
+      const vidx_t side = static_cast<vidx_t>(rng.next_in(8, 16));
+      return graph::make_road(side, side + 1, seed);
+    }
+    case 1:
+      return graph::make_mesh(static_cast<vidx_t>(rng.next_in(120, 280)),
+                              static_cast<int>(rng.next_in(6, 16)), seed);
+    case 2:
+      return graph::make_rmat(static_cast<int>(rng.next_in(6, 8)),
+                              rng.next_in(300, 1200), seed);
+    case 3:
+      return graph::make_erdos_renyi(
+          static_cast<vidx_t>(rng.next_in(100, 260)), rng.next_in(150, 900),
+          seed, /*connect=*/rng.next_bool(0.5));
+    case 4:
+      return graph::make_small_world(
+          static_cast<vidx_t>(rng.next_in(100, 260)),
+          static_cast<int>(rng.next_in(1, 4)), rng.next_double() * 0.5, seed);
+    case 5:
+      return graph::make_preferential(
+          static_cast<vidx_t>(rng.next_in(100, 260)),
+          static_cast<int>(rng.next_in(1, 4)), seed);
+    default: {
+      const vidx_t side = static_cast<vidx_t>(rng.next_in(4, 7));
+      return graph::make_grid3d(side, side, side - 1, seed);
+    }
+  }
+}
+
+class ApspFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ApspFuzz, RandomConfigurationMatchesOracle) {
+  Rng rng(0xF00D + static_cast<std::uint64_t>(GetParam()) * 7919);
+  const auto g = random_graph(rng);
+
+  ApspOptions opts;
+  // Random device memory between 256 KiB and 4 MiB; occasionally K80.
+  const std::size_t mem = (256u << 10)
+                          << static_cast<unsigned>(rng.next_below(5));
+  opts.device = rng.next_bool(0.3) ? sim::DeviceSpec::k80_scaled(mem)
+                                   : sim::DeviceSpec::v100_scaled(mem);
+  opts.fw_tile = rng.next_bool(0.5) ? 32 : 64;
+  opts.delta = static_cast<dist_t>(rng.next_in(0, 120));
+  opts.heavy_degree_threshold = static_cast<int>(rng.next_in(4, 64));
+  opts.dynamic_parallelism = rng.next_bool(0.7);
+  opts.batch_transfers = rng.next_bool(0.8);
+  opts.overlap_transfers = rng.next_bool(0.8);
+  opts.num_components = rng.next_bool(0.5)
+                            ? 0
+                            : static_cast<int>(rng.next_in(2, 12));
+  opts.johnson_queue_factor = 1.0 + rng.next_double() * 2.0;
+
+  const Algorithm algos[] = {Algorithm::kBlockedFloydWarshall,
+                             Algorithm::kJohnson, Algorithm::kBoundary};
+  opts.algorithm = algos[rng.next_below(3)];
+
+  auto store = make_ram_store(g.num_vertices());
+  ApspResult r;
+  try {
+    r = solve_apsp(g, opts, *store);
+  } catch (const Error&) {
+    // Legitimately infeasible configuration (device too small for this
+    // graph/algorithm) — acceptable, but it must be *reported*, not wrong.
+    return;
+  }
+  test::expect_store_rows_match(g, *store, r, /*samples=*/6, rng.next_u64());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApspFuzz, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace gapsp::core

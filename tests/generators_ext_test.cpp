@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+#include "partition/boundary.h"
+
+namespace gapsp::graph {
+namespace {
+
+TEST(SmallWorld, RingLatticeStructure) {
+  // rewire = 0: every vertex has exactly 2k neighbours.
+  const CsrGraph g = make_small_world(100, 3, 0.0, 1);
+  EXPECT_TRUE(is_connected(g));
+  for (vidx_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.out_degree(v), 6);
+  }
+}
+
+TEST(SmallWorld, RewiringKeepsConnectivity) {
+  for (double rw : {0.05, 0.3, 0.9}) {
+    const CsrGraph g = make_small_world(300, 2, rw, 7);
+    EXPECT_TRUE(is_connected(g)) << "rewire=" << rw;
+    EXPECT_EQ(g.num_vertices(), 300);
+  }
+}
+
+TEST(SmallWorld, RewiringDestroysSeparator) {
+  // The controllable knob: a ring has a tiny separator, heavy rewiring
+  // produces an expander.
+  const double ring = part::separator_ratio(make_small_world(500, 2, 0.0, 3));
+  const double rand_like =
+      part::separator_ratio(make_small_world(500, 2, 0.8, 3));
+  EXPECT_LT(ring, rand_like / 3.0);
+}
+
+TEST(SmallWorld, RejectsBadParameters) {
+  EXPECT_THROW(make_small_world(10, 5, 0.1, 1), Error);
+  EXPECT_THROW(make_small_world(100, 2, 1.5, 1), Error);
+  EXPECT_THROW(make_small_world(100, 0, 0.1, 1), Error);
+}
+
+TEST(Preferential, HeavyTailedDegrees) {
+  const CsrGraph g = make_preferential(800, 3, 11);
+  EXPECT_TRUE(is_connected(g));
+  const auto ds = degree_stats(g);
+  EXPECT_GT(ds.max, 6 * ds.mean);  // hubs
+  EXPECT_GE(ds.min, 1);
+}
+
+TEST(Preferential, AttachCountBoundsEdges) {
+  const CsrGraph g = make_preferential(500, 4, 12);
+  // Directed arc count <= 2 * (clique + (n - attach - 1) * attach).
+  EXPECT_LE(g.num_edges(), 2 * (10 + 496 * 4));
+  EXPECT_GE(g.num_edges(), 2 * 400);
+}
+
+TEST(Preferential, DeterministicPerSeed) {
+  const CsrGraph a = make_preferential(300, 2, 5);
+  const CsrGraph b = make_preferential(300, 2, 5);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_TRUE(std::equal(a.targets().begin(), a.targets().end(),
+                         b.targets().begin()));
+}
+
+TEST(Preferential, RejectsBadParameters) {
+  EXPECT_THROW(make_preferential(3, 3, 1), Error);
+  EXPECT_THROW(make_preferential(100, 0, 1), Error);
+}
+
+TEST(Grid3d, StructureAndDegrees) {
+  const CsrGraph g = make_grid3d(4, 5, 6, 2);
+  EXPECT_EQ(g.num_vertices(), 120);
+  EXPECT_TRUE(is_connected(g));
+  const auto ds = degree_stats(g);
+  EXPECT_EQ(ds.max, 6);  // interior vertex
+  EXPECT_EQ(ds.min, 3);  // corner
+}
+
+TEST(Grid3d, SingleLayerIsA2dGrid) {
+  const CsrGraph g3 = make_grid3d(8, 8, 1, 4);
+  EXPECT_EQ(g3.num_vertices(), 64);
+  const auto ds = degree_stats(g3);
+  EXPECT_EQ(ds.max, 4);
+}
+
+TEST(Grid3d, SeparatorBetweenRoadAndExpander) {
+  // Θ(n^(2/3)) separator: larger ratio than a 2-D grid, far smaller than an
+  // expander of the same size.
+  const double g2 = part::separator_ratio(make_road(22, 22, 5, 0.0, 0.0));
+  const double g3 = part::separator_ratio(make_grid3d(8, 8, 8, 5));
+  const double ex = part::separator_ratio(make_small_world(512, 3, 0.9, 5));
+  EXPECT_LT(g2, g3);
+  EXPECT_LT(g3, ex);
+}
+
+}  // namespace
+}  // namespace gapsp::graph

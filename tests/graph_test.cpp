@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/csr_graph.h"
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+#include "graph/suite.h"
+
+namespace gapsp::graph {
+namespace {
+
+TEST(CsrGraph, BuildsFromEdgeList) {
+  CsrGraph g = CsrGraph::from_edges(
+      3, {{0, 1, 5}, {1, 2, 7}, {0, 2, 9}}, /*symmetrize=*/false);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.out_degree(0), 2);
+  EXPECT_EQ(g.out_degree(2), 0);
+  EXPECT_EQ(g.neighbors(0)[0], 1);
+  EXPECT_EQ(g.weights(0)[0], 5);
+}
+
+TEST(CsrGraph, SymmetrizeAddsReverseArcs) {
+  CsrGraph g = CsrGraph::from_edges(2, {{0, 1, 3}}, /*symmetrize=*/true);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.neighbors(1)[0], 0);
+  EXPECT_EQ(g.weights(1)[0], 3);
+}
+
+TEST(CsrGraph, DropsSelfLoops) {
+  CsrGraph g = CsrGraph::from_edges(2, {{0, 0, 1}, {0, 1, 2}}, false);
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(CsrGraph, DuplicateEdgesKeepMinimumWeight) {
+  CsrGraph g = CsrGraph::from_edges(
+      2, {{0, 1, 9}, {0, 1, 4}, {0, 1, 6}}, false);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.weights(0)[0], 4);
+}
+
+TEST(CsrGraph, RejectsOutOfRangeEndpoints) {
+  EXPECT_THROW(CsrGraph::from_edges(2, {{0, 2, 1}}, false), Error);
+  EXPECT_THROW(CsrGraph::from_edges(2, {{-1, 0, 1}}, false), Error);
+}
+
+TEST(CsrGraph, RejectsBadWeights) {
+  EXPECT_THROW(CsrGraph::from_edges(2, {{0, 1, -3}}, false), Error);
+  EXPECT_THROW(CsrGraph::from_edges(2, {{0, 1, kInf}}, false), Error);
+}
+
+TEST(CsrGraph, TransposeReversesArcs) {
+  CsrGraph g = CsrGraph::from_edges(3, {{0, 1, 5}, {1, 2, 7}}, false);
+  CsrGraph t = g.transpose();
+  EXPECT_EQ(t.num_edges(), 2);
+  EXPECT_EQ(t.out_degree(0), 0);
+  EXPECT_EQ(t.neighbors(1)[0], 0);
+  EXPECT_EQ(t.neighbors(2)[0], 1);
+}
+
+TEST(CsrGraph, TransposeOfSymmetricGraphPreservesEdges) {
+  CsrGraph g = make_road(8, 8, 1);
+  CsrGraph t = g.transpose();
+  EXPECT_EQ(g.num_edges(), t.num_edges());
+  for (vidx_t u = 0; u < g.num_vertices(); ++u) {
+    EXPECT_EQ(g.out_degree(u), t.out_degree(u));
+  }
+}
+
+TEST(CsrGraph, RelabelPermutesEverything) {
+  CsrGraph g = CsrGraph::from_edges(3, {{0, 1, 5}, {1, 2, 7}}, false);
+  const std::vector<vidx_t> perm{2, 0, 1};  // 0->2, 1->0, 2->1
+  CsrGraph r = g.relabel(perm);
+  EXPECT_EQ(r.num_edges(), 2);
+  EXPECT_EQ(r.neighbors(2)[0], 0);  // old (0,1,5)
+  EXPECT_EQ(r.weights(2)[0], 5);
+  EXPECT_EQ(r.neighbors(0)[0], 1);  // old (1,2,7)
+}
+
+TEST(CsrGraph, RelabelRejectsWrongSize) {
+  CsrGraph g = CsrGraph::from_edges(3, {{0, 1, 5}}, false);
+  const std::vector<vidx_t> perm{0, 1};
+  EXPECT_THROW(g.relabel(perm), Error);
+}
+
+TEST(CsrGraph, DensityPercent) {
+  CsrGraph g = CsrGraph::from_edges(10, {{0, 1, 1}, {2, 3, 1}}, false);
+  EXPECT_DOUBLE_EQ(g.density_percent(), 100.0 * 2 / 100.0);
+}
+
+TEST(CsrGraph, BytesAccountsAllArrays) {
+  CsrGraph g = CsrGraph::from_edges(4, {{0, 1, 1}, {1, 2, 1}}, false);
+  EXPECT_EQ(g.bytes(), 5 * sizeof(eidx_t) + 2 * sizeof(vidx_t) +
+                           2 * sizeof(dist_t));
+}
+
+TEST(CsrGraph, WeightStats) {
+  CsrGraph g = CsrGraph::from_edges(3, {{0, 1, 2}, {1, 2, 8}}, false);
+  EXPECT_EQ(g.max_weight(), 8);
+  EXPECT_DOUBLE_EQ(g.mean_weight(), 5.0);
+}
+
+// ---- generators ----
+
+TEST(Generators, RoadIsConnectedAndUndirected) {
+  CsrGraph g = make_road(12, 15, 99);
+  EXPECT_EQ(g.num_vertices(), 12 * 15);
+  EXPECT_TRUE(is_connected(g));
+  // Undirected: every arc has its reverse with the same weight.
+  for (vidx_t u = 0; u < g.num_vertices(); ++u) {
+    const auto nbr = g.neighbors(u);
+    const auto wts = g.weights(u);
+    for (std::size_t i = 0; i < nbr.size(); ++i) {
+      const auto back = g.neighbors(nbr[i]);
+      const auto bw = g.weights(nbr[i]);
+      bool found = false;
+      for (std::size_t j = 0; j < back.size(); ++j) {
+        if (back[j] == u && bw[j] == wts[i]) found = true;
+      }
+      EXPECT_TRUE(found) << "missing reverse of (" << u << "," << nbr[i] << ")";
+    }
+  }
+}
+
+TEST(Generators, RoadDeterministicPerSeed) {
+  CsrGraph a = make_road(10, 10, 5);
+  CsrGraph b = make_road(10, 10, 5);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_TRUE(std::equal(a.targets().begin(), a.targets().end(),
+                         b.targets().begin()));
+  EXPECT_TRUE(std::equal(a.edge_weights().begin(), a.edge_weights().end(),
+                         b.edge_weights().begin()));
+}
+
+TEST(Generators, MeshIsConnectedWithExpectedDegree) {
+  CsrGraph g = make_mesh(400, 12, 17);
+  EXPECT_EQ(g.num_vertices(), 400);
+  EXPECT_TRUE(is_connected(g));
+  const auto ds = degree_stats(g);
+  EXPECT_GT(ds.mean, 6.0);
+}
+
+TEST(Generators, RmatHasPowerOfTwoVertices) {
+  CsrGraph g = make_rmat(8, 1500, 3);
+  EXPECT_EQ(g.num_vertices(), 256);
+  EXPECT_TRUE(is_connected(g));
+  // Scale-free skew: max degree far above mean.
+  const auto ds = degree_stats(g);
+  EXPECT_GT(ds.max, 3 * ds.mean);
+}
+
+TEST(Generators, RmatRejectsBadProbabilities) {
+  EXPECT_THROW(make_rmat(4, 10, 1, 0.7, 0.2, 0.2), Error);
+}
+
+TEST(Generators, ErdosRenyiUnconnectedOption) {
+  CsrGraph g = make_erdos_renyi(300, 30, 5, /*connect=*/false);
+  EXPECT_GT(count_components(g), 1);
+  CsrGraph c = make_erdos_renyi(300, 30, 5, /*connect=*/true);
+  EXPECT_TRUE(is_connected(c));
+}
+
+TEST(Generators, DenseHitsRequestedDensity) {
+  CsrGraph g = make_dense(200, 10.0, 8);
+  EXPECT_NEAR(g.density_percent(), 10.0, 2.5);
+}
+
+TEST(Generators, WeightsWithinConfiguredRange) {
+  WeightConfig w{3, 7};
+  CsrGraph g = make_road(8, 8, 2, 0.1, 0.05, w);
+  for (dist_t wt : g.edge_weights()) {
+    EXPECT_GE(wt, 3);
+    EXPECT_LE(wt, 7);
+  }
+}
+
+// ---- stats ----
+
+TEST(GraphStats, ComponentsOfForest) {
+  CsrGraph g = CsrGraph::from_edges(6, {{0, 1, 1}, {2, 3, 1}}, true);
+  EXPECT_EQ(count_components(g), 4);  // {0,1},{2,3},{4},{5}
+  const auto labels = component_labels(g);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_NE(labels[0], labels[2]);
+}
+
+TEST(GraphStats, DegreeStatsSimple) {
+  CsrGraph g = CsrGraph::from_edges(3, {{0, 1, 1}, {0, 2, 1}}, false);
+  const auto ds = degree_stats(g);
+  EXPECT_EQ(ds.max, 2);
+  EXPECT_EQ(ds.min, 0);
+  EXPECT_NEAR(ds.mean, 2.0 / 3.0, 1e-12);
+}
+
+// ---- zoo ----
+
+TEST(Suite, ZoosHavePaperCardinality) {
+  EXPECT_EQ(small_separator_zoo().size(), 11u);
+  EXPECT_EQ(other_sparse_zoo().size(), 8u);
+  EXPECT_EQ(large_zoo().size(), 10u);
+}
+
+TEST(Suite, AllZooGraphsConnected) {
+  for (auto maker : {small_separator_zoo, other_sparse_zoo}) {
+    for (const auto& e : maker()) {
+      EXPECT_TRUE(is_connected(e.graph)) << e.name;
+      EXPECT_GT(e.graph.num_vertices(), 500) << e.name;
+    }
+  }
+}
+
+TEST(Suite, MeshEntriesDenserThanRoadEntries) {
+  double road_max = 0, mesh_min = 1e9;
+  for (const auto& e : small_separator_zoo()) {
+    road_max = std::max(road_max, e.graph.density_percent());
+  }
+  for (const auto& e : other_sparse_zoo()) {
+    mesh_min = std::min(mesh_min, e.graph.density_percent());
+  }
+  EXPECT_LT(road_max, mesh_min);
+}
+
+TEST(Suite, LookupByName) {
+  const auto e = zoo_by_name("usroads");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_TRUE(e->small_separator);
+  EXPECT_FALSE(zoo_by_name("no-such-graph").has_value());
+}
+
+}  // namespace
+}  // namespace gapsp::graph

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/matrix_market.h"
+
+namespace gapsp::graph {
+namespace {
+
+TEST(MatrixMarket, ParsesGeneralInteger) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "% a comment\n"
+      "3 3 2\n"
+      "1 2 5\n"
+      "2 3 7\n");
+  CsrGraph g = read_matrix_market(in);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.neighbors(0)[0], 1);
+  EXPECT_EQ(g.weights(0)[0], 5);
+}
+
+TEST(MatrixMarket, SymmetricAddsBothDirections) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 2 1\n"
+      "2 1 4.2\n");
+  CsrGraph g = read_matrix_market(in);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.weights(0)[0], 4);  // |4.2| rounded
+  EXPECT_EQ(g.weights(1)[0], 4);
+}
+
+TEST(MatrixMarket, PatternEntriesGetUnitWeight) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 1\n"
+      "1 2\n");
+  CsrGraph g = read_matrix_market(in);
+  EXPECT_EQ(g.weights(0)[0], 1);
+}
+
+TEST(MatrixMarket, NegativeAndFractionalValuesMapToPositiveWeights) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 2 -3.7\n"
+      "2 1 0.2\n");
+  CsrGraph g = read_matrix_market(in);
+  EXPECT_EQ(g.weights(0)[0], 4);  // round(|-3.7|)
+  EXPECT_EQ(g.weights(1)[0], 1);  // clamped up to 1
+}
+
+TEST(MatrixMarket, SelfLoopsDropped) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 2 2\n"
+      "1 1 9\n"
+      "1 2 3\n");
+  CsrGraph g = read_matrix_market(in);
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(MatrixMarket, RejectsRectangular) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 3 0\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(MatrixMarket, RejectsMissingBanner) {
+  std::istringstream in("3 3 0\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(MatrixMarket, RejectsUnsupportedField) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate complex general\n"
+      "2 2 0\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedEntries) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 2 2\n"
+      "1 2 3\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(MatrixMarket, RejectsIndexOutOfRange) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 2 1\n"
+      "1 5 3\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+  CsrGraph g = CsrGraph::from_edges(
+      4, {{0, 1, 5}, {1, 2, 7}, {3, 0, 2}}, /*symmetrize=*/false);
+  std::stringstream buf;
+  write_matrix_market(g, buf);
+  CsrGraph back = read_matrix_market(buf);
+  ASSERT_EQ(back.num_vertices(), g.num_vertices());
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (vidx_t u = 0; u < g.num_vertices(); ++u) {
+    ASSERT_EQ(back.out_degree(u), g.out_degree(u));
+    for (std::size_t i = 0; i < g.neighbors(u).size(); ++i) {
+      EXPECT_EQ(back.neighbors(u)[i], g.neighbors(u)[i]);
+      EXPECT_EQ(back.weights(u)[i], g.weights(u)[i]);
+    }
+  }
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  CsrGraph g = CsrGraph::from_edges(3, {{0, 1, 4}, {2, 0, 6}}, false);
+  const std::string path = testing::TempDir() + "/gapsp_mm_test.mtx";
+  write_matrix_market_file(g, path);
+  CsrGraph back = read_matrix_market_file(path);
+  EXPECT_EQ(back.num_edges(), 2);
+  EXPECT_EQ(back.weights(2)[0], 6);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/nowhere.mtx"), Error);
+}
+
+}  // namespace
+}  // namespace gapsp::graph

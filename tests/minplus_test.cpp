@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/device_kernels.h"
+#include "util/rng.h"
+#include "core/minplus.h"
+#include "graph/generators.h"
+#include "sssp/dijkstra.h"
+
+namespace gapsp::core {
+namespace {
+
+TEST(MinPlus, SmallKnownProduct) {
+  // C = min(C, A⊗B) with 2x2 matrices.
+  std::vector<dist_t> a{1, 4, 2, kInf};
+  std::vector<dist_t> b{10, 1, 3, 2};
+  std::vector<dist_t> c{100, 100, 100, 100};
+  minplus_accum(c.data(), 2, a.data(), 2, b.data(), 2, 2, 2, 2);
+  // c00 = min(100, 1+10, 4+3) = 7 ; c01 = min(100, 1+1, 4+2) = 2
+  // c10 = min(100, 2+10, inf+3) = 12 ; c11 = min(100, 2+1, inf+2) = 3
+  EXPECT_EQ(c, (std::vector<dist_t>{7, 2, 12, 3}));
+}
+
+TEST(MinPlus, AccumulateKeepsSmallerExisting) {
+  std::vector<dist_t> a{5}, b{5}, c{3};
+  minplus_accum(c.data(), 1, a.data(), 1, b.data(), 1, 1, 1, 1);
+  EXPECT_EQ(c[0], 3);
+}
+
+TEST(MinPlus, InfinityRowsAreNeutral) {
+  std::vector<dist_t> a{kInf, kInf};
+  std::vector<dist_t> b{1, 2, 3, 4};
+  std::vector<dist_t> c{kInf, kInf};
+  minplus_accum(c.data(), 2, a.data(), 2, b.data(), 2, 1, 2, 2);
+  EXPECT_EQ(c[0], kInf);
+  EXPECT_EQ(c[1], kInf);
+}
+
+TEST(MinPlus, ValuesNeverExceedInfinity) {
+  std::vector<dist_t> a{kInf - 1};
+  std::vector<dist_t> b{kInf};
+  std::vector<dist_t> c{kInf};
+  minplus_accum(c.data(), 1, a.data(), 1, b.data(), 1, 1, 1, 1);
+  EXPECT_LE(c[0], kInf);
+}
+
+TEST(MinPlus, IdentityUnderMinPlusLeavesMatrix) {
+  // Identity of min-plus: 0 on the diagonal, inf elsewhere.
+  const vidx_t n = 5;
+  std::vector<dist_t> id(n * n, kInf);
+  for (vidx_t i = 0; i < n; ++i) id[i * n + i] = 0;
+  std::vector<dist_t> m(n * n);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m[i] = static_cast<dist_t>(i % 17 + 1);
+  }
+  std::vector<dist_t> c = m;
+  minplus_accum(c.data(), n, id.data(), n, m.data(), n, n, n, n);
+  EXPECT_EQ(c, m);
+}
+
+TEST(MinPlus, RectangularShapes) {
+  // 1x3 times 3x2.
+  std::vector<dist_t> a{1, 2, 3};
+  std::vector<dist_t> b{4, 5, 6, 7, 8, 9};
+  std::vector<dist_t> c{kInf, kInf};
+  minplus_accum(c.data(), 2, a.data(), 3, b.data(), 2, 1, 3, 2);
+  EXPECT_EQ(c[0], 5);  // min(1+4, 2+6, 3+8)
+  EXPECT_EQ(c[1], 6);  // min(1+5, 2+7, 3+9)
+}
+
+TEST(MinPlus, StridedSubmatrices) {
+  // Operate on the top-left 2x2 of 3x3 buffers (ld = 3).
+  std::vector<dist_t> a{1, 2, 99, 3, 4, 99, 99, 99, 99};
+  std::vector<dist_t> b{1, 1, 99, 1, 1, 99, 99, 99, 99};
+  std::vector<dist_t> c(9, kInf);
+  minplus_accum(c.data(), 3, a.data(), 3, b.data(), 3, 2, 2, 2);
+  EXPECT_EQ(c[0], 2);
+  EXPECT_EQ(c[4], 4);
+  EXPECT_EQ(c[2], kInf);  // untouched outside the submatrix
+  EXPECT_EQ(c[8], kInf);
+}
+
+std::vector<dist_t> weight_matrix(const graph::CsrGraph& g) {
+  const vidx_t n = g.num_vertices();
+  std::vector<dist_t> m(static_cast<std::size_t>(n) * n, kInf);
+  for (vidx_t u = 0; u < n; ++u) {
+    m[static_cast<std::size_t>(u) * n + u] = 0;
+    const auto nbr = g.neighbors(u);
+    const auto wts = g.weights(u);
+    for (std::size_t i = 0; i < nbr.size(); ++i) {
+      auto& cell = m[static_cast<std::size_t>(u) * n + nbr[i]];
+      cell = std::min(cell, wts[i]);
+    }
+  }
+  return m;
+}
+
+TEST(FwInplace, MatchesDijkstraOnRandomGraph) {
+  const auto g = graph::make_erdos_renyi(60, 240, 77);
+  auto m = weight_matrix(g);
+  fw_inplace(m.data(), g.num_vertices(), g.num_vertices());
+  for (vidx_t u = 0; u < g.num_vertices(); ++u) {
+    const auto ref = sssp::dijkstra(g, u);
+    for (vidx_t v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(m[static_cast<std::size_t>(u) * g.num_vertices() + v], ref[v]);
+    }
+  }
+}
+
+TEST(FwInplace, HandlesDisconnected) {
+  const auto g = graph::CsrGraph::from_edges(4, {{0, 1, 3}, {2, 3, 4}}, true);
+  auto m = weight_matrix(g);
+  fw_inplace(m.data(), 4, 4);
+  EXPECT_EQ(m[0 * 4 + 1], 3);
+  EXPECT_EQ(m[0 * 4 + 2], kInf);
+}
+
+TEST(FwPanels, RowPanelEqualsOutOfPlace) {
+  // In-place row panel update against a closed diagonal must equal the
+  // out-of-place result (Sec. III-A correctness argument).
+  const vidx_t nk = 8, nc = 12;
+  Rng rng(5);
+  std::vector<dist_t> d(nk * nk), p(nk * nc);
+  for (auto& x : d) x = static_cast<dist_t>(rng.next_in(1, 40));
+  for (vidx_t i = 0; i < nk; ++i) d[i * nk + i] = 0;
+  fw_inplace(d.data(), nk, nk);  // close the diagonal block
+  for (auto& x : p) x = static_cast<dist_t>(rng.next_in(1, 40));
+
+  std::vector<dist_t> expect = p;
+  {
+    std::vector<dist_t> src = p;  // out-of-place reference
+    minplus_accum(expect.data(), nc, d.data(), nk, src.data(), nc, nk, nk, nc);
+  }
+  fw_row_panel(p.data(), nc, d.data(), nk, nk, nc);  // in-place
+  EXPECT_EQ(p, expect);
+}
+
+TEST(FwPanels, ColPanelEqualsOutOfPlace) {
+  const vidx_t nr = 10, nk = 6;
+  Rng rng(9);
+  std::vector<dist_t> d(nk * nk), p(nr * nk);
+  for (auto& x : d) x = static_cast<dist_t>(rng.next_in(1, 40));
+  for (vidx_t i = 0; i < nk; ++i) d[i * nk + i] = 0;
+  fw_inplace(d.data(), nk, nk);
+  for (auto& x : p) x = static_cast<dist_t>(rng.next_in(1, 40));
+
+  std::vector<dist_t> expect = p;
+  {
+    std::vector<dist_t> src = p;
+    minplus_accum(expect.data(), nk, src.data(), nk, d.data(), nk, nr, nk, nk);
+  }
+  fw_col_panel(p.data(), nk, d.data(), nk, nr, nk);
+  EXPECT_EQ(p, expect);
+}
+
+TEST(DeviceKernels, BlockedFwMatchesPlainFw) {
+  const auto g = graph::make_erdos_renyi(150, 700, 13);
+  auto plain = weight_matrix(g);
+  auto blocked = plain;
+  fw_inplace(plain.data(), g.num_vertices(), g.num_vertices());
+
+  sim::Device dev(sim::DeviceSpec::v100().with_memory(1 << 20));
+  auto buf = dev.alloc<dist_t>(blocked.size());
+  std::copy(blocked.begin(), blocked.end(), buf.data());
+  // tile smaller than n forces the multi-round blocked path
+  dev_blocked_fw(dev, sim::kDefaultStream, buf.data(), g.num_vertices(),
+                 g.num_vertices(), /*tile=*/32);
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    ASSERT_EQ(buf.data()[i], plain[i]) << "at " << i;
+  }
+}
+
+TEST(DeviceKernels, BlockedFwNonDivisibleTail) {
+  const auto g = graph::make_erdos_renyi(70, 300, 14);  // 70 % 32 != 0
+  auto plain = weight_matrix(g);
+  auto copy = plain;
+  fw_inplace(plain.data(), 70, 70);
+  sim::Device dev(sim::DeviceSpec::v100().with_memory(1 << 20));
+  auto buf = dev.alloc<dist_t>(copy.size());
+  std::copy(copy.begin(), copy.end(), buf.data());
+  dev_blocked_fw(dev, sim::kDefaultStream, buf.data(), 70, 70, 32);
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    ASSERT_EQ(buf.data()[i], plain[i]);
+  }
+}
+
+TEST(DeviceKernels, MinplusLaunchChargesKernel) {
+  sim::Device dev(sim::DeviceSpec::v100().with_memory(1 << 20));
+  auto a = dev.alloc<dist_t>(64 * 64);
+  std::fill_n(a.data(), 64 * 64, 1);
+  const double t = dev_minplus(dev, sim::kDefaultStream, a.data(), 64,
+                               a.data(), 64, a.data(), 64, 64, 64, 64);
+  EXPECT_GT(t, 0.0);
+  EXPECT_EQ(dev.metrics().kernels, 1);
+}
+
+TEST(DeviceKernels, CostHelpers) {
+  EXPECT_DOUBLE_EQ(minplus_ops(2, 3, 4), 48.0);
+  EXPECT_GT(minplus_bytes(64, 64, 64, 32), 0.0);
+}
+
+}  // namespace
+}  // namespace gapsp::core

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/multi_device.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace gapsp::core {
+namespace {
+
+ApspOptions opts(std::size_t mem = 4u << 20) {
+  ApspOptions o;
+  o.device = sim::DeviceSpec::v100_scaled(mem);
+  o.fw_tile = 32;
+  return o;
+}
+
+TEST(MultiDevice, SingleDeviceMatchesReference) {
+  const auto g = graph::make_road(16, 16, 401);
+  auto store = make_ram_store(g.num_vertices());
+  const auto r = ooc_boundary_multi(g, opts(), 1, *store);
+  EXPECT_EQ(r.multi.num_devices, 1);
+  test::expect_store_matches_reference(g, *store, r.result);
+}
+
+class MultiDeviceCount : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiDeviceCount, MatchesReferenceForAnyDeviceCount) {
+  const auto g = graph::make_road(18, 17, 402);
+  auto store = make_ram_store(g.num_vertices());
+  const auto r = ooc_boundary_multi(g, opts(), GetParam(), *store);
+  EXPECT_EQ(r.multi.num_devices, GetParam());
+  EXPECT_EQ(static_cast<int>(r.multi.device_seconds.size()), GetParam());
+  test::expect_store_matches_reference(g, *store, r.result);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, MultiDeviceCount, ::testing::Values(1, 2, 3, 4));
+
+TEST(MultiDevice, MatchesSingleDeviceDistances) {
+  const auto g = graph::make_road(20, 19, 403);
+  const vidx_t n = g.num_vertices();
+  auto s1 = make_ram_store(n);
+  auto s2 = make_ram_store(n);
+  const auto single = ooc_boundary(g, opts(), *s1);
+  const auto multi = ooc_boundary_multi(g, opts(), 3, *s2);
+  std::vector<dist_t> a(n), b(n);
+  for (vidx_t u = 0; u < n; u += 7) {
+    s1->read_block(single.stored_id(u), 0, 1, n, a.data(), n);
+    s2->read_block(multi.result.stored_id(u), 0, 1, n, b.data(), n);
+    ASSERT_EQ(a, b) << "row " << u;
+  }
+}
+
+TEST(MultiDevice, TwoDevicesFasterThanOne) {
+  const auto g = graph::make_road(40, 40, 404);
+  auto s1 = make_ram_store(g.num_vertices());
+  auto s2 = make_ram_store(g.num_vertices());
+  const auto one = ooc_boundary_multi(g, opts(8u << 20), 1, *s1);
+  const auto two = ooc_boundary_multi(g, opts(8u << 20), 2, *s2);
+  EXPECT_LT(two.result.metrics.sim_seconds, one.result.metrics.sim_seconds);
+}
+
+TEST(MultiDevice, BarriersAreMonotonic) {
+  const auto g = graph::make_road(20, 20, 405);
+  auto store = make_ram_store(g.num_vertices());
+  const auto r = ooc_boundary_multi(g, opts(), 2, *store);
+  EXPECT_GT(r.multi.barrier2_s, 0.0);
+  EXPECT_GT(r.multi.barrier3_s, r.multi.barrier2_s);
+  for (double t : r.multi.device_seconds) {
+    EXPECT_GE(t, r.multi.barrier3_s);
+    EXPECT_LE(t, r.result.metrics.sim_seconds + 1e-12);
+  }
+}
+
+TEST(MultiDevice, MoreDevicesThanComponents) {
+  // k = sqrt(n)/4 is small here; extra devices must idle harmlessly.
+  const auto g = graph::make_road(10, 10, 406);
+  auto store = make_ram_store(g.num_vertices());
+  const auto r = ooc_boundary_multi(g, opts(), 8, *store);
+  test::expect_store_matches_reference(g, *store, r.result);
+}
+
+TEST(MultiDevice, DisconnectedGraph) {
+  auto g = graph::make_erdos_renyi(240, 200, 407, /*connect=*/false);
+  auto store = make_ram_store(g.num_vertices());
+  const auto r = ooc_boundary_multi(g, opts(), 2, *store);
+  test::expect_store_matches_reference(g, *store, r.result);
+}
+
+TEST(MultiDevice, RejectsZeroDevices) {
+  const auto g = graph::make_road(8, 8, 408);
+  auto store = make_ram_store(g.num_vertices());
+  auto o = opts();
+  EXPECT_THROW(ooc_boundary_multi(g, o, 0, *store), Error);
+}
+
+TEST(MultiDevice, AggregatedMetricsSumAcrossDevices) {
+  const auto g = graph::make_road(24, 24, 409);
+  const vidx_t n = g.num_vertices();
+  auto s2 = make_ram_store(n);
+  const auto two = ooc_boundary_multi(g, opts(), 2, *s2);
+  // Output still moves exactly once in total (plus dist2 gather).
+  EXPECT_GE(two.result.metrics.bytes_d2h,
+            static_cast<std::size_t>(n) * n * sizeof(dist_t));
+  EXPECT_GT(two.result.metrics.kernels, 0);
+  EXPECT_EQ(two.result.metrics.boundary_k, two.result.metrics.boundary_k);
+  EXPECT_LE(two.result.metrics.device_peak_bytes,
+            opts().device.memory_bytes);
+}
+
+}  // namespace
+}  // namespace gapsp::core

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "core/ooc_fw.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace gapsp::core {
+namespace {
+
+using test::expect_store_matches_reference;
+using test::tiny_device;
+
+ApspOptions tiny_opts(std::size_t mem = 256u << 10) {
+  ApspOptions o;
+  o.device = tiny_device(mem);
+  o.fw_tile = 32;
+  return o;
+}
+
+TEST(OocFw, BlockSizeFitsThreeBlocks) {
+  const auto spec = tiny_device(1 << 20);
+  const vidx_t b = fw_block_size(spec, 100000);
+  EXPECT_LE(3u * b * b * sizeof(dist_t),
+            static_cast<std::size_t>(spec.memory_bytes));
+  // Maximal: the next size up must not fit.
+  EXPECT_GT(3.0 * (b + 16.0) * (b + 16.0) * sizeof(dist_t),
+            0.95 * static_cast<double>(spec.memory_bytes));
+}
+
+TEST(OocFw, BlockSizeCappedAtN) {
+  EXPECT_EQ(fw_block_size(tiny_device(64u << 20), 100), 100);
+}
+
+TEST(OocFw, TinyDeviceRejected) {
+  EXPECT_THROW(fw_block_size(tiny_device(1024), 1000), Error);
+}
+
+TEST(OocFw, MatchesDijkstraMultiBlock) {
+  const auto g = graph::make_erdos_renyi(180, 800, 31);
+  auto store = make_ram_store(g.num_vertices());
+  const auto opts = tiny_opts(64u << 10);  // forces several blocks
+  const auto r = ooc_floyd_warshall(g, opts, *store);
+  EXPECT_GT(r.metrics.fw_num_blocks, 1);
+  expect_store_matches_reference(g, *store, r);
+}
+
+TEST(OocFw, MatchesDijkstraSingleBlockInCore) {
+  const auto g = graph::make_erdos_renyi(90, 400, 32);
+  auto store = make_ram_store(g.num_vertices());
+  const auto opts = tiny_opts(4u << 20);  // whole matrix fits one block
+  const auto r = ooc_floyd_warshall(g, opts, *store);
+  EXPECT_EQ(r.metrics.fw_num_blocks, 1);
+  expect_store_matches_reference(g, *store, r);
+}
+
+TEST(OocFw, MatchesDijkstraOnRoadGraph) {
+  const auto g = graph::make_road(12, 13, 33);
+  auto store = make_ram_store(g.num_vertices());
+  const auto r = ooc_floyd_warshall(g, tiny_opts(), *store);
+  expect_store_matches_reference(g, *store, r);
+}
+
+TEST(OocFw, HandlesDisconnectedGraph) {
+  const auto g = graph::make_erdos_renyi(120, 100, 34, /*connect=*/false);
+  auto store = make_ram_store(g.num_vertices());
+  const auto r = ooc_floyd_warshall(g, tiny_opts(64u << 10), *store);
+  expect_store_matches_reference(g, *store, r);
+}
+
+TEST(OocFw, NonDivisibleBlockTail) {
+  // n chosen so n % b != 0 for the tiny device's block size.
+  const auto g = graph::make_erdos_renyi(131, 500, 35);
+  auto store = make_ram_store(g.num_vertices());
+  const auto r = ooc_floyd_warshall(g, tiny_opts(64u << 10), *store);
+  expect_store_matches_reference(g, *store, r);
+}
+
+TEST(OocFw, IdentityPermutation) {
+  const auto g = graph::make_erdos_renyi(60, 250, 36);
+  auto store = make_ram_store(g.num_vertices());
+  const auto r = ooc_floyd_warshall(g, tiny_opts(), *store);
+  EXPECT_TRUE(r.perm.empty());
+  EXPECT_EQ(r.stored_id(17), 17);
+}
+
+TEST(OocFw, MetricsAccountTransfersAndKernels) {
+  const auto g = graph::make_erdos_renyi(150, 600, 37);
+  auto store = make_ram_store(g.num_vertices());
+  const auto r = ooc_floyd_warshall(g, tiny_opts(64u << 10), *store);
+  EXPECT_GT(r.metrics.sim_seconds, 0.0);
+  EXPECT_GT(r.metrics.kernel_seconds, 0.0);
+  EXPECT_GT(r.metrics.transfer_seconds, 0.0);
+  EXPECT_GT(r.metrics.kernels, 0);
+  // Every round ships at least the full matrix back: d2h >= n_d * n² * W.
+  const double n2 = static_cast<double>(g.num_vertices()) * g.num_vertices();
+  EXPECT_GE(static_cast<double>(r.metrics.bytes_d2h),
+            r.metrics.fw_num_blocks * n2 * sizeof(dist_t));
+  EXPECT_LE(r.metrics.device_peak_bytes, r.metrics.device_peak_bytes);
+  EXPECT_LE(r.metrics.device_peak_bytes,
+            static_cast<std::size_t>(tiny_opts(64u << 10).device.memory_bytes));
+}
+
+TEST(OocFw, MoreBlocksMoreTraffic) {
+  const auto g = graph::make_erdos_renyi(160, 700, 38);
+  auto s1 = make_ram_store(g.num_vertices());
+  auto s2 = make_ram_store(g.num_vertices());
+  const auto r_small = ooc_floyd_warshall(g, tiny_opts(48u << 10), *s1);
+  const auto r_large = ooc_floyd_warshall(g, tiny_opts(512u << 10), *s2);
+  EXPECT_GT(r_small.metrics.fw_num_blocks, r_large.metrics.fw_num_blocks);
+  EXPECT_GT(r_small.metrics.bytes_d2h, r_large.metrics.bytes_d2h);
+}
+
+TEST(OocFw, WorksWithFileStore) {
+  const auto g = graph::make_erdos_renyi(80, 350, 39);
+  auto store = make_file_store(
+      g.num_vertices(), testing::TempDir() + "/gapsp_fw_file_test.bin");
+  const auto r = ooc_floyd_warshall(g, tiny_opts(64u << 10), *store);
+  expect_store_matches_reference(g, *store, r);
+}
+
+}  // namespace
+}  // namespace gapsp::core

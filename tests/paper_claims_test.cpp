@@ -1,0 +1,134 @@
+// Integration tests pinning the paper's headline claims as executable
+// assertions — if a refactor breaks the *story* (not just a unit), these
+// fail. Each claim runs on one representative workload to keep the suite
+// fast; the benches sweep the full zoo.
+#include <gtest/gtest.h>
+
+#include "baseline/baselines.h"
+#include "core/apsp.h"
+#include "core/ooc_boundary.h"
+#include "core/ooc_johnson.h"
+#include "graph/generators.h"
+#include "graph/suite.h"
+#include "test_util.h"
+
+namespace gapsp::core {
+namespace {
+
+ApspOptions v100() {
+  ApspOptions o;
+  o.device = sim::DeviceSpec::v100_scaled();
+  return o;
+}
+
+SelectorOptions scaled_sel() {
+  SelectorOptions s;
+  s.dense_percent = 4.0;
+  s.sparse_percent = 0.8;
+  return s;
+}
+
+TEST(PaperClaims, Fig2BoundaryBeatsBglPlusOnSmallSeparator) {
+  // Paper: 8.22x - 12.40x. Allow a generous band around it.
+  const auto g = graph::zoo_by_name("usroads")->graph;
+  auto store = make_ram_store(g.num_vertices());
+  const auto gpu = ooc_boundary(g, v100(), *store);
+  const auto cpu = baseline::bgl_plus_apsp(g, baseline::CpuSpec::e5_2680_v2());
+  const double speedup = cpu.sim_seconds / gpu.metrics.sim_seconds;
+  EXPECT_GE(speedup, 6.0);
+  EXPECT_LE(speedup, 16.0);
+}
+
+TEST(PaperClaims, Fig3JohnsonBeatsBglPlusOnMeshes) {
+  // Paper: 2.23x - 2.79x.
+  const auto g = graph::zoo_by_name("oilpan")->graph;
+  auto store = make_ram_store(g.num_vertices());
+  const auto gpu = ooc_johnson(g, v100(), *store);
+  const auto cpu = baseline::bgl_plus_apsp(g, baseline::CpuSpec::e5_2680_v2());
+  const double speedup = cpu.sim_seconds / gpu.metrics.sim_seconds;
+  EXPECT_GE(speedup, 1.5);
+  EXPECT_LE(speedup, 4.5);
+}
+
+TEST(PaperClaims, BoundaryBeatsJohnsonOnSmallSeparatorGraphs) {
+  // The Fig. 6 ordering on every small-separator zoo graph.
+  for (const auto& e : graph::small_separator_zoo()) {
+    auto s1 = make_ram_store(e.graph.num_vertices());
+    auto s2 = make_ram_store(e.graph.num_vertices());
+    const auto bnd = ooc_boundary(e.graph, v100(), *s1);
+    const auto joh = ooc_johnson(e.graph, v100(), *s2);
+    EXPECT_LT(bnd.metrics.sim_seconds, joh.metrics.sim_seconds) << e.name;
+  }
+}
+
+TEST(PaperClaims, SelectorPicksBoundaryForEverySmallSeparatorGraph) {
+  for (const auto& e : graph::small_separator_zoo()) {
+    const auto report = select_algorithm(e.graph, v100(), scaled_sel());
+    EXPECT_EQ(report.chosen, Algorithm::kBoundary) << e.name;
+  }
+}
+
+TEST(PaperClaims, SelectorPicksJohnsonForEveryMeshGraph) {
+  // Density filter: the FEM meshes fall in the middle band -> Johnson.
+  for (const auto& e : graph::other_sparse_zoo()) {
+    const auto report = select_algorithm(e.graph, v100(), scaled_sel());
+    EXPECT_EQ(report.chosen, Algorithm::kJohnson) << e.name;
+  }
+}
+
+TEST(PaperClaims, Fig8BatchingAndOverlapBothHelp) {
+  const auto g = graph::zoo_by_name("nm2010")->graph;
+  auto naive_opts = v100();
+  naive_opts.batch_transfers = false;
+  naive_opts.overlap_transfers = false;
+  auto batch_opts = v100();
+  batch_opts.overlap_transfers = false;
+  auto overlap_opts = v100();
+  auto s1 = make_ram_store(g.num_vertices());
+  auto s2 = make_ram_store(g.num_vertices());
+  auto s3 = make_ram_store(g.num_vertices());
+  const double naive =
+      ooc_boundary(g, naive_opts, *s1).metrics.sim_seconds;
+  const double batched =
+      ooc_boundary(g, batch_opts, *s2).metrics.sim_seconds;
+  const double overlapped =
+      ooc_boundary(g, overlap_opts, *s3).metrics.sim_seconds;
+  EXPECT_GT(naive / batched, 1.4);       // paper: 1.99-5.71
+  const double gain = (batched - overlapped) / batched;
+  EXPECT_GT(gain, 0.10);                 // paper: 12.7%-29.1%
+  EXPECT_LT(gain, 0.35);
+}
+
+TEST(PaperClaims, JohnsonBatchSizeShrinksWithDensityAcrossTheZoo) {
+  // The Fig. 3 mechanism: denser graph -> smaller bat.
+  int last_bat = 1 << 30;
+  double last_m = 0;
+  for (const auto& e : graph::other_sparse_zoo()) {
+    const int bat = johnson_batch_size(v100().device, e.graph, 2.0);
+    if (static_cast<double>(e.graph.num_edges()) > last_m) {
+      EXPECT_LE(bat, last_bat) << e.name;
+    }
+    last_bat = bat;
+    last_m = static_cast<double>(e.graph.num_edges());
+  }
+}
+
+TEST(PaperClaims, TableVComputeEfficiencyStableOnV100) {
+  // n·m/s within a 2x band across a 4x size range (paper: "relatively
+  // stable").
+  double lo = 1e30, hi = 0;
+  for (int scale : {9, 10, 11}) {
+    const auto g = graph::make_rmat(scale, 4000 << (scale - 9), 999 + scale);
+    auto store = make_ram_store(g.num_vertices());
+    const auto r = ooc_johnson(g, v100(), *store);
+    const double nms = static_cast<double>(g.num_vertices()) *
+                       static_cast<double>(g.num_edges()) /
+                       r.metrics.sim_seconds;
+    lo = std::min(lo, nms);
+    hi = std::max(hi, nms);
+  }
+  EXPECT_LT(hi / lo, 2.0);
+}
+
+}  // namespace
+}  // namespace gapsp::core

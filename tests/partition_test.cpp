@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "graph/generators.h"
+#include "partition/boundary.h"
+#include "partition/kway.h"
+
+namespace gapsp::part {
+namespace {
+
+graph::CsrGraph road() { return graph::make_road(24, 24, 11); }
+graph::CsrGraph mesh() { return graph::make_mesh(500, 12, 12, 0.15); }
+
+Partition run(const graph::CsrGraph& g, int k) {
+  PartitionOptions opts;
+  opts.k = k;
+  opts.seed = 3;
+  return kway_partition(g, opts);
+}
+
+TEST(Kway, AssignsEveryVertexToValidComponent) {
+  const auto g = road();
+  const auto p = run(g, 8);
+  ASSERT_EQ(p.assignment.size(), static_cast<std::size_t>(g.num_vertices()));
+  for (vidx_t a : p.assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 8);
+  }
+}
+
+TEST(Kway, SizesSumToN) {
+  const auto g = road();
+  const auto p = run(g, 8);
+  EXPECT_EQ(std::accumulate(p.sizes.begin(), p.sizes.end(), vidx_t{0}),
+            g.num_vertices());
+}
+
+TEST(Kway, AllComponentsNonEmpty) {
+  const auto g = road();
+  const auto p = run(g, 8);
+  for (vidx_t s : p.sizes) EXPECT_GT(s, 0);
+}
+
+TEST(Kway, BalanceWithinBound) {
+  const auto g = road();
+  const auto p = run(g, 8);
+  EXPECT_LE(p.imbalance(), 1.35);  // option default 1.15 plus slack
+}
+
+TEST(Kway, EdgeCutMatchesAssignment) {
+  const auto g = road();
+  const auto p = run(g, 4);
+  eidx_t cut = 0;
+  for (vidx_t u = 0; u < g.num_vertices(); ++u) {
+    for (vidx_t v : g.neighbors(u)) {
+      if (p.assignment[u] != p.assignment[v]) ++cut;
+    }
+  }
+  EXPECT_EQ(cut, p.edge_cut);
+}
+
+TEST(Kway, GridCutNearSqrtN) {
+  // A 24×24 grid has an O(√n) separator; a decent partitioner should cut
+  // only a small fraction of the ~2n edges.
+  const auto g = road();
+  const auto p = run(g, 6);
+  EXPECT_LT(p.edge_cut, g.num_edges() / 6);
+}
+
+TEST(Kway, KOneIsTrivial) {
+  const auto g = road();
+  const auto p = run(g, 1);
+  EXPECT_EQ(p.edge_cut, 0);
+  EXPECT_EQ(p.sizes[0], g.num_vertices());
+}
+
+TEST(Kway, KEqualsNIsFeasible) {
+  auto g = graph::make_erdos_renyi(12, 30, 1);
+  const auto p = run(g, 12);
+  EXPECT_EQ(p.max_size(), 1);
+}
+
+TEST(Kway, RejectsBadK) {
+  const auto g = road();
+  PartitionOptions opts;
+  opts.k = 0;
+  EXPECT_THROW(kway_partition(g, opts), Error);
+  opts.k = g.num_vertices() + 1;
+  EXPECT_THROW(kway_partition(g, opts), Error);
+}
+
+TEST(Kway, DeterministicForSeed) {
+  const auto g = road();
+  const auto a = run(g, 8);
+  const auto b = run(g, 8);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(Kway, HandlesDisconnectedGraph) {
+  auto g = graph::make_erdos_renyi(200, 60, 2, /*connect=*/false);
+  const auto p = run(g, 4);
+  EXPECT_EQ(std::accumulate(p.sizes.begin(), p.sizes.end(), vidx_t{0}), 200);
+  for (vidx_t s : p.sizes) EXPECT_GT(s, 0);
+}
+
+// ---- recursive bisection ----
+
+Partition run_rb(const graph::CsrGraph& g, int k) {
+  PartitionOptions opts;
+  opts.k = k;
+  opts.seed = 3;
+  opts.method = Method::kRecursiveBisection;
+  return kway_partition(g, opts);
+}
+
+TEST(RecursiveBisection, CoversAllVerticesNonEmpty) {
+  const auto g = road();
+  const auto p = run_rb(g, 8);
+  EXPECT_EQ(std::accumulate(p.sizes.begin(), p.sizes.end(), vidx_t{0}),
+            g.num_vertices());
+  for (vidx_t s : p.sizes) EXPECT_GT(s, 0);
+}
+
+TEST(RecursiveBisection, OddKSupported) {
+  const auto g = road();
+  for (int k : {3, 5, 7, 11}) {
+    const auto p = run_rb(g, k);
+    EXPECT_EQ(p.k, k);
+    for (vidx_t s : p.sizes) EXPECT_GT(s, 0) << "k=" << k;
+    EXPECT_LE(p.imbalance(), 1.8) << "k=" << k;
+  }
+}
+
+TEST(RecursiveBisection, EdgeCutConsistent) {
+  const auto g = road();
+  const auto p = run_rb(g, 4);
+  eidx_t cut = 0;
+  for (vidx_t u = 0; u < g.num_vertices(); ++u) {
+    for (vidx_t v : g.neighbors(u)) {
+      if (p.assignment[u] != p.assignment[v]) ++cut;
+    }
+  }
+  EXPECT_EQ(cut, p.edge_cut);
+}
+
+TEST(RecursiveBisection, DeterministicPerSeed) {
+  const auto g = road();
+  EXPECT_EQ(run_rb(g, 6).assignment, run_rb(g, 6).assignment);
+}
+
+TEST(RecursiveBisection, GridCutStaysSmall) {
+  const auto g = road();
+  const auto p = run_rb(g, 8);
+  EXPECT_LT(p.edge_cut, g.num_edges() / 5);
+}
+
+TEST(RecursiveBisection, WorksWithBoundaryAnalysis) {
+  const auto g = road();
+  const auto layout = partition_and_analyze(g, 6, 3,
+                                            Method::kRecursiveBisection);
+  EXPECT_EQ(layout.comp_offset.back(), g.num_vertices());
+  EXPECT_GT(layout.num_boundary, 0);
+  EXPECT_LT(layout.num_boundary, g.num_vertices());
+}
+
+TEST(RecursiveBisection, HandlesDisconnectedGraph) {
+  auto g = graph::make_erdos_renyi(200, 60, 2, /*connect=*/false);
+  const auto p = run_rb(g, 4);
+  EXPECT_EQ(std::accumulate(p.sizes.begin(), p.sizes.end(), vidx_t{0}), 200);
+}
+
+// ---- boundary layout ----
+
+TEST(Boundary, BoundaryIffIncidentToCutEdge) {
+  const auto g = road();
+  auto layout = analyze_boundary(g, run(g, 6));
+  for (vidx_t u = 0; u < g.num_vertices(); ++u) {
+    bool cut = false;
+    for (vidx_t v : g.neighbors(u)) {
+      if (layout.partition.assignment[u] != layout.partition.assignment[v]) {
+        cut = true;
+      }
+    }
+    EXPECT_EQ(static_cast<bool>(layout.is_boundary[u]), cut) << u;
+  }
+}
+
+TEST(Boundary, PermIsBijection) {
+  const auto g = road();
+  auto layout = analyze_boundary(g, run(g, 6));
+  std::set<vidx_t> seen(layout.perm.begin(), layout.perm.end());
+  EXPECT_EQ(seen.size(), layout.perm.size());
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), g.num_vertices() - 1);
+  for (vidx_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(layout.inv_perm[layout.perm[v]], v);
+  }
+}
+
+TEST(Boundary, ComponentsContiguousAndBoundaryFirst) {
+  const auto g = road();
+  auto layout = analyze_boundary(g, run(g, 6));
+  for (vidx_t v = 0; v < g.num_vertices(); ++v) {
+    const int c = layout.partition.assignment[v];
+    const vidx_t nv = layout.perm[v];
+    EXPECT_GE(nv, layout.comp_offset[c]);
+    EXPECT_LT(nv, layout.comp_offset[c + 1]);
+    const bool in_boundary_prefix =
+        nv < layout.comp_offset[c] + layout.comp_boundary[c];
+    EXPECT_EQ(in_boundary_prefix, static_cast<bool>(layout.is_boundary[v]));
+  }
+}
+
+TEST(Boundary, OffsetsConsistent) {
+  const auto g = road();
+  auto layout = analyze_boundary(g, run(g, 6));
+  EXPECT_EQ(layout.comp_offset.front(), 0);
+  EXPECT_EQ(layout.comp_offset.back(), g.num_vertices());
+  EXPECT_EQ(layout.boundary_offset.back(), layout.num_boundary);
+  vidx_t total_b = 0;
+  for (int i = 0; i < layout.k(); ++i) {
+    EXPECT_EQ(layout.comp_offset[i + 1] - layout.comp_offset[i],
+              layout.partition.sizes[i]);
+    total_b += layout.comp_boundary[i];
+  }
+  EXPECT_EQ(total_b, layout.num_boundary);
+}
+
+TEST(Boundary, CrossEdgesConnectBoundaryPrefixes) {
+  const auto g = road();
+  auto layout = analyze_boundary(g, run(g, 6));
+  const auto gp = g.relabel(layout.perm);
+  // In the renumbered graph, every cross-component arc must start and end
+  // inside a boundary prefix.
+  auto comp_of = [&](vidx_t nv) {
+    int c = 0;
+    while (layout.comp_offset[c + 1] <= nv) ++c;
+    return c;
+  };
+  for (vidx_t u = 0; u < gp.num_vertices(); ++u) {
+    for (vidx_t v : gp.neighbors(u)) {
+      const int cu = comp_of(u), cv = comp_of(v);
+      if (cu == cv) continue;
+      EXPECT_LT(u, layout.comp_offset[cu] + layout.comp_boundary[cu]);
+      EXPECT_LT(v, layout.comp_offset[cv] + layout.comp_boundary[cv]);
+    }
+  }
+}
+
+TEST(Boundary, RoadHasSmallerSeparatorRatioThanMesh) {
+  const double road_ratio = separator_ratio(road());
+  const double mesh_ratio = separator_ratio(mesh());
+  EXPECT_LT(road_ratio, mesh_ratio);
+}
+
+TEST(Boundary, RoadClassifiedSmallSeparator) {
+  EXPECT_TRUE(has_small_separator(road()));
+}
+
+TEST(Boundary, RewiredMeshClassifiedLargeSeparator) {
+  EXPECT_FALSE(has_small_separator(mesh()));
+}
+
+}  // namespace
+}  // namespace gapsp::part

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/path_extract.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace gapsp::core {
+namespace {
+
+ApspOptions opts() {
+  ApspOptions o;
+  o.device = test::tiny_device(2u << 20);
+  o.fw_tile = 32;
+  return o;
+}
+
+struct Solved {
+  graph::CsrGraph g;
+  std::unique_ptr<DistStore> store;
+  ApspResult result;
+};
+
+Solved solve(graph::CsrGraph g, Algorithm algo) {
+  Solved s;
+  s.g = std::move(g);
+  s.store = make_ram_store(s.g.num_vertices());
+  auto o = opts();
+  o.algorithm = algo;
+  s.result = solve_apsp(s.g, o, *s.store);
+  return s;
+}
+
+TEST(PathExtract, LineGraphPath) {
+  auto s = solve(graph::CsrGraph::from_edges(
+                     4, {{0, 1, 5}, {1, 2, 3}, {2, 3, 1}}, true),
+                 Algorithm::kJohnson);
+  const PathExtractor px(s.g, *s.store, s.result);
+  EXPECT_EQ(px.path(0, 3), (std::vector<vidx_t>{0, 1, 2, 3}));
+  EXPECT_EQ(px.path(3, 0), (std::vector<vidx_t>{3, 2, 1, 0}));
+  EXPECT_EQ(px.distance(0, 3), 9);
+}
+
+TEST(PathExtract, TrivialAndUnreachable) {
+  auto s = solve(graph::CsrGraph::from_edges(3, {{0, 1, 2}}, true),
+                 Algorithm::kJohnson);
+  const PathExtractor px(s.g, *s.store, s.result);
+  EXPECT_EQ(px.path(1, 1), (std::vector<vidx_t>{1}));
+  EXPECT_TRUE(px.path(0, 2).empty());
+  EXPECT_EQ(px.distance(0, 2), kInf);
+}
+
+TEST(PathExtract, ShortcutBeatsMoreHops) {
+  // 0-1-2 costs 2+2=4; direct 0-2 costs 7 -> path must take the hops.
+  auto s = solve(graph::CsrGraph::from_edges(
+                     3, {{0, 1, 2}, {1, 2, 2}, {0, 2, 7}}, true),
+                 Algorithm::kBlockedFloydWarshall);
+  const PathExtractor px(s.g, *s.store, s.result);
+  EXPECT_EQ(px.path(0, 2), (std::vector<vidx_t>{0, 1, 2}));
+}
+
+TEST(PathExtract, ZeroWeightEdgesTerminate) {
+  auto s = solve(graph::CsrGraph::from_edges(
+                     4, {{0, 1, 0}, {1, 2, 0}, {2, 3, 0}, {0, 3, 0}}, true),
+                 Algorithm::kJohnson);
+  const PathExtractor px(s.g, *s.store, s.result);
+  const auto p = px.path(0, 3);
+  ASSERT_FALSE(p.empty());
+  EXPECT_EQ(p.front(), 0);
+  EXPECT_EQ(p.back(), 3);
+  EXPECT_EQ(px.walk_length(p), 0);
+}
+
+TEST(PathExtract, WalkLengthValidatesEdges) {
+  auto s = solve(graph::CsrGraph::from_edges(3, {{0, 1, 4}, {1, 2, 6}}, true),
+                 Algorithm::kJohnson);
+  const PathExtractor px(s.g, *s.store, s.result);
+  EXPECT_EQ(px.walk_length({0, 1, 2}), 10);
+  EXPECT_EQ(px.walk_length({0, 2}), kInf);  // not an edge
+  EXPECT_EQ(px.walk_length({}), kInf);
+  EXPECT_EQ(px.walk_length({1}), 0);
+}
+
+TEST(PathExtract, RejectsOutOfRange) {
+  auto s = solve(graph::CsrGraph::from_edges(2, {{0, 1, 1}}, true),
+                 Algorithm::kJohnson);
+  const PathExtractor px(s.g, *s.store, s.result);
+  EXPECT_THROW(px.path(0, 5), Error);
+  EXPECT_THROW(px.path(-1, 0), Error);
+}
+
+class PathExtractSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathExtractSweep, EveryPathIsAValidShortestWalk) {
+  const Algorithm algos[] = {Algorithm::kBlockedFloydWarshall,
+                             Algorithm::kJohnson, Algorithm::kBoundary};
+  const Algorithm algo = algos[GetParam()];
+  auto s = solve(graph::make_road(14, 15, 321), algo);
+  const PathExtractor px(s.g, *s.store, s.result);
+  Rng rng(11);
+  const vidx_t n = s.g.num_vertices();
+  for (int trial = 0; trial < 60; ++trial) {
+    const vidx_t u = static_cast<vidx_t>(rng.next_below(n));
+    const vidx_t v = static_cast<vidx_t>(rng.next_below(n));
+    const dist_t d = px.distance(u, v);
+    const auto p = px.path(u, v);
+    if (d >= kInf) {
+      EXPECT_TRUE(p.empty());
+      continue;
+    }
+    ASSERT_FALSE(p.empty());
+    EXPECT_EQ(p.front(), u);
+    EXPECT_EQ(p.back(), v);
+    // The walk exists in the graph and its length equals the distance —
+    // which also proves the distance matrix is achievable, not just a bound.
+    EXPECT_EQ(px.walk_length(p), d);
+    // No vertex repeats (positive expected weights here).
+    std::vector<std::uint8_t> seen(static_cast<std::size_t>(n), 0);
+    for (vidx_t w : p) {
+      EXPECT_FALSE(seen[w]);
+      seen[w] = 1;
+    }
+  }
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<int>& info) {
+  static const char* names[] = {"fw", "johnson", "boundary"};
+  return names[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, PathExtractSweep, ::testing::Range(0, 3),
+                         sweep_name);
+
+}  // namespace
+}  // namespace gapsp::core

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/apsp.h"
+#include "core/selector.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace gapsp::core {
+namespace {
+
+ApspOptions sel_opts() {
+  ApspOptions o;
+  o.device = sim::DeviceSpec::v100_scaled(2u << 20);
+  o.fw_tile = 32;
+  return o;
+}
+
+/// Thresholds scaled to this test's graph sizes (density ~ c/n; see
+/// DESIGN.md — the paper's 1%/0.01% assume n ≈ 10⁵).
+SelectorOptions scaled_thresholds() {
+  SelectorOptions s;
+  s.dense_percent = 4.0;
+  s.sparse_percent = 0.8;
+  return s;
+}
+
+TEST(Selector, DenseBandConsidersFwAndJohnson) {
+  const auto g = graph::make_dense(300, 12.0, 91);  // > 4% density
+  const auto report = select_algorithm(g, sel_opts(), scaled_thresholds());
+  EXPECT_TRUE(report.estimate(Algorithm::kBlockedFloydWarshall).considered);
+  EXPECT_TRUE(report.estimate(Algorithm::kJohnson).considered);
+  EXPECT_FALSE(report.estimate(Algorithm::kBoundary).considered);
+}
+
+TEST(Selector, SparseBandConsidersBoundaryAndJohnson) {
+  const auto g = graph::make_road(30, 30, 92);  // density well below 0.8%
+  ASSERT_LT(g.density_percent(), 0.8);
+  const auto report = select_algorithm(g, sel_opts(), scaled_thresholds());
+  EXPECT_FALSE(report.estimate(Algorithm::kBlockedFloydWarshall).considered);
+  EXPECT_TRUE(report.estimate(Algorithm::kBoundary).considered);
+}
+
+TEST(Selector, MiddleBandAlwaysJohnson) {
+  const auto g = graph::make_mesh(400, 8, 93);  // density between bands
+  ASSERT_GT(g.density_percent(), 0.8);
+  ASSERT_LT(g.density_percent(), 4.0);
+  const auto report = select_algorithm(g, sel_opts(), scaled_thresholds());
+  EXPECT_EQ(report.chosen, Algorithm::kJohnson);
+  EXPECT_FALSE(report.estimate(Algorithm::kBlockedFloydWarshall).considered);
+  EXPECT_FALSE(report.estimate(Algorithm::kBoundary).considered);
+}
+
+TEST(Selector, ChoosesBoundaryForSmallSeparatorGraph) {
+  // Needs a zoo-scale road graph: below n ≈ 1000 the fixed launch overheads
+  // of the per-component FW kernels make Johnson genuinely faster, and the
+  // selector (correctly) picks it.
+  const auto g = graph::make_road(38, 38, 94);
+  auto opts = sel_opts();
+  opts.device = sim::DeviceSpec::v100_scaled();  // 8 MiB
+  const auto report = select_algorithm(g, opts, scaled_thresholds());
+  EXPECT_EQ(report.chosen, Algorithm::kBoundary);
+}
+
+TEST(Selector, ChosenMatchesArgminOfEstimates) {
+  for (std::uint64_t seed : {95u, 96u, 97u}) {
+    const auto g = graph::make_road(20, 21, seed);
+    const auto report = select_algorithm(g, sel_opts(), scaled_thresholds());
+    double best = std::numeric_limits<double>::infinity();
+    Algorithm arg = Algorithm::kJohnson;
+    for (const auto& e : report.estimates) {
+      if (e.considered && e.cost.feasible && e.cost.total() < best) {
+        best = e.cost.total();
+        arg = e.algo;
+      }
+    }
+    EXPECT_EQ(report.chosen, arg);
+  }
+}
+
+TEST(Selector, InfeasibleBoundaryFallsBackToJohnson) {
+  const auto g = graph::make_mesh(600, 14, 98, 0.3);
+  auto opts = sel_opts();
+  opts.device = test::tiny_device(64u << 10);
+  SelectorOptions st;
+  st.sparse_percent = 100.0;  // force the sparse band
+  // Johnson may not fit either on 64 KiB; use a size where it does.
+  opts.device = test::tiny_device(900u << 10);
+  const auto report = select_algorithm(g, opts, st);
+  if (!report.estimate(Algorithm::kBoundary).cost.feasible) {
+    EXPECT_EQ(report.chosen, Algorithm::kJohnson);
+  }
+}
+
+TEST(Selector, ReportDensityMatchesGraph) {
+  const auto g = graph::make_road(15, 15, 99);
+  const auto report = select_algorithm(g, sel_opts(), scaled_thresholds());
+  EXPECT_DOUBLE_EQ(report.density_percent, g.density_percent());
+}
+
+TEST(Selector, NeverReturnsAuto) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto g = graph::make_erdos_renyi(200, 700 * seed, seed);
+    const auto report = select_algorithm(g, sel_opts(), scaled_thresholds());
+    EXPECT_NE(report.chosen, Algorithm::kAuto);
+  }
+}
+
+TEST(SolveApsp, AutoRunsSelectorAndSolves) {
+  const auto g = graph::make_road(14, 14, 100);
+  auto store = make_ram_store(g.num_vertices());
+  SelectorReport report;
+  auto opts = sel_opts();
+  const auto r = solve_apsp(g, opts, *store, &report, scaled_thresholds());
+  EXPECT_EQ(r.used, report.chosen);
+  test::expect_store_matches_reference(g, *store, r);
+}
+
+TEST(SolveApsp, ExplicitAlgorithmBypassesSelector) {
+  const auto g = graph::make_erdos_renyi(120, 500, 101);
+  auto opts = sel_opts();
+  opts.algorithm = Algorithm::kJohnson;
+  auto store = make_ram_store(g.num_vertices());
+  const auto r = solve_apsp(g, opts, *store);
+  EXPECT_EQ(r.used, Algorithm::kJohnson);
+}
+
+TEST(SolveApsp, EmptyGraphRejected) {
+  graph::CsrGraph g;
+  auto store = make_ram_store(0);
+  auto opts = sel_opts();
+  EXPECT_THROW(solve_apsp(g, opts, *store), Error);
+}
+
+TEST(SolveApsp, AlgorithmNames) {
+  EXPECT_STREQ(algorithm_name(Algorithm::kAuto), "auto");
+  EXPECT_STREQ(algorithm_name(Algorithm::kJohnson), "johnson");
+  EXPECT_STREQ(algorithm_name(Algorithm::kBoundary), "boundary");
+  EXPECT_STREQ(algorithm_name(Algorithm::kBlockedFloydWarshall),
+               "blocked-floyd-warshall");
+}
+
+}  // namespace
+}  // namespace gapsp::core

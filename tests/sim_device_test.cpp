@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/device.h"
+#include "sim/device_spec.h"
+
+namespace gapsp::sim {
+namespace {
+
+DeviceSpec small_spec() {
+  DeviceSpec s = DeviceSpec::v100().with_memory(1 << 20);  // 1 MiB
+  return s;
+}
+
+TEST(DeviceSpec, PresetsMatchTableII) {
+  const auto v = DeviceSpec::v100();
+  const auto k = DeviceSpec::k80();
+  EXPECT_GT(v.compute_ops_per_s, k.compute_ops_per_s);
+  EXPECT_GT(v.mem_bandwidth, k.mem_bandwidth);
+  EXPECT_NEAR(v.link_bandwidth, 11.75e9, 1e6);  // paper-measured
+  EXPECT_NEAR(k.link_bandwidth, 7.23e9, 1e6);
+}
+
+TEST(DeviceSpec, WithMemoryOnlyChangesCapacity) {
+  const auto v = DeviceSpec::v100();
+  const auto s = v.with_memory(123);
+  EXPECT_EQ(s.memory_bytes, 123u);
+  EXPECT_EQ(s.compute_ops_per_s, v.compute_ops_per_s);
+}
+
+TEST(Device, AllocationTracksUsage) {
+  Device dev(small_spec());
+  EXPECT_EQ(dev.used_bytes(), 0u);
+  auto buf = dev.alloc<dist_t>(1000);
+  EXPECT_EQ(dev.used_bytes(), 4000u);
+  buf.release();
+  EXPECT_EQ(dev.used_bytes(), 0u);
+}
+
+TEST(Device, AllocationFailsOverCapacity) {
+  Device dev(small_spec());
+  EXPECT_THROW(dev.alloc<dist_t>((1 << 20) / 4 + 1), Error);
+  // Partial fill, then overflow.
+  auto a = dev.alloc<dist_t>(200000);  // 800 KB
+  EXPECT_THROW(dev.alloc<dist_t>(100000), Error);  // +400 KB > 1 MiB
+}
+
+TEST(Device, BufferMoveTransfersOwnership) {
+  Device dev(small_spec());
+  auto a = dev.alloc<dist_t>(100);
+  auto b = std::move(a);
+  EXPECT_EQ(dev.used_bytes(), 400u);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move) — spec'd empty
+  b.release();
+  EXPECT_EQ(dev.used_bytes(), 0u);
+}
+
+TEST(Device, PeakBytesHighWaterMark) {
+  Device dev(small_spec());
+  {
+    auto a = dev.alloc<dist_t>(100000);
+    auto b = dev.alloc<dist_t>(50000);
+  }
+  EXPECT_EQ(dev.used_bytes(), 0u);
+  EXPECT_EQ(dev.metrics().peak_bytes, 600000u);
+}
+
+TEST(Device, TransferTimeHasLatencyPlusBandwidth) {
+  Device dev(small_spec());
+  const auto& sp = dev.spec();
+  const double t = dev.transfer_time(1 << 20, /*pinned=*/true);
+  EXPECT_NEAR(t, sp.transfer_latency_s + (1 << 20) / sp.link_bandwidth, 1e-12);
+}
+
+TEST(Device, PageablePenaltySlowsTransfers) {
+  Device dev(small_spec());
+  EXPECT_GT(dev.transfer_time(1 << 20, false), dev.transfer_time(1 << 20, true));
+}
+
+TEST(Device, MemcpyMovesRealData) {
+  Device dev(small_spec());
+  auto buf = dev.alloc<dist_t>(4);
+  const std::vector<dist_t> src{1, 2, 3, 4};
+  dev.memcpy_h2d(kDefaultStream, buf.data(), src.data(), 16);
+  std::vector<dist_t> dst(4, 0);
+  dev.memcpy_d2h(kDefaultStream, dst.data(), buf.data(), 16);
+  EXPECT_EQ(dst, src);
+}
+
+TEST(Device, SyncCopyAdvancesHostClock) {
+  Device dev(small_spec());
+  auto buf = dev.alloc<dist_t>(1024);
+  std::vector<dist_t> host(1024);
+  const double before = dev.now();
+  dev.memcpy_h2d(kDefaultStream, buf.data(), host.data(), 4096,
+                 /*async=*/false);
+  EXPECT_GT(dev.now(), before);
+}
+
+TEST(Device, AsyncCopyDoesNotAdvanceHostClock) {
+  Device dev(small_spec());
+  auto buf = dev.alloc<dist_t>(1024);
+  std::vector<dist_t> host(1024);
+  dev.memcpy_h2d(kDefaultStream, buf.data(), host.data(), 4096,
+                 /*async=*/true);
+  EXPECT_EQ(dev.now(), 0.0);
+  dev.synchronize();
+  EXPECT_GT(dev.now(), 0.0);
+}
+
+TEST(Device, KernelTimeComputeVsMemoryBound) {
+  Device dev(small_spec());
+  const auto& sp = dev.spec();
+  KernelProfile compute_bound;
+  compute_bound.ops = 1e9;
+  compute_bound.bytes = 1;
+  compute_bound.blocks = sp.max_active_blocks;
+  EXPECT_NEAR(dev.kernel_time(compute_bound), 1e9 / sp.compute_ops_per_s,
+              1e-9);
+  KernelProfile memory_bound;
+  memory_bound.ops = 1;
+  memory_bound.bytes = 1e9;
+  memory_bound.blocks = sp.max_active_blocks;
+  EXPECT_NEAR(dev.kernel_time(memory_bound), 1e9 / sp.mem_bandwidth, 1e-9);
+}
+
+TEST(Device, OccupancyPenalizesSmallGrids) {
+  Device dev(small_spec());
+  KernelProfile p;
+  p.ops = 1e9;
+  p.blocks = dev.spec().max_active_blocks / 4;
+  const double quarter = dev.kernel_time(p);
+  p.blocks = dev.spec().max_active_blocks;
+  const double full = dev.kernel_time(p);
+  EXPECT_NEAR(quarter, 4.0 * full, full * 1e-6);
+}
+
+TEST(Device, EfficiencyDiscountsThroughput) {
+  Device dev(small_spec());
+  KernelProfile p;
+  p.ops = 1e9;
+  p.blocks = dev.spec().max_active_blocks;
+  const double base = dev.kernel_time(p);
+  p.efficiency = 0.5;
+  EXPECT_NEAR(dev.kernel_time(p), 2.0 * base, base * 1e-6);
+}
+
+TEST(Device, LaunchRunsBodyAndCharges) {
+  Device dev(small_spec());
+  bool ran = false;
+  const double dur = dev.launch(kDefaultStream, "k", [&](LaunchCtx&) {
+    ran = true;
+    KernelProfile p;
+    p.ops = 1e6;
+    p.blocks = dev.spec().max_active_blocks;
+    return p;
+  });
+  EXPECT_TRUE(ran);
+  EXPECT_GT(dur, 0.0);
+  EXPECT_EQ(dev.metrics().kernels, 1);
+  EXPECT_GT(dev.metrics().kernel_seconds, 0.0);
+}
+
+TEST(Device, ChildLaunchAddsCostAndCount) {
+  Device dev(small_spec());
+  KernelProfile child;
+  child.ops = 1e6;
+  child.blocks = dev.spec().max_active_blocks;
+  const double with_child = dev.launch(kDefaultStream, "k", [&](LaunchCtx& c) {
+    c.child_launch(child);
+    return KernelProfile{};
+  });
+  EXPECT_GT(with_child, dev.spec().kernel_launch_s);
+  EXPECT_EQ(dev.metrics().child_kernels, 1);
+}
+
+TEST(Device, StreamsOverlapInTimeline) {
+  // Two equal async copies: on one stream they serialize, on two they
+  // overlap and the makespan is halved (same start time).
+  const std::size_t bytes = 1 << 18;
+  std::vector<dist_t> host(bytes / 4);
+
+  Device serial(small_spec());
+  auto b1 = serial.alloc<dist_t>(bytes / 4);
+  serial.memcpy_h2d(kDefaultStream, b1.data(), host.data(), bytes, true);
+  serial.memcpy_h2d(kDefaultStream, b1.data(), host.data(), bytes, true);
+  serial.synchronize();
+
+  Device parallel(small_spec());
+  auto b2 = parallel.alloc<dist_t>(bytes / 4);
+  const StreamId s2 = parallel.create_stream();
+  parallel.memcpy_h2d(kDefaultStream, b2.data(), host.data(), bytes, true);
+  parallel.memcpy_h2d(s2, b2.data(), host.data(), bytes, true);
+  parallel.synchronize();
+
+  EXPECT_NEAR(parallel.now() * 2.0, serial.now(), serial.now() * 1e-6);
+}
+
+TEST(Device, EventsOrderAcrossStreams) {
+  Device dev(small_spec());
+  auto buf = dev.alloc<dist_t>(1024);
+  std::vector<dist_t> host(1024);
+  const StreamId s2 = dev.create_stream();
+  dev.memcpy_h2d(kDefaultStream, buf.data(), host.data(), 4096, true);
+  const Event e = dev.record_event(kDefaultStream);
+  dev.wait_event(s2, e);
+  dev.memcpy_d2h(s2, host.data(), buf.data(), 4096, true);
+  dev.synchronize();
+  // Total must be at least the serialized duration of both copies.
+  EXPECT_GE(dev.now(), 2 * dev.transfer_time(4096, false) - 1e-12);
+}
+
+TEST(Device, MetricsCountTransfers) {
+  Device dev(small_spec());
+  auto buf = dev.alloc<dist_t>(64);
+  std::vector<dist_t> host(64);
+  dev.memcpy_h2d(kDefaultStream, buf.data(), host.data(), 256);
+  dev.memcpy_d2h(kDefaultStream, host.data(), buf.data(), 256);
+  dev.memcpy_d2h(kDefaultStream, host.data(), buf.data(), 128);
+  const auto m = dev.metrics();
+  EXPECT_EQ(m.transfers_h2d, 1);
+  EXPECT_EQ(m.transfers_d2h, 2);
+  EXPECT_EQ(m.bytes_h2d, 256u);
+  EXPECT_EQ(m.bytes_d2h, 384u);
+}
+
+TEST(Device, AdvanceToActsAsBarrier) {
+  Device dev(small_spec());
+  auto buf = dev.alloc<dist_t>(1024);
+  std::vector<dist_t> host(1024);
+  dev.memcpy_h2d(kDefaultStream, buf.data(), host.data(), 4096);
+  const double before = dev.now();
+  dev.advance_to(before + 1.0);
+  EXPECT_NEAR(dev.now(), before + 1.0, 1e-12);
+  // New work starts after the barrier on every stream.
+  const StreamId s2 = dev.create_stream();
+  dev.memcpy_h2d(s2, buf.data(), host.data(), 4096, true);
+  dev.synchronize();
+  EXPECT_GT(dev.now(), before + 1.0);
+}
+
+TEST(Device, AdvanceToNeverMovesBackwards) {
+  Device dev(small_spec());
+  auto buf = dev.alloc<dist_t>(64);
+  std::vector<dist_t> host(64);
+  dev.memcpy_h2d(kDefaultStream, buf.data(), host.data(), 256);
+  const double t = dev.now();
+  dev.advance_to(t / 2);
+  EXPECT_EQ(dev.now(), t);
+}
+
+TEST(Device, InvalidStreamRejected) {
+  Device dev(small_spec());
+  auto buf = dev.alloc<dist_t>(16);
+  std::vector<dist_t> host(16);
+  EXPECT_THROW(dev.memcpy_h2d(99, buf.data(), host.data(), 64), Error);
+  EXPECT_THROW(dev.record_event(5), Error);
+}
+
+}  // namespace
+}  // namespace gapsp::sim

@@ -1,0 +1,61 @@
+// Shared helpers for the gapsp test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/apsp.h"
+#include "graph/csr_graph.h"
+#include "sssp/dijkstra.h"
+#include "util/rng.h"
+
+namespace gapsp::test {
+
+/// Reference APSP row via Dijkstra.
+inline std::vector<dist_t> ref_row(const graph::CsrGraph& g, vidx_t src) {
+  return sssp::dijkstra(g, src);
+}
+
+/// Asserts that the store produced by `result` matches Dijkstra on every
+/// row (small graphs) — the master correctness oracle.
+inline void expect_store_matches_reference(const graph::CsrGraph& g,
+                                           const core::DistStore& store,
+                                           const core::ApspResult& result) {
+  const vidx_t n = g.num_vertices();
+  std::vector<dist_t> row(static_cast<std::size_t>(n));
+  for (vidx_t u = 0; u < n; ++u) {
+    const auto ref = ref_row(g, u);
+    store.read_block(result.stored_id(u), 0, 1, n, row.data(), row.size());
+    for (vidx_t v = 0; v < n; ++v) {
+      ASSERT_EQ(ref[v], row[result.stored_id(v)])
+          << "dist(" << u << "," << v << ") mismatch";
+    }
+  }
+}
+
+/// Spot-check `samples` random rows instead of all n (larger graphs).
+inline void expect_store_rows_match(const graph::CsrGraph& g,
+                                    const core::DistStore& store,
+                                    const core::ApspResult& result,
+                                    int samples, std::uint64_t seed = 42) {
+  Rng rng(seed);
+  const vidx_t n = g.num_vertices();
+  std::vector<dist_t> row(static_cast<std::size_t>(n));
+  for (int s = 0; s < samples; ++s) {
+    const vidx_t u = static_cast<vidx_t>(rng.next_below(n));
+    const auto ref = ref_row(g, u);
+    store.read_block(result.stored_id(u), 0, 1, n, row.data(), row.size());
+    for (vidx_t v = 0; v < n; ++v) {
+      ASSERT_EQ(ref[v], row[result.stored_id(v)])
+          << "dist(" << u << "," << v << ") mismatch";
+    }
+  }
+}
+
+/// A small device so out-of-core paths trigger even on tiny test graphs.
+inline sim::DeviceSpec tiny_device(std::size_t bytes = 256u << 10) {
+  return sim::DeviceSpec::v100().with_memory(bytes);
+}
+
+}  // namespace gapsp::test

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/ooc_boundary.h"
+#include "graph/generators.h"
+#include "sim/device.h"
+#include "sim/trace.h"
+#include "test_util.h"
+
+namespace gapsp::sim {
+namespace {
+
+TEST(Trace, RecordsKernelsAndTransfers) {
+  Device dev(DeviceSpec::v100().with_memory(1 << 20));
+  TraceRecorder trace;
+  dev.set_trace(&trace);
+  auto buf = dev.alloc<dist_t>(256);
+  std::vector<dist_t> host(256);
+  dev.memcpy_h2d(kDefaultStream, buf.data(), host.data(), 1024);
+  dev.launch(kDefaultStream, "my_kernel", [&](LaunchCtx&) {
+    KernelProfile p;
+    p.ops = 1e6;
+    return p;
+  });
+  dev.memcpy_d2h(kDefaultStream, host.data(), buf.data(), 1024);
+
+  ASSERT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.events()[0].kind, TraceEvent::Kind::kH2D);
+  EXPECT_EQ(trace.events()[1].kind, TraceEvent::Kind::kKernel);
+  EXPECT_EQ(trace.events()[1].name, "my_kernel");
+  EXPECT_EQ(trace.events()[2].kind, TraceEvent::Kind::kD2H);
+}
+
+TEST(Trace, EventsAreOrderedAndNonOverlappingPerStream) {
+  Device dev(DeviceSpec::v100().with_memory(1 << 20));
+  TraceRecorder trace;
+  dev.set_trace(&trace);
+  auto buf = dev.alloc<dist_t>(1024);
+  std::vector<dist_t> host(1024);
+  for (int i = 0; i < 5; ++i) {
+    dev.memcpy_h2d(kDefaultStream, buf.data(), host.data(), 4096, true);
+  }
+  double prev_end = 0.0;
+  for (const auto& e : trace.events()) {
+    EXPECT_GE(e.start_s, prev_end - 1e-15);
+    EXPECT_GT(e.end_s, e.start_s);
+    prev_end = e.end_s;
+  }
+}
+
+TEST(Trace, ChildKernelsCounted) {
+  Device dev(DeviceSpec::v100().with_memory(1 << 20));
+  TraceRecorder trace;
+  dev.set_trace(&trace);
+  dev.launch(kDefaultStream, "parent", [&](LaunchCtx& ctx) {
+    ctx.child_launch(KernelProfile{1e5, 0, 8, 1.0});
+    ctx.child_launch(KernelProfile{1e5, 0, 8, 1.0});
+    return KernelProfile{};
+  });
+  ASSERT_EQ(trace.events().size(), 1u);
+  EXPECT_EQ(trace.events()[0].child_kernels, 2);
+}
+
+TEST(Trace, TotalsByKind) {
+  Device dev(DeviceSpec::v100().with_memory(1 << 20));
+  TraceRecorder trace;
+  dev.set_trace(&trace);
+  auto buf = dev.alloc<dist_t>(1024);
+  std::vector<dist_t> host(1024);
+  dev.memcpy_h2d(kDefaultStream, buf.data(), host.data(), 4096);
+  dev.memcpy_d2h(kDefaultStream, host.data(), buf.data(), 4096);
+  const double h2d = trace.total(TraceEvent::Kind::kH2D);
+  const double d2h = trace.total(TraceEvent::Kind::kD2H);
+  EXPECT_GT(h2d, 0.0);
+  EXPECT_NEAR(h2d, d2h, 1e-12);  // same bytes, same (pageable) link
+  EXPECT_EQ(trace.total(TraceEvent::Kind::kKernel), 0.0);
+}
+
+TEST(Trace, ChromeTraceJsonShape) {
+  TraceRecorder trace;
+  TraceEvent e;
+  e.name = "k\"ernel\\";
+  e.stream = 2;
+  e.start_s = 1e-3;
+  e.end_s = 2e-3;
+  e.ops = 10;
+  trace.record(e);
+  std::ostringstream os;
+  trace.write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1000"), std::string::npos);
+  EXPECT_NE(json.find("k\\\"ernel\\\\"), std::string::npos);  // escaped
+}
+
+TEST(Trace, ClearEmptiesRecorder) {
+  TraceRecorder trace;
+  trace.record(TraceEvent{});
+  trace.clear();
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(Trace, EndToEndThroughApspOptions) {
+  const auto g = graph::make_road(12, 12, 55);
+  TraceRecorder trace;
+  core::ApspOptions opts;
+  opts.device = DeviceSpec::v100_scaled(2u << 20);
+  opts.fw_tile = 32;
+  opts.trace = &trace;
+  auto store = core::make_ram_store(g.num_vertices());
+  const auto r = core::ooc_boundary(g, opts, *store);
+  EXPECT_GT(trace.events().size(), 10u);
+  // Trace busy time per kind is consistent with the device metrics.
+  const double kernels = trace.total(TraceEvent::Kind::kKernel);
+  EXPECT_NEAR(kernels, r.metrics.kernel_seconds,
+              r.metrics.kernel_seconds * 1e-9);
+  const double transfers = trace.total(TraceEvent::Kind::kH2D) +
+                           trace.total(TraceEvent::Kind::kD2H);
+  EXPECT_NEAR(transfers, r.metrics.transfer_seconds,
+              r.metrics.transfer_seconds * 1e-9);
+}
+
+}  // namespace
+}  // namespace gapsp::sim

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/common.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace gapsp {
+namespace {
+
+TEST(Common, SatAddClampsAtInfinity) {
+  EXPECT_EQ(sat_add(1, 2), 3);
+  EXPECT_EQ(sat_add(kInf, 5), kInf);
+  EXPECT_EQ(sat_add(5, kInf), kInf);
+  EXPECT_EQ(sat_add(kInf, kInf), kInf);
+  EXPECT_EQ(sat_add(kInf - 1, 1), kInf);
+}
+
+TEST(Common, SatAddNeverOverflows) {
+  // kInf + kInf must stay representable by construction of the sentinel.
+  EXPECT_LT(static_cast<long long>(kInf) * 2,
+            static_cast<long long>(std::numeric_limits<dist_t>::max()));
+}
+
+TEST(Common, MinPlusPicksShorterPath) {
+  EXPECT_EQ(min_plus(10, 3, 4), 7);
+  EXPECT_EQ(min_plus(5, 3, 4), 5);
+  EXPECT_EQ(min_plus(5, kInf, 1), 5);
+  EXPECT_EQ(min_plus(kInf, kInf, kInf), kInf);
+}
+
+TEST(Common, CheckThrowsWithContext) {
+  EXPECT_THROW(GAPSP_CHECK(false, "context message"), Error);
+  try {
+    GAPSP_CHECK(1 == 2, "the reason");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("the reason"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(13), 13u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 2000, 0.5, 0.05);
+}
+
+TEST(Rng, ForkIsIndependentStream) {
+  Rng a(5);
+  Rng child = a.fork();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(Stats, WelfordMatchesClosedForm) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, CvPercent) {
+  RunningStats s;
+  s.add(9.0);
+  s.add(11.0);
+  EXPECT_NEAR(s.cv_percent(), 100.0 * std::sqrt(2.0) / 10.0, 1e-9);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CountInsertsThousandsSeparators) {
+  EXPECT_EQ(Table::count(14988), "14,988");
+  EXPECT_EQ(Table::count(152), "152");
+  EXPECT_EQ(Table::count(1000000), "1,000,000");
+  EXPECT_EQ(Table::count(-1234), "-1,234");
+  EXPECT_EQ(Table::count(0), "0");
+}
+
+TEST(Table, NumRespectsDigits) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, GrainChunksStillCoverEverything) {
+  ThreadPool pool(3);
+  std::atomic<long long> sum{0};
+  pool.parallel_for(1000, [&](std::size_t i) { sum += static_cast<long long>(i); },
+                    /*grain=*/64);
+  EXPECT_EQ(sum.load(), 999LL * 1000 / 2);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.parallel_for(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, GlobalPoolSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+}  // namespace
+}  // namespace gapsp

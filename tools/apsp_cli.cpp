@@ -1,0 +1,310 @@
+// apsp_cli — the command-line front end of the gapsp library.
+//
+// Solve APSP on a Matrix Market file or a generated graph, with the paper's
+// selector or an explicit algorithm, on a simulated V100 or K80:
+//
+//   apsp_cli --input graph.mtx
+//   apsp_cli --generate road:40x40 --query 0,812 --path 0,812
+//   apsp_cli --generate rmat:11:14000 --algorithm johnson --device k80
+//   apsp_cli --generate mesh:1200:30 --store file --store-path dist.bin --keep-store
+//   apsp_cli --generate road:36x36 --trace timeline.json   (chrome://tracing)
+//
+// Flags:
+//   --input FILE            Matrix Market input
+//   --generate SPEC         road:RxC | mesh:N:DEG | rmat:SCALE:EDGES |
+//                           er:N:M | dense:N:PCT
+//   --seed S                generator seed (default 1)
+//   --algorithm A           auto | fw | johnson | boundary   (default auto)
+//   --device D              v100 | k80                        (default v100)
+//   --memory-mb M           device memory in MiB              (default 8 / 6)
+//   --components K          boundary algorithm component count (0 = sqrt(n)/4)
+//   --no-batching           disable boundary transfer batching
+//   --no-overlap            disable boundary compute/transfer overlap
+//   --no-dp                 disable Johnson dynamic parallelism
+//   --sparse-threshold P    selector sparse density band, percent (default 0.8)
+//   --dense-threshold P     selector dense density band, percent  (default 4)
+//   --store S               ram | file                        (default ram)
+//   --store-path P          file-store path (default ./apsp_dist.bin)
+//   --keep-store            keep the file store after exit
+//   --sssp-kernel K         near-far | delta-stepping | bellman-ford
+//   --partitioner P         kway | rb (recursive bisection)
+//   --devices N             run the multi-GPU boundary algorithm on N devices
+//   --verify                spot-check the result against Dijkstra rows
+//   --per-component         decompose into connected components first
+//   --save FILE             serialize the distance matrix (GAPSPDM1 format)
+//   --query U,V             print dist(U,V)  (several: "U,V;U2,V2")
+//   --path U,V              print one shortest path U -> V
+//   --trace FILE            write a chrome://tracing JSON timeline
+//   --stats                 print graph statistics and exit
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/apsp.h"
+#include "core/component_solver.h"
+#include "core/dist_io.h"
+#include "core/multi_device.h"
+#include "core/path_extract.h"
+#include "core/verify.h"
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+#include "graph/matrix_market.h"
+#include "partition/boundary.h"
+#include "util/args.h"
+
+namespace {
+
+using namespace gapsp;
+
+graph::CsrGraph make_graph(const Args& args) {
+  if (const auto input = args.get("input"); input.has_value()) {
+    return graph::read_matrix_market_file(*input);
+  }
+  const std::string spec = args.get_or("generate", "road:40x40");
+  const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
+  std::istringstream ss(spec);
+  std::string kind;
+  GAPSP_CHECK(static_cast<bool>(std::getline(ss, kind, ':')),
+              "bad --generate spec: " + spec);
+  auto next_num = [&](char sep) {
+    std::string tok;
+    GAPSP_CHECK(static_cast<bool>(std::getline(ss, tok, sep)),
+                "bad --generate spec: " + spec);
+    return std::stoll(tok);
+  };
+  if (kind == "road") {
+    const auto rows = next_num('x');
+    const auto cols = next_num(':');
+    return graph::make_road(static_cast<vidx_t>(rows),
+                            static_cast<vidx_t>(cols), seed);
+  }
+  if (kind == "mesh") {
+    const auto n = next_num(':');
+    const auto deg = next_num(':');
+    return graph::make_mesh(static_cast<vidx_t>(n), static_cast<int>(deg),
+                            seed);
+  }
+  if (kind == "rmat") {
+    const auto scale = next_num(':');
+    const auto edges = next_num(':');
+    return graph::make_rmat(static_cast<int>(scale), edges, seed);
+  }
+  if (kind == "er") {
+    const auto n = next_num(':');
+    const auto m = next_num(':');
+    return graph::make_erdos_renyi(static_cast<vidx_t>(n), m, seed);
+  }
+  if (kind == "dense") {
+    const auto n = next_num(':');
+    const auto pct = next_num(':');
+    return graph::make_dense(static_cast<vidx_t>(n),
+                             static_cast<double>(pct), seed);
+  }
+  throw Error("unknown generator kind: " + kind);
+}
+
+core::Algorithm parse_algorithm(const std::string& name) {
+  if (name == "auto") return core::Algorithm::kAuto;
+  if (name == "fw") return core::Algorithm::kBlockedFloydWarshall;
+  if (name == "johnson") return core::Algorithm::kJohnson;
+  if (name == "boundary") return core::Algorithm::kBoundary;
+  throw Error("unknown --algorithm: " + name);
+}
+
+std::pair<vidx_t, vidx_t> parse_pair(const std::string& s) {
+  const auto comma = s.find(',');
+  GAPSP_CHECK(comma != std::string::npos, "expected U,V but got " + s);
+  return {static_cast<vidx_t>(std::stoll(s.substr(0, comma))),
+          static_cast<vidx_t>(std::stoll(s.substr(comma + 1)))};
+}
+
+int run(const Args& args) {
+  const graph::CsrGraph g = make_graph(args);
+  std::cout << "graph: n=" << g.num_vertices() << " m=" << g.num_edges()
+            << " density=" << g.density_percent() << "%\n";
+
+  if (args.has("stats")) {
+    const auto deg = graph::degree_stats(g);
+    std::cout << "degree: min=" << deg.min << " max=" << deg.max
+              << " mean=" << deg.mean << "\n"
+              << "components: " << graph::count_components(g) << "\n"
+              << "separator ratio (#boundary / n^0.75): "
+              << part::separator_ratio(g)
+              << (part::has_small_separator(g) ? "  [small separator]\n"
+                                               : "  [large separator]\n");
+    return 0;
+  }
+
+  core::ApspOptions opts;
+  const std::string device = args.get_or("device", "v100");
+  if (device == "v100") {
+    opts.device = sim::DeviceSpec::v100_scaled(
+        static_cast<std::size_t>(args.get_int_or("memory-mb", 8)) << 20);
+  } else if (device == "k80") {
+    opts.device = sim::DeviceSpec::k80_scaled(
+        static_cast<std::size_t>(args.get_int_or("memory-mb", 6)) << 20);
+  } else {
+    throw Error("unknown --device: " + device);
+  }
+  opts.algorithm = parse_algorithm(args.get_or("algorithm", "auto"));
+  opts.num_components =
+      static_cast<int>(args.get_int_or("components", 0));
+  opts.batch_transfers = !args.has("no-batching");
+  opts.overlap_transfers = !args.has("no-overlap");
+  opts.dynamic_parallelism = !args.has("no-dp");
+  opts.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
+  const std::string kernel = args.get_or("sssp-kernel", "near-far");
+  if (kernel == "near-far") {
+    opts.sssp_kernel = core::SsspKernel::kNearFar;
+  } else if (kernel == "delta-stepping") {
+    opts.sssp_kernel = core::SsspKernel::kDeltaStepping;
+  } else if (kernel == "bellman-ford") {
+    opts.sssp_kernel = core::SsspKernel::kBellmanFord;
+  } else {
+    throw Error("unknown --sssp-kernel: " + kernel);
+  }
+  const std::string partitioner = args.get_or("partitioner", "kway");
+  if (partitioner == "kway") {
+    opts.partition_method = part::Method::kMultilevelKway;
+  } else if (partitioner == "rb") {
+    opts.partition_method = part::Method::kRecursiveBisection;
+  } else {
+    throw Error("unknown --partitioner: " + partitioner);
+  }
+
+  sim::TraceRecorder trace;
+  if (args.has("trace")) opts.trace = &trace;
+
+  core::SelectorOptions sel;
+  sel.sparse_percent = args.get_double_or("sparse-threshold", 0.8);
+  sel.dense_percent = args.get_double_or("dense-threshold", 4.0);
+
+  std::unique_ptr<core::DistStore> store;
+  if (args.get_or("store", "ram") == "file") {
+    store = core::make_file_store(
+        g.num_vertices(), args.get_or("store-path", "apsp_dist.bin"),
+        args.has("keep-store"));
+  } else {
+    store = core::make_ram_store(g.num_vertices());
+  }
+
+  core::SelectorReport report;
+  core::ApspResult r;
+  const int devices = static_cast<int>(args.get_int_or("devices", 1));
+  if (devices > 1) {
+    // Multi-GPU path (boundary algorithm only).
+    auto multi = core::ooc_boundary_multi(g, opts, devices, *store);
+    std::cout << "multi-GPU boundary: " << devices << " devices, makespan "
+              << multi.result.metrics.sim_seconds * 1e3 << " ms\n";
+    r = std::move(multi.result);
+  } else if (args.has("per-component")) {
+    auto comp = core::solve_apsp_per_component(g, opts, *store, sel);
+    std::cout << "per-component: " << comp.num_components
+              << " components, largest " << comp.largest_component << "\n";
+    r = std::move(comp.result);
+  } else {
+    r = core::solve_apsp(g, opts, *store, &report, sel);
+  }
+
+  std::cout << "algorithm: " << core::algorithm_name(r.used);
+  if (opts.algorithm == core::Algorithm::kAuto && devices == 1 &&
+      !args.has("per-component")) {
+    std::cout << " (selected; density " << report.density_percent << "%)";
+  }
+  std::cout << "\nsimulated time: " << r.metrics.sim_seconds * 1e3
+            << " ms (kernels " << r.metrics.kernel_seconds * 1e3
+            << " ms, transfers " << r.metrics.transfer_seconds * 1e3
+            << " ms)\ndevice traffic: "
+            << (r.metrics.bytes_h2d >> 10) << " KiB h2d in "
+            << r.metrics.transfers_h2d << " transfers, "
+            << (r.metrics.bytes_d2h >> 10) << " KiB d2h in "
+            << r.metrics.transfers_d2h << " transfers\n"
+            << "device peak memory: " << (r.metrics.device_peak_bytes >> 10)
+            << " KiB of " << (opts.device.memory_bytes >> 10) << " KiB\n";
+  if (r.metrics.johnson_batch_size > 0) {
+    std::cout << "johnson: bat=" << r.metrics.johnson_batch_size << ", "
+              << r.metrics.johnson_num_batches << " batches, "
+              << r.metrics.child_kernels << " child kernels\n";
+  }
+  if (r.metrics.boundary_k > 0) {
+    std::cout << "boundary: k=" << r.metrics.boundary_k << ", "
+              << r.metrics.boundary_nodes << " boundary vertices\n";
+  }
+
+  if (const auto q = args.get("query"); q.has_value()) {
+    std::istringstream qs(*q);
+    std::string item;
+    while (std::getline(qs, item, ';')) {
+      const auto [u, v] = parse_pair(item);
+      const dist_t d = store->at(r.stored_id(u), r.stored_id(v));
+      std::cout << "dist(" << u << ", " << v << ") = ";
+      if (d >= kInf) {
+        std::cout << "unreachable\n";
+      } else {
+        std::cout << d << "\n";
+      }
+    }
+  }
+  if (const auto p = args.get("path"); p.has_value()) {
+    const auto [u, v] = parse_pair(*p);
+    const core::PathExtractor extractor(g, *store, r);
+    const auto path = extractor.path(u, v);
+    std::cout << "path(" << u << " -> " << v << "): ";
+    if (path.empty()) {
+      std::cout << "unreachable\n";
+    } else {
+      for (std::size_t i = 0; i < path.size(); ++i) {
+        std::cout << (i == 0 ? "" : " -> ") << path[i];
+      }
+      std::cout << "  (length " << extractor.walk_length(path) << ")\n";
+    }
+  }
+  if (args.has("verify")) {
+    const auto rep = core::verify_result(g, *store, r, 8, opts.seed);
+    std::cout << "verify: " << (rep.ok ? "OK" : "FAILED") << " ("
+              << rep.rows_checked << " rows, " << rep.entries_checked
+              << " entries)\n";
+    if (!rep.ok) {
+      std::cerr << rep.detail;
+      return 3;
+    }
+  }
+  if (const auto save = args.get("save"); save.has_value()) {
+    core::save_distances(*store, r, *save);
+    const double mib = static_cast<double>(g.num_vertices()) *
+                       g.num_vertices() * sizeof(dist_t) / (1 << 20);
+    std::cout << "distances: " << mib << " MiB -> " << *save << "\n";
+  }
+  if (const auto tpath = args.get("trace"); tpath.has_value()) {
+    std::ofstream out(*tpath);
+    GAPSP_CHECK(out.good(), "cannot open " + *tpath);
+    trace.write_chrome_trace(out);
+    std::cout << "timeline: " << trace.events().size() << " events -> "
+              << *tpath << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args(argc, argv);
+    const auto unknown = args.unknown(
+        {"input", "generate", "seed", "algorithm", "device", "memory-mb",
+         "components", "no-batching", "no-overlap", "no-dp",
+         "sparse-threshold", "dense-threshold", "store", "store-path",
+         "keep-store", "query", "path", "trace", "stats", "sssp-kernel",
+         "partitioner", "devices", "per-component", "save", "verify"});
+    if (!unknown.empty()) {
+      std::cerr << "unknown flag(s):";
+      for (const auto& f : unknown) std::cerr << " --" << f;
+      std::cerr << "\n";
+      return 2;
+    }
+    return run(args);
+  } catch (const gapsp::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
