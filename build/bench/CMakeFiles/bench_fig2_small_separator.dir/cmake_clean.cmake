@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_small_separator.dir/bench_fig2_small_separator.cpp.o"
+  "CMakeFiles/bench_fig2_small_separator.dir/bench_fig2_small_separator.cpp.o.d"
+  "bench_fig2_small_separator"
+  "bench_fig2_small_separator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_small_separator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

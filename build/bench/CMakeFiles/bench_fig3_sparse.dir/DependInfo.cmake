@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_sparse.cpp" "bench/CMakeFiles/bench_fig3_sparse.dir/bench_fig3_sparse.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_sparse.dir/bench_fig3_sparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gapsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/gapsp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/gapsp_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gapsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sssp/CMakeFiles/gapsp_sssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gapsp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gapsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

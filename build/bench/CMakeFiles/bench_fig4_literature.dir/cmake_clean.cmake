@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_literature.dir/bench_fig4_literature.cpp.o"
+  "CMakeFiles/bench_fig4_literature.dir/bench_fig4_literature.cpp.o.d"
+  "bench_fig4_literature"
+  "bench_fig4_literature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_literature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_model_k80.dir/bench_fig7_model_k80.cpp.o"
+  "CMakeFiles/bench_fig7_model_k80.dir/bench_fig7_model_k80.cpp.o.d"
+  "bench_fig7_model_k80"
+  "bench_fig7_model_k80.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_model_k80.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

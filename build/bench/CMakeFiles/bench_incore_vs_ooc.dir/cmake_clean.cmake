@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_incore_vs_ooc.dir/bench_incore_vs_ooc.cpp.o"
+  "CMakeFiles/bench_incore_vs_ooc.dir/bench_incore_vs_ooc.cpp.o.d"
+  "bench_incore_vs_ooc"
+  "bench_incore_vs_ooc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incore_vs_ooc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

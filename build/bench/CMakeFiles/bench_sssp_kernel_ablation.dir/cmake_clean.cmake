@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sssp_kernel_ablation.dir/bench_sssp_kernel_ablation.cpp.o"
+  "CMakeFiles/bench_sssp_kernel_ablation.dir/bench_sssp_kernel_ablation.cpp.o.d"
+  "bench_sssp_kernel_ablation"
+  "bench_sssp_kernel_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sssp_kernel_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

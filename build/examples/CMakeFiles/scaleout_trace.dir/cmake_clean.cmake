@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaleout_trace.dir/scaleout_trace.cpp.o"
+  "CMakeFiles/scaleout_trace.dir/scaleout_trace.cpp.o.d"
+  "scaleout_trace"
+  "scaleout_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaleout_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

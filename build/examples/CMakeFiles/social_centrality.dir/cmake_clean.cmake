@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_centrality.dir/social_centrality.cpp.o"
+  "CMakeFiles/social_centrality.dir/social_centrality.cpp.o.d"
+  "social_centrality"
+  "social_centrality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_centrality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

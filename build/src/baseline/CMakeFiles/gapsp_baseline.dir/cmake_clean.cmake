@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gapsp_baseline.dir/baselines.cpp.o"
+  "CMakeFiles/gapsp_baseline.dir/baselines.cpp.o.d"
+  "libgapsp_baseline.a"
+  "libgapsp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gapsp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

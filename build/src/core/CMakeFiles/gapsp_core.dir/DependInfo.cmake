@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/apsp.cpp" "src/core/CMakeFiles/gapsp_core.dir/apsp.cpp.o" "gcc" "src/core/CMakeFiles/gapsp_core.dir/apsp.cpp.o.d"
+  "/root/repo/src/core/apsp_common.cpp" "src/core/CMakeFiles/gapsp_core.dir/apsp_common.cpp.o" "gcc" "src/core/CMakeFiles/gapsp_core.dir/apsp_common.cpp.o.d"
+  "/root/repo/src/core/component_solver.cpp" "src/core/CMakeFiles/gapsp_core.dir/component_solver.cpp.o" "gcc" "src/core/CMakeFiles/gapsp_core.dir/component_solver.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/gapsp_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/gapsp_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/device_kernels.cpp" "src/core/CMakeFiles/gapsp_core.dir/device_kernels.cpp.o" "gcc" "src/core/CMakeFiles/gapsp_core.dir/device_kernels.cpp.o.d"
+  "/root/repo/src/core/dist_io.cpp" "src/core/CMakeFiles/gapsp_core.dir/dist_io.cpp.o" "gcc" "src/core/CMakeFiles/gapsp_core.dir/dist_io.cpp.o.d"
+  "/root/repo/src/core/dist_store.cpp" "src/core/CMakeFiles/gapsp_core.dir/dist_store.cpp.o" "gcc" "src/core/CMakeFiles/gapsp_core.dir/dist_store.cpp.o.d"
+  "/root/repo/src/core/incore_fw.cpp" "src/core/CMakeFiles/gapsp_core.dir/incore_fw.cpp.o" "gcc" "src/core/CMakeFiles/gapsp_core.dir/incore_fw.cpp.o.d"
+  "/root/repo/src/core/minplus.cpp" "src/core/CMakeFiles/gapsp_core.dir/minplus.cpp.o" "gcc" "src/core/CMakeFiles/gapsp_core.dir/minplus.cpp.o.d"
+  "/root/repo/src/core/multi_device.cpp" "src/core/CMakeFiles/gapsp_core.dir/multi_device.cpp.o" "gcc" "src/core/CMakeFiles/gapsp_core.dir/multi_device.cpp.o.d"
+  "/root/repo/src/core/ooc_boundary.cpp" "src/core/CMakeFiles/gapsp_core.dir/ooc_boundary.cpp.o" "gcc" "src/core/CMakeFiles/gapsp_core.dir/ooc_boundary.cpp.o.d"
+  "/root/repo/src/core/ooc_fw.cpp" "src/core/CMakeFiles/gapsp_core.dir/ooc_fw.cpp.o" "gcc" "src/core/CMakeFiles/gapsp_core.dir/ooc_fw.cpp.o.d"
+  "/root/repo/src/core/ooc_johnson.cpp" "src/core/CMakeFiles/gapsp_core.dir/ooc_johnson.cpp.o" "gcc" "src/core/CMakeFiles/gapsp_core.dir/ooc_johnson.cpp.o.d"
+  "/root/repo/src/core/path_extract.cpp" "src/core/CMakeFiles/gapsp_core.dir/path_extract.cpp.o" "gcc" "src/core/CMakeFiles/gapsp_core.dir/path_extract.cpp.o.d"
+  "/root/repo/src/core/selector.cpp" "src/core/CMakeFiles/gapsp_core.dir/selector.cpp.o" "gcc" "src/core/CMakeFiles/gapsp_core.dir/selector.cpp.o.d"
+  "/root/repo/src/core/verify.cpp" "src/core/CMakeFiles/gapsp_core.dir/verify.cpp.o" "gcc" "src/core/CMakeFiles/gapsp_core.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gapsp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/gapsp_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gapsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sssp/CMakeFiles/gapsp_sssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gapsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

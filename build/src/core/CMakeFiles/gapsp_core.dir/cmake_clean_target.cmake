@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgapsp_core.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr_graph.cpp" "src/graph/CMakeFiles/gapsp_graph.dir/csr_graph.cpp.o" "gcc" "src/graph/CMakeFiles/gapsp_graph.dir/csr_graph.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/gapsp_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/gapsp_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/graph_stats.cpp" "src/graph/CMakeFiles/gapsp_graph.dir/graph_stats.cpp.o" "gcc" "src/graph/CMakeFiles/gapsp_graph.dir/graph_stats.cpp.o.d"
+  "/root/repo/src/graph/matrix_market.cpp" "src/graph/CMakeFiles/gapsp_graph.dir/matrix_market.cpp.o" "gcc" "src/graph/CMakeFiles/gapsp_graph.dir/matrix_market.cpp.o.d"
+  "/root/repo/src/graph/suite.cpp" "src/graph/CMakeFiles/gapsp_graph.dir/suite.cpp.o" "gcc" "src/graph/CMakeFiles/gapsp_graph.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gapsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

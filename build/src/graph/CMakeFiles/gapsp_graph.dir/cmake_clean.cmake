@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gapsp_graph.dir/csr_graph.cpp.o"
+  "CMakeFiles/gapsp_graph.dir/csr_graph.cpp.o.d"
+  "CMakeFiles/gapsp_graph.dir/generators.cpp.o"
+  "CMakeFiles/gapsp_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/gapsp_graph.dir/graph_stats.cpp.o"
+  "CMakeFiles/gapsp_graph.dir/graph_stats.cpp.o.d"
+  "CMakeFiles/gapsp_graph.dir/matrix_market.cpp.o"
+  "CMakeFiles/gapsp_graph.dir/matrix_market.cpp.o.d"
+  "CMakeFiles/gapsp_graph.dir/suite.cpp.o"
+  "CMakeFiles/gapsp_graph.dir/suite.cpp.o.d"
+  "libgapsp_graph.a"
+  "libgapsp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gapsp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

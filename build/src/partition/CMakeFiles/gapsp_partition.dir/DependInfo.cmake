@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/boundary.cpp" "src/partition/CMakeFiles/gapsp_partition.dir/boundary.cpp.o" "gcc" "src/partition/CMakeFiles/gapsp_partition.dir/boundary.cpp.o.d"
+  "/root/repo/src/partition/kway.cpp" "src/partition/CMakeFiles/gapsp_partition.dir/kway.cpp.o" "gcc" "src/partition/CMakeFiles/gapsp_partition.dir/kway.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gapsp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gapsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gapsp_partition.dir/boundary.cpp.o"
+  "CMakeFiles/gapsp_partition.dir/boundary.cpp.o.d"
+  "CMakeFiles/gapsp_partition.dir/kway.cpp.o"
+  "CMakeFiles/gapsp_partition.dir/kway.cpp.o.d"
+  "libgapsp_partition.a"
+  "libgapsp_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gapsp_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

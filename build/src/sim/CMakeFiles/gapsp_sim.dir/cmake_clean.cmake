@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gapsp_sim.dir/device.cpp.o"
+  "CMakeFiles/gapsp_sim.dir/device.cpp.o.d"
+  "CMakeFiles/gapsp_sim.dir/trace.cpp.o"
+  "CMakeFiles/gapsp_sim.dir/trace.cpp.o.d"
+  "libgapsp_sim.a"
+  "libgapsp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gapsp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

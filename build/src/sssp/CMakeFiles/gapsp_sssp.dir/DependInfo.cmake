@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sssp/bellman_ford.cpp" "src/sssp/CMakeFiles/gapsp_sssp.dir/bellman_ford.cpp.o" "gcc" "src/sssp/CMakeFiles/gapsp_sssp.dir/bellman_ford.cpp.o.d"
+  "/root/repo/src/sssp/delta_stepping.cpp" "src/sssp/CMakeFiles/gapsp_sssp.dir/delta_stepping.cpp.o" "gcc" "src/sssp/CMakeFiles/gapsp_sssp.dir/delta_stepping.cpp.o.d"
+  "/root/repo/src/sssp/dijkstra.cpp" "src/sssp/CMakeFiles/gapsp_sssp.dir/dijkstra.cpp.o" "gcc" "src/sssp/CMakeFiles/gapsp_sssp.dir/dijkstra.cpp.o.d"
+  "/root/repo/src/sssp/near_far.cpp" "src/sssp/CMakeFiles/gapsp_sssp.dir/near_far.cpp.o" "gcc" "src/sssp/CMakeFiles/gapsp_sssp.dir/near_far.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gapsp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gapsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gapsp_sssp.dir/bellman_ford.cpp.o"
+  "CMakeFiles/gapsp_sssp.dir/bellman_ford.cpp.o.d"
+  "CMakeFiles/gapsp_sssp.dir/delta_stepping.cpp.o"
+  "CMakeFiles/gapsp_sssp.dir/delta_stepping.cpp.o.d"
+  "CMakeFiles/gapsp_sssp.dir/dijkstra.cpp.o"
+  "CMakeFiles/gapsp_sssp.dir/dijkstra.cpp.o.d"
+  "CMakeFiles/gapsp_sssp.dir/near_far.cpp.o"
+  "CMakeFiles/gapsp_sssp.dir/near_far.cpp.o.d"
+  "libgapsp_sssp.a"
+  "libgapsp_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gapsp_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gapsp_util.dir/args.cpp.o"
+  "CMakeFiles/gapsp_util.dir/args.cpp.o.d"
+  "CMakeFiles/gapsp_util.dir/common.cpp.o"
+  "CMakeFiles/gapsp_util.dir/common.cpp.o.d"
+  "CMakeFiles/gapsp_util.dir/table.cpp.o"
+  "CMakeFiles/gapsp_util.dir/table.cpp.o.d"
+  "CMakeFiles/gapsp_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/gapsp_util.dir/thread_pool.cpp.o.d"
+  "libgapsp_util.a"
+  "libgapsp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gapsp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

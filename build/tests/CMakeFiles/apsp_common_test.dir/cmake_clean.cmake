@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apsp_common_test.dir/apsp_common_test.cpp.o"
+  "CMakeFiles/apsp_common_test.dir/apsp_common_test.cpp.o.d"
+  "apsp_common_test"
+  "apsp_common_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apsp_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

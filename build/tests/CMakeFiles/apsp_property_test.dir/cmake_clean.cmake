@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apsp_property_test.dir/apsp_property_test.cpp.o"
+  "CMakeFiles/apsp_property_test.dir/apsp_property_test.cpp.o.d"
+  "apsp_property_test"
+  "apsp_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apsp_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/component_solver_test.dir/component_solver_test.cpp.o"
+  "CMakeFiles/component_solver_test.dir/component_solver_test.cpp.o.d"
+  "component_solver_test"
+  "component_solver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/component_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_io_test.dir/dist_io_test.cpp.o"
+  "CMakeFiles/dist_io_test.dir/dist_io_test.cpp.o.d"
+  "dist_io_test"
+  "dist_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

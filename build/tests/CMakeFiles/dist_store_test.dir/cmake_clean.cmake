@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_store_test.dir/dist_store_test.cpp.o"
+  "CMakeFiles/dist_store_test.dir/dist_store_test.cpp.o.d"
+  "dist_store_test"
+  "dist_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generators_ext_test.dir/generators_ext_test.cpp.o"
+  "CMakeFiles/generators_ext_test.dir/generators_ext_test.cpp.o.d"
+  "generators_ext_test"
+  "generators_ext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generators_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incore_fw_test.dir/incore_fw_test.cpp.o"
+  "CMakeFiles/incore_fw_test.dir/incore_fw_test.cpp.o.d"
+  "incore_fw_test"
+  "incore_fw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incore_fw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minplus_test.dir/minplus_test.cpp.o"
+  "CMakeFiles/minplus_test.dir/minplus_test.cpp.o.d"
+  "minplus_test"
+  "minplus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minplus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

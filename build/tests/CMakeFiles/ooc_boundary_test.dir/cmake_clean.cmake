@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooc_boundary_test.dir/ooc_boundary_test.cpp.o"
+  "CMakeFiles/ooc_boundary_test.dir/ooc_boundary_test.cpp.o.d"
+  "ooc_boundary_test"
+  "ooc_boundary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooc_boundary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooc_fw_test.dir/ooc_fw_test.cpp.o"
+  "CMakeFiles/ooc_fw_test.dir/ooc_fw_test.cpp.o.d"
+  "ooc_fw_test"
+  "ooc_fw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooc_fw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

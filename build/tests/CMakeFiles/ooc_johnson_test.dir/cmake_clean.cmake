@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooc_johnson_test.dir/ooc_johnson_test.cpp.o"
+  "CMakeFiles/ooc_johnson_test.dir/ooc_johnson_test.cpp.o.d"
+  "ooc_johnson_test"
+  "ooc_johnson_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooc_johnson_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_extract_test.dir/path_extract_test.cpp.o"
+  "CMakeFiles/path_extract_test.dir/path_extract_test.cpp.o.d"
+  "path_extract_test"
+  "path_extract_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_extract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

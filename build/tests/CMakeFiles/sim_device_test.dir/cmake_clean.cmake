@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_device_test.dir/sim_device_test.cpp.o"
+  "CMakeFiles/sim_device_test.dir/sim_device_test.cpp.o.d"
+  "sim_device_test"
+  "sim_device_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
