@@ -40,6 +40,8 @@ ApspMetrics metrics_from_device(const sim::Device& dev, double wall_seconds) {
   m.wall_seconds = wall_seconds;
   m.kernel_seconds = dm.kernel_seconds;
   m.transfer_seconds = dm.transfer_seconds;
+  m.hidden_transfer_seconds = dm.hidden_transfer_seconds;
+  m.exposed_transfer_seconds = dm.exposed_transfer_seconds;
   m.bytes_h2d = dm.bytes_h2d;
   m.bytes_d2h = dm.bytes_d2h;
   m.transfers_h2d = dm.transfers_h2d;
@@ -48,6 +50,7 @@ ApspMetrics metrics_from_device(const sim::Device& dev, double wall_seconds) {
   m.child_kernels = dm.child_kernels;
   m.total_ops = dm.total_ops;
   m.device_peak_bytes = dm.peak_bytes;
+  m.pinned_peak_bytes = dm.pinned_peak_bytes;
   return m;
 }
 

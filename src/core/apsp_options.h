@@ -71,7 +71,15 @@ struct ApspOptions {
   part::Method partition_method = part::Method::kMultilevelKway;
   /// Transfer batching (accumulate N_row block-rows per D2H transfer).
   bool batch_transfers = true;
-  /// Double-buffered compute/transfer overlap on two streams.
+
+  // ---- all algorithms ----
+  /// Double-buffered compute/transfer overlap on extra streams through
+  /// pinned staging (sim::StreamPipeline). Applies to all three algorithms:
+  /// blocked FW prefetches the next row/remainder tiles while the current
+  /// min-plus kernel runs, Johnson drains each batch's rows while the next
+  /// batch's SSSP kernel executes, and the boundary algorithm ping-pongs its
+  /// staging buffers. Costs extra device memory for the second buffer of
+  /// each pair (FW blocks shrink, Johnson's bat shrinks accordingly).
   bool overlap_transfers = true;
 };
 
@@ -80,6 +88,11 @@ struct ApspMetrics {
   double wall_seconds = 0.0;      ///< host wall-clock of the functional run
   double kernel_seconds = 0.0;
   double transfer_seconds = 0.0;
+  /// Overlap efficiency: transfer seconds hidden under concurrent kernel
+  /// execution vs exposed on the critical path (hidden + exposed equals
+  /// transfer_seconds).
+  double hidden_transfer_seconds = 0.0;
+  double exposed_transfer_seconds = 0.0;
   std::size_t bytes_h2d = 0;
   std::size_t bytes_d2h = 0;
   long long transfers_h2d = 0;
@@ -88,6 +101,8 @@ struct ApspMetrics {
   long long child_kernels = 0;
   double total_ops = 0.0;
   std::size_t device_peak_bytes = 0;
+  /// High-water mark of pinned-host staging used by the transfer pipeline.
+  std::size_t pinned_peak_bytes = 0;
 
   // Algorithm-specific (0 when not applicable).
   int fw_num_blocks = 0;        ///< n_d

@@ -15,8 +15,8 @@
 
 namespace gapsp::core {
 
-double fw_transfer_model(vidx_t n, const sim::DeviceSpec& spec) {
-  const vidx_t b = fw_block_size(spec, n);
+double fw_transfer_model(vidx_t n, const sim::DeviceSpec& spec, bool overlap) {
+  const vidx_t b = fw_block_size(spec, n, fw_resident_blocks(overlap));
   const double nd = std::ceil(static_cast<double>(n) / b);
   const double bytes =
       nd * sizeof(dist_t) *
@@ -64,6 +64,9 @@ Calibration run_calibration(const ApspOptions& base) {
   Calibration cal;
   ApspOptions opts = base;
   opts.algorithm = Algorithm::kAuto;
+  // Internal probe runs: keep them out of the user's timeline (they would
+  // dominate the event count and skew the overlap summary).
+  opts.trace = nullptr;
 
   // --- FW reference runs: random graphs, the FW cost only depends on n.
   // Two sizes give the power-law fit (paper: single point, exponent 3 —
@@ -194,14 +197,17 @@ CostBreakdown estimate_fw(const graph::CsrGraph& g, const ApspOptions& opts) {
       static_cast<double>(g.num_vertices()) / static_cast<double>(cal.fw_n0);
   CostBreakdown cost;
   cost.compute_s = cal.fw_t0 * std::pow(scale, cal.fw_exponent);
-  cost.transfer_s = fw_transfer_model(g.num_vertices(), opts.device);
+  cost.transfer_s =
+      fw_transfer_model(g.num_vertices(), opts.device, opts.overlap_transfers);
+  cost.overlapped = opts.overlap_transfers;
   return cost;
 }
 
 CostBreakdown estimate_johnson(const graph::CsrGraph& g,
                                const ApspOptions& opts, int sample_batches) {
   const int bat =
-      johnson_batch_size(opts.device, g, opts.johnson_queue_factor);
+      johnson_batch_size(opts.device, g, opts.johnson_queue_factor,
+                         opts.overlap_transfers ? 2 : 1);
   const int nb =
       static_cast<int>((g.num_vertices() + bat - 1) / bat);
   // Randomly choose up to `sample_batches` distinct batches (paper: k = 5).
@@ -217,11 +223,15 @@ CostBreakdown estimate_johnson(const graph::CsrGraph& g,
       }
     }
   }
-  const JohnsonSample sample = johnson_sample_batches(g, opts, chosen);
+  // Sampling is an internal probe — keep it out of the user's timeline.
+  ApspOptions sample_opts = opts;
+  sample_opts.trace = nullptr;
+  const JohnsonSample sample = johnson_sample_batches(g, sample_opts, chosen);
   CostBreakdown cost;
   cost.compute_s = sample.kernel_seconds * static_cast<double>(nb) /
                    std::max(1, sample.sampled);
   cost.transfer_s = johnson_transfer_model(g.num_vertices(), opts.device);
+  cost.overlapped = opts.overlap_transfers;
   return cost;
 }
 
@@ -260,6 +270,9 @@ CostBreakdown estimate_boundary(const graph::CsrGraph& g,
     cost.compute_s = boundary_nop(n, plan.k, b) * cal.c_unit[bucket];
   }
   cost.transfer_s = boundary_transfer_model(plan, n, opts.device);
+  // Overlap only helps when the batched D2H path is actually in use.
+  cost.overlapped = opts.overlap_transfers && opts.batch_transfers &&
+                    plan.staging_rows > 0;
   return cost;
 }
 

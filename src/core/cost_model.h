@@ -4,6 +4,8 @@
 // Johnson's algorithm.
 #pragma once
 
+#include <algorithm>
+
 #include "core/apsp_options.h"
 #include "core/ooc_boundary.h"
 #include "graph/csr_graph.h"
@@ -12,8 +14,11 @@ namespace gapsp::core {
 
 // ---- Transfer models (Sec. IV-B1) ----
 
-/// Floyd–Warshall: T = n_d · W · (3b² + n²) / TH.
-double fw_transfer_model(vidx_t n, const sim::DeviceSpec& spec);
+/// Floyd–Warshall: T = n_d · W · (3b² + n²) / TH. With `overlap` the block
+/// size comes from the five-resident-block pipelined schedule (smaller b,
+/// larger n_d — the volume cost of double buffering).
+double fw_transfer_model(vidx_t n, const sim::DeviceSpec& spec,
+                         bool overlap = false);
 
 /// Johnson: T = W · n² / TH.
 double johnson_transfer_model(vidx_t n, const sim::DeviceSpec& spec);
@@ -61,7 +66,14 @@ struct CostBreakdown {
   double compute_s = 0.0;
   double transfer_s = 0.0;
   bool feasible = true;
-  double total() const { return compute_s + transfer_s; }
+  /// True when the estimate assumes compute/transfer overlap
+  /// (opts.overlap_transfers): the pipeline hides the shorter leg, so the
+  /// total is the longer one instead of the sum.
+  bool overlapped = false;
+  double total() const {
+    return overlapped ? std::max(compute_s, transfer_s)
+                      : compute_s + transfer_s;
+  }
 };
 
 /// FW estimate: calibrated cubic scaling + transfer model.

@@ -299,6 +299,9 @@ MultiApspResult ooc_boundary_multi(const graph::CsrGraph& g,
     const ApspMetrics m = metrics_from_device(*st.dev, 0.0);
     agg.kernel_seconds += m.kernel_seconds;
     agg.transfer_seconds += m.transfer_seconds;
+    agg.hidden_transfer_seconds += m.hidden_transfer_seconds;
+    agg.exposed_transfer_seconds += m.exposed_transfer_seconds;
+    agg.pinned_peak_bytes += m.pinned_peak_bytes;
     agg.bytes_h2d += m.bytes_h2d;
     agg.bytes_d2h += m.bytes_d2h;
     agg.transfers_h2d += m.transfers_h2d;

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 #include <vector>
 
 #include "core/device_kernels.h"
+#include "sim/stream_pipeline.h"
 #include "util/timer.h"
 
 namespace gapsp::core {
@@ -17,8 +19,9 @@ int default_components(vidx_t n) {
                          static_cast<double>(n)) / 4.0)));
 }
 
-/// Fixed (non-staging) device working set of a plan, in bytes.
-std::size_t fixed_bytes(const part::BoundaryLayout& layout) {
+/// Fixed (non-staging) device working set of a plan, in bytes. With
+/// `overlap` the component block of Step 2 doubles up for its ping-pong.
+std::size_t fixed_bytes(const part::BoundaryLayout& layout, bool overlap) {
   const int k = layout.k();
   const std::size_t dmax = layout.max_comp_size();
   const std::size_t nb = layout.num_boundary;
@@ -29,7 +32,8 @@ std::size_t fixed_bytes(const part::BoundaryLayout& layout) {
     b2c_all += static_cast<std::size_t>(layout.comp_boundary[j]) *
                layout.comp_size(j);
   }
-  const std::size_t diag = dmax * dmax;       // component FW / scratch tile
+  // component FW tile (ping-pong pair under overlap)
+  const std::size_t diag = dmax * dmax * (overlap ? 2 : 1);
   const std::size_t out = dmax * dmax;        // naive-mode output tile
   const std::size_t bound = nb * nb;          // dist3 matrix
   const std::size_t c2b = dmax * bmax;        // per-i upload
@@ -62,7 +66,6 @@ BoundaryPlan plan_boundary(const graph::CsrGraph& g, const ApspOptions& opts) {
     plan.k = k;
     plan.max_comp = plan.layout.max_comp_size();
     plan.nb = plan.layout.num_boundary;
-    const std::size_t fixed = fixed_bytes(plan.layout);
     const std::size_t one_row =
         static_cast<std::size_t>(n) * sizeof(dist_t);
     // Batched mode needs at least one component block-row of staging (twice
@@ -71,6 +74,15 @@ BoundaryPlan plan_boundary(const graph::CsrGraph& g, const ApspOptions& opts) {
     if (opts.batch_transfers) {
       staging_min = static_cast<std::size_t>(plan.max_comp) * one_row *
                     (opts.overlap_transfers ? 2 : 1);
+    }
+    // Prefer the double-buffered Step-2 component block when overlapping,
+    // but degrade to a single buffer at the same k before halving k — the
+    // second buffer is an optimization, not a feasibility requirement.
+    plan.pipeline_comp = opts.overlap_transfers;
+    std::size_t fixed = fixed_bytes(plan.layout, plan.pipeline_comp);
+    if (plan.pipeline_comp && fixed + staging_min > budget) {
+      plan.pipeline_comp = false;
+      fixed = fixed_bytes(plan.layout, false);
     }
     if (fixed + staging_min <= budget) {
       plan.s_dia = static_cast<std::size_t>(plan.max_comp) * plan.max_comp *
@@ -116,13 +128,17 @@ ApspResult ooc_boundary(const graph::CsrGraph& g, const ApspOptions& opts,
 
   sim::Device dev(opts.device);
   dev.set_trace(opts.trace);
-  const sim::StreamId compute = sim::kDefaultStream;
-  const sim::StreamId copyback =
-      opts.overlap_transfers ? dev.create_stream() : compute;
+  sim::StreamPipeline pipe(dev, opts.overlap_transfers);
+  const sim::StreamId compute = pipe.compute_stream();
 
   // ---- device allocations (accounted against capacity) ----
-  auto diag_buf = dev.alloc<dist_t>(
-      static_cast<std::size_t>(dmax) * dmax, "diagonal block");
+  // Step-2 component block, ping-ponged so the next component's weight
+  // matrix prefetches and the previous dist2 drains while the current
+  // in-core FW runs. The plan may have degraded to a single buffer when
+  // the second block did not fit at the chosen k.
+  sim::PingPong<dist_t> comp_pp(pipe, static_cast<std::size_t>(dmax) * dmax,
+                                "component block",
+                                plan.pipeline_comp ? 2 : 1);
   auto out_buf = dev.alloc<dist_t>(
       static_cast<std::size_t>(dmax) * dmax, "output tile");
   auto bound_buf = dev.alloc<dist_t>(
@@ -143,16 +159,12 @@ ApspResult ooc_boundary(const graph::CsrGraph& g, const ApspOptions& opts,
       static_cast<std::size_t>(dmax) * nb, "tmp1 = C2B ⊗ bound");
 
   const bool batching = opts.batch_transfers && plan.staging_rows > 0;
-  const int nstage = batching && opts.overlap_transfers ? 2 : 1;
-  std::vector<sim::DeviceBuffer<dist_t>> staging;
-  std::vector<std::vector<dist_t>> host_staging(
-      static_cast<std::size_t>(nstage));
+  // Ping-pong staging for the finished block-rows (one buffer when not
+  // overlapping, matching plan_boundary's budget split).
+  std::optional<sim::PingPong<dist_t>> staging;
   if (batching) {
-    for (int s = 0; s < nstage; ++s) {
-      staging.push_back(dev.alloc<dist_t>(
-          static_cast<std::size_t>(plan.staging_rows) * n, "staging"));
-      host_staging[s].resize(staging.back().size());
-    }
+    staging.emplace(pipe, static_cast<std::size_t>(plan.staging_rows) * n,
+                    "staging");
   }
 
   std::vector<std::vector<dist_t>> dist2(static_cast<std::size_t>(k));
@@ -160,16 +172,24 @@ ApspResult ooc_boundary(const graph::CsrGraph& g, const ApspOptions& opts,
                            std::max<vidx_t>(n, dmax));
 
   // ---- Step 2: per-component APSP (blocked FW on the device) ----
+  // Pipelined: component i+1's weight matrix stages in and component i-1's
+  // dist2 drains while component i's in-core FW runs on the compute stream.
   for (int i = 0; i < k; ++i) {
     const vidx_t off = layout.comp_offset[i];
     const vidx_t ni = layout.comp_size(i);
-    weight_block(gp, off, off, ni, ni, hbuf.data(), ni);
-    dev.memcpy_h2d(compute, diag_buf.data(), hbuf.data(),
-                   static_cast<std::size_t>(ni) * ni * sizeof(dist_t));
-    dev_blocked_fw(dev, compute, diag_buf.data(), ni, ni, opts.fw_tile);
-    dist2[i].resize(static_cast<std::size_t>(ni) * ni);
-    dev.memcpy_d2h(compute, dist2[i].data(), diag_buf.data(),
-                   dist2[i].size() * sizeof(dist_t));
+    const std::size_t bytes =
+        static_cast<std::size_t>(ni) * ni * sizeof(dist_t);
+    const int s = comp_pp.acquire(pipe.in_stream());
+    weight_block(gp, off, off, ni, ni, comp_pp.host_ptr(s), ni);
+    comp_pp.set_ready(s, pipe.stage_in(comp_pp.device_ptr(s),
+                                       comp_pp.host_ptr(s), bytes));
+    pipe.consume(comp_pp.ready(s));
+    dev_blocked_fw(dev, compute, comp_pp.device_ptr(s), ni, ni, opts.fw_tile);
+    const sim::Event drained = pipe.stage_out(
+        comp_pp.host_ptr(s), comp_pp.device_ptr(s), bytes, pipe.computed());
+    dist2[i].assign(comp_pp.host_ptr(s),
+                    comp_pp.host_ptr(s) + static_cast<std::size_t>(ni) * ni);
+    comp_pp.release(s, drained);
   }
 
   // ---- Step 3: boundary graph (virtual + cross edges), FW -> dist3 ----
@@ -215,35 +235,26 @@ ApspResult ooc_boundary(const graph::CsrGraph& g, const ApspOptions& opts,
   }
 
   // ---- Step 4: A(i,j) = min(direct, C2B[i] ⊗ bound(i,j) ⊗ B2C[j]) ----
-  // Batched mode: finished block-rows accumulate in a staging buffer that is
-  // flushed with one large transfer; overlap mode ping-pongs two buffers.
-  int active = 0;                // staging buffer being filled
+  // Batched mode: finished block-rows accumulate in a staging slot that is
+  // flushed with one large transfer on the D2H lane while compute fills the
+  // other slot.
+  int active = -1;               // staging slot being filled
   vidx_t staged_rows = 0;        // rows currently in `active`
   vidx_t staged_row0 = 0;        // matrix row of the first staged row
-  std::vector<sim::Event> stage_free(static_cast<std::size_t>(nstage));
 
   auto flush_staging = [&]() {
     if (staged_rows == 0) return;
     const std::size_t bytes = static_cast<std::size_t>(staged_rows) * n *
                               sizeof(dist_t);
-    if (opts.overlap_transfers) {
-      // Transfer stream waits for the compute stream to finish this buffer.
-      dev.wait_event(copyback, dev.record_event(compute));
-      dev.memcpy_d2h(copyback, host_staging[active].data(),
-                     staging[active].data(), bytes, /*async=*/true,
-                     /*pinned=*/true);
-      stage_free[active] = dev.record_event(copyback);
-    } else {
-      dev.memcpy_d2h(compute, host_staging[active].data(),
-                     staging[active].data(), bytes, /*async=*/false,
-                     /*pinned=*/true);
-    }
+    // The D2H lane waits for the kernels that filled this slot; the slot's
+    // next acquire (on compute) waits until the drain finished.
+    const sim::Event drained = pipe.stage_out(
+        staging->host_ptr(active), staging->device_ptr(active), bytes,
+        pipe.computed());
     store.write_block(staged_row0, 0, staged_rows, n,
-                      host_staging[active].data(), static_cast<std::size_t>(n));
-    active = (active + 1) % nstage;
-    // Before refilling the next buffer, compute must wait until its previous
-    // transfer drained (no-op for the first pass / non-overlap mode).
-    dev.wait_event(compute, stage_free[active]);
+                      staging->host_ptr(active), static_cast<std::size_t>(n));
+    staging->release(active, drained);
+    active = -1;
     staged_rows = 0;
   };
 
@@ -278,9 +289,12 @@ ApspResult ooc_boundary(const graph::CsrGraph& g, const ApspOptions& opts,
     if (batching) {
       if (staged_rows + ni > plan.staging_rows) flush_staging();
       GAPSP_CHECK(ni <= plan.staging_rows, "staging too small for component");
-      if (staged_rows == 0) staged_row0 = off;
-      dist_t* row_base =
-          staging[active].data() + static_cast<std::size_t>(staged_rows) * n;
+      if (staged_rows == 0) {
+        staged_row0 = off;
+        active = staging->acquire(compute);
+      }
+      dist_t* row_base = staging->device_ptr(active) +
+                         static_cast<std::size_t>(staged_rows) * n;
       // Initialize the block-row: kInf everywhere, dist2 on the diagonal.
       dev.launch(compute, "init_block_row", [&](sim::LaunchCtx&) {
         std::fill_n(row_base, static_cast<std::size_t>(ni) * n, kInf);
@@ -358,6 +372,7 @@ ApspResult ooc_boundary(const graph::CsrGraph& g, const ApspOptions& opts,
     }
   }
   if (batching) flush_staging();
+  pipe.drain();
   dev.synchronize();
 
   ApspResult result;

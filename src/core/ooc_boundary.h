@@ -31,6 +31,10 @@ struct BoundaryPlan {
   std::size_t s_bound = 0;  ///< boundary matrix, bytes
   std::size_t s_rem = 0;    ///< staging budget, bytes
   vidx_t staging_rows = 0;  ///< output rows per staging buffer
+  /// Step 2 double-buffers the component block. False when overlap is off
+  /// or when memory is too tight for the second block at this k (the plan
+  /// then degrades to a single buffer rather than halving k further).
+  bool pipeline_comp = false;
 };
 
 /// Partitions and sizes the run. Starts from opts.num_components (0 → the

@@ -6,15 +6,29 @@
 // row/column panel updates against the closed diagonal, then the min-plus
 // update of every remaining block — streaming every block between the host
 // store and the device. Data movement is O(n_d · n²); compute is O(n³).
+//
+// With opts.overlap_transfers the block traffic is pipelined through
+// sim::StreamPipeline: the next row-panel and remainder tiles prefetch on an
+// H2D stream and finished tiles drain on a D2H stream while the current
+// min-plus kernel runs, at the price of two extra resident blocks (the
+// ping-pong halves of the row and tile buffers).
 #pragma once
 
 #include "core/apsp_common.h"
 
 namespace gapsp::core {
 
-/// Largest block side b such that three b×b dist_t blocks (plus slack) fit
-/// in the device memory of `spec`. Exposed for the Sec. IV cost models.
-vidx_t fw_block_size(const sim::DeviceSpec& spec, vidx_t n);
+/// Number of resident b×b blocks the FW schedule keeps on device: three in
+/// the serialized schedule (A(i,j), A(i,k), A(k,j)); five when transfers
+/// overlap, because the row-panel and remainder-tile buffers double up for
+/// the prefetch ping-pong.
+int fw_resident_blocks(bool overlap_transfers);
+
+/// Largest block side b such that `resident_blocks` b×b dist_t blocks (plus
+/// slack) fit in the device memory of `spec`. Exposed for the Sec. IV cost
+/// models.
+vidx_t fw_block_size(const sim::DeviceSpec& spec, vidx_t n,
+                     int resident_blocks = 3);
 
 /// Runs Algorithm 1. `store` receives the final distances (original vertex
 /// order). The graph's weight matrix is written into `store` first.

@@ -1,8 +1,10 @@
 #include "core/ooc_johnson.h"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
+#include "sim/stream_pipeline.h"
 #include "sssp/bellman_ford.h"
 #include "sssp/delta_stepping.h"
 #include "sssp/near_far.h"
@@ -27,22 +29,32 @@ constexpr double kChildEfficiency = 0.48;
 class JohnsonRunner {
  public:
   JohnsonRunner(const graph::CsrGraph& g, const ApspOptions& opts)
-      : g_(g), opts_(opts), dev_(opts.device) {
+      : g_(g), opts_(opts), dev_(opts.device),
+        pipe_(dev_, opts.overlap_transfers) {
     dev_.set_trace(opts.trace);
-    bat_ = johnson_batch_size(dev_.spec(), g, opts.johnson_queue_factor);
+    bat_ = johnson_batch_size(dev_.spec(), g, opts.johnson_queue_factor,
+                              opts.overlap_transfers ? 2 : 1);
     nb_ = static_cast<int>((g.num_vertices() + bat_ - 1) / bat_);
-    dg_ = upload_graph(dev_, sim::kDefaultStream, g);
-    dist_rows_ = dev_.alloc<dist_t>(
-        static_cast<std::size_t>(bat_) * g.num_vertices(), "dist rows");
+    dg_ = upload_graph(dev_, pipe_.compute_stream(), g);
+    rows_.emplace(pipe_,
+                  static_cast<std::size_t>(bat_) * g.num_vertices(),
+                  "dist rows");
     const auto queue_elems = static_cast<std::size_t>(
         opts.johnson_queue_factor * static_cast<double>(g.num_edges()) * bat_);
+    // The worklists are scratch of the running batch only — the writeback
+    // never touches them, so they stay single-buffered.
     worklists_ = dev_.alloc<dist_t>(queue_elems, "near/far worklists");
-    host_rows_.resize(dist_rows_.size());
   }
 
   int bat() const { return bat_; }
   int num_batches() const { return nb_; }
   sim::Device& device() { return dev_; }
+
+  /// Ends the pipelined phase: waits out the last writeback.
+  void finish() {
+    pipe_.drain();
+    dev_.synchronize();
+  }
 
   struct BatchTimes {
     double kernel_s = 0.0;
@@ -51,12 +63,17 @@ class JohnsonRunner {
 
   /// Runs batch `bi` (sources [bi·bat, ...)); returns simulated seconds of
   /// the MSSP kernel and the result transfer. Rows land in `store` if
-  /// non-null.
+  /// non-null. With overlap_transfers the previous batch's rows drain on the
+  /// D2H lane while this batch's MSSP kernel runs.
   BatchTimes run_batch(int bi, DistStore* store) {
     const vidx_t n = g_.num_vertices();
     const vidx_t s0 = static_cast<vidx_t>(bi) * bat_;
     const vidx_t cnt = std::min<vidx_t>(bat_, n - s0);
     GAPSP_CHECK(cnt > 0, "empty batch");
+    // The kernel (on compute) waits until the slot's previous writeback
+    // drained before it may rewrite the rows.
+    const int slot = rows_->acquire(pipe_.compute_stream());
+    dist_t* dist_rows = rows_->device_ptr(slot);
 
     sssp::NearFarConfig nf;
     nf.delta = opts_.delta;
@@ -72,12 +89,12 @@ class JohnsonRunner {
     std::vector<InstanceStats> stats(static_cast<std::size_t>(cnt));
     const SsspKernel kernel = opts_.sssp_kernel;
     const double kernel_s = dev_.launch(
-        sim::kDefaultStream, "MSSP", [&](sim::LaunchCtx& ctx) {
+        pipe_.compute_stream(), "MSSP", [&](sim::LaunchCtx& ctx) {
           // One SSSP instance per thread block (Algorithm 2's MSSP kernel).
           ThreadPool::global().parallel_for(
               static_cast<std::size_t>(cnt), [&](std::size_t i) {
                 std::span<dist_t> row(
-                    dist_rows_.data() + i * static_cast<std::size_t>(n),
+                    dist_rows + i * static_cast<std::size_t>(n),
                     static_cast<std::size_t>(n));
                 const vidx_t src = s0 + static_cast<vidx_t>(i);
                 switch (kernel) {
@@ -159,25 +176,25 @@ class JohnsonRunner {
     const std::size_t bytes =
         static_cast<std::size_t>(cnt) * static_cast<std::size_t>(n) *
         sizeof(dist_t);
-    const double before = dev_.now();
-    dev_.memcpy_d2h(sim::kDefaultStream, host_rows_.data(), dist_rows_.data(),
-                    bytes, /*async=*/false, /*pinned=*/true);
-    const double transfer_s = dev_.now() - before;
+    const sim::Event drained = pipe_.stage_out(
+        rows_->host_ptr(slot), dist_rows, bytes, pipe_.computed());
     if (store != nullptr) {
-      store->write_block(s0, 0, cnt, n, host_rows_.data(),
+      store->write_block(s0, 0, cnt, n, rows_->host_ptr(slot),
                          static_cast<std::size_t>(n));
     }
-    return BatchTimes{kernel_s, transfer_s};
+    rows_->release(slot, drained);
+    return BatchTimes{kernel_s, dev_.transfer_time(bytes, /*pinned=*/true)};
   }
 
  private:
   const graph::CsrGraph& g_;
   ApspOptions opts_;
   sim::Device dev_;
+  sim::StreamPipeline pipe_;
   DeviceGraph dg_;
-  sim::DeviceBuffer<dist_t> dist_rows_;
+  // Deferred because its size depends on bat_, computed in the ctor body.
+  std::optional<sim::PingPong<dist_t>> rows_;
   sim::DeviceBuffer<dist_t> worklists_;
-  std::vector<dist_t> host_rows_;
   int bat_ = 0;
   int nb_ = 0;
 };
@@ -185,14 +202,16 @@ class JohnsonRunner {
 }  // namespace
 
 int johnson_batch_size(const sim::DeviceSpec& spec, const graph::CsrGraph& g,
-                       double queue_factor) {
+                       double queue_factor, int row_buffers) {
   const double L = 0.95 * static_cast<double>(spec.memory_bytes);
   const double S =
       static_cast<double>(g.offsets().size() * sizeof(eidx_t) +
                           static_cast<std::size_t>(g.num_edges()) *
                               (sizeof(vidx_t) + sizeof(dist_t)));
+  // Only the dist rows double up under overlap; the worklists belong to the
+  // running batch alone.
   const double per_instance =
-      sizeof(dist_t) * (static_cast<double>(g.num_vertices()) +
+      sizeof(dist_t) * (row_buffers * static_cast<double>(g.num_vertices()) +
                         queue_factor * static_cast<double>(g.num_edges()));
   const double bat = (L - S) / per_instance;
   GAPSP_CHECK(bat >= 1.0,
@@ -209,7 +228,7 @@ ApspResult ooc_johnson(const graph::CsrGraph& g, const ApspOptions& opts,
   for (int bi = 0; bi < runner.num_batches(); ++bi) {
     runner.run_batch(bi, &store);
   }
-  runner.device().synchronize();
+  runner.finish();
   ApspResult result;
   result.used = Algorithm::kJohnson;
   result.metrics = metrics_from_device(runner.device(), wall.seconds());
@@ -232,6 +251,7 @@ JohnsonSample johnson_sample_batches(const graph::CsrGraph& g,
     sample.transfer_seconds += times.transfer_s;
     ++sample.sampled;
   }
+  runner.finish();
   return sample;
 }
 

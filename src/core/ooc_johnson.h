@@ -18,9 +18,12 @@
 namespace gapsp::core {
 
 /// The batch size bat for a given device/graph (Sec. III-B formula).
-/// Throws gapsp::Error when even one instance does not fit.
+/// `row_buffers` is the number of resident dist-row blocks: 2 when the batch
+/// result D2H is double-buffered against the next batch's MSSP kernel
+/// (overlap_transfers), 1 otherwise. Throws gapsp::Error when even one
+/// instance does not fit.
 int johnson_batch_size(const sim::DeviceSpec& spec, const graph::CsrGraph& g,
-                       double queue_factor);
+                       double queue_factor, int row_buffers = 1);
 
 /// Runs Algorithm 2, writing finished rows into `store` batch by batch
 /// (original vertex order).

@@ -12,6 +12,7 @@ void LaunchCtx::child_launch(const KernelProfile& profile) {
 StreamId Device::create_stream() {
   // New streams become usable from "now" on the host timeline.
   stream_ready_.push_back(host_time_);
+  stream_busy_.push_back(0.0);
   return static_cast<StreamId>(stream_ready_.size() - 1);
 }
 
@@ -72,6 +73,8 @@ void Device::do_copy(StreamId s, void* dst, const void* src, std::size_t bytes,
   const double dur = transfer_time(bytes, pinned);
   const double start = std::max(stream_ready_[s], host_time_);
   stream_ready_[s] = start + dur;
+  stream_busy_[s] += dur;
+  intervals_.push_back({start, start + dur, /*transfer=*/true});
   metrics_.transfer_seconds += dur;
   if (trace_ != nullptr) {
     TraceEvent e;
@@ -116,6 +119,8 @@ double Device::launch(StreamId s, const std::string& name,
       spec_.kernel_launch_s + kernel_time(profile) + ctx.child_seconds();
   const double start = std::max(stream_ready_[s], host_time_);
   stream_ready_[s] = start + dur;
+  stream_busy_[s] += dur;
+  intervals_.push_back({start, start + dur, /*transfer=*/false});
   metrics_.kernel_seconds += dur;
   metrics_.total_ops += profile.ops;
   ++metrics_.kernels;
@@ -150,12 +155,57 @@ void Device::release_bytes(std::size_t bytes) {
   used_bytes_ -= bytes;
 }
 
+void Device::note_pinned_alloc(std::size_t bytes) {
+  pinned_bytes_ += bytes;
+  pinned_peak_bytes_ = std::max(pinned_peak_bytes_, pinned_bytes_);
+}
+
+void Device::note_pinned_release(std::size_t bytes) {
+  GAPSP_CHECK(bytes <= pinned_bytes_, "pinned staging accounting underflow");
+  pinned_bytes_ -= bytes;
+}
+
 DeviceMetrics Device::metrics() const {
   DeviceMetrics m = metrics_;
   m.peak_bytes = peak_bytes_;
+  m.pinned_peak_bytes = pinned_peak_bytes_;
+  m.stream_busy_seconds = stream_busy_;
   double makespan = host_time_;
   for (double t : stream_ready_) makespan = std::max(makespan, t);
   m.sim_seconds = makespan;
+
+  // Hidden vs exposed transfer time: a transfer is hidden to the extent its
+  // interval intersects kernel execution (necessarily on another stream —
+  // one stream never runs two operations at once). Merge the kernel
+  // intervals, then measure each transfer's intersection with the union.
+  std::vector<Interval> kernels;
+  for (const Interval& iv : intervals_) {
+    if (!iv.transfer) kernels.push_back(iv);
+  }
+  std::sort(kernels.begin(), kernels.end(),
+            [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  std::vector<Interval> merged;
+  for (const Interval& iv : kernels) {
+    if (!merged.empty() && iv.start <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, iv.end);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  double hidden = 0.0;
+  for (const Interval& iv : intervals_) {
+    if (!iv.transfer) continue;
+    // Binary search to the first merged kernel interval that could overlap.
+    auto it = std::upper_bound(
+        merged.begin(), merged.end(), iv.start,
+        [](double t, const Interval& k) { return t < k.end; });
+    for (; it != merged.end() && it->start < iv.end; ++it) {
+      hidden += std::max(0.0, std::min(iv.end, it->end) -
+                                  std::max(iv.start, it->start));
+    }
+  }
+  m.hidden_transfer_seconds = hidden;
+  m.exposed_transfer_seconds = std::max(0.0, m.transfer_seconds - hidden);
   return m;
 }
 

@@ -44,6 +44,13 @@ struct DeviceMetrics {
   double sim_seconds = 0.0;       ///< host clock after the last synchronize()
   double kernel_seconds = 0.0;    ///< sum of kernel durations
   double transfer_seconds = 0.0;  ///< sum of transfer durations
+  /// Transfer time that ran concurrently with kernel execution on another
+  /// stream ("hidden") vs transfer time the timeline actually pays for
+  /// ("exposed"). hidden + exposed == transfer_seconds.
+  double hidden_transfer_seconds = 0.0;
+  double exposed_transfer_seconds = 0.0;
+  /// Busy (occupied) seconds per stream, indexed by StreamId.
+  std::vector<double> stream_busy_seconds;
   std::size_t bytes_h2d = 0;
   std::size_t bytes_d2h = 0;
   long long transfers_h2d = 0;
@@ -52,6 +59,9 @@ struct DeviceMetrics {
   long long child_kernels = 0;
   double total_ops = 0.0;
   std::size_t peak_bytes = 0;     ///< high-water mark of device allocations
+  /// High-water mark of registered pinned-host staging (see
+  /// Device::note_pinned_alloc) — what cudaHostAlloc would have reserved.
+  std::size_t pinned_peak_bytes = 0;
 };
 
 class Device;
@@ -123,6 +133,14 @@ class Device {
   std::size_t used_bytes() const { return used_bytes_; }
   std::size_t free_bytes() const { return spec_.memory_bytes - used_bytes_; }
 
+  /// Pinned-host staging accounting. Pinned memory is a host-side resource
+  /// (cudaHostAlloc), so it does not count against device capacity, but the
+  /// overlap machinery stages every transfer through it — the high-water
+  /// mark is reported in DeviceMetrics::pinned_peak_bytes.
+  void note_pinned_alloc(std::size_t bytes);
+  void note_pinned_release(std::size_t bytes);
+  std::size_t pinned_bytes() const { return pinned_bytes_; }
+
   // ---- streams & events ----
 
   /// Creates an additional stream; stream 0 always exists.
@@ -182,12 +200,24 @@ class Device {
   void do_copy(StreamId s, void* dst, const void* src, std::size_t bytes,
                bool async, bool pinned, bool to_device);
 
+  /// A busy interval on a stream's timeline, kept so metrics() can compute
+  /// how much transfer time was hidden under concurrent kernel execution.
+  struct Interval {
+    double start = 0.0;
+    double end = 0.0;
+    bool transfer = false;
+  };
+
   DeviceSpec spec_;
   std::size_t used_bytes_ = 0;
   std::size_t peak_bytes_ = 0;
+  std::size_t pinned_bytes_ = 0;
+  std::size_t pinned_peak_bytes_ = 0;
 
   double host_time_ = 0.0;
   std::vector<double> stream_ready_{0.0};  // stream 0
+  std::vector<double> stream_busy_{0.0};   // occupied seconds per stream
+  std::vector<Interval> intervals_;
   DeviceMetrics metrics_{};
   TraceRecorder* trace_ = nullptr;
 };

@@ -1,0 +1,35 @@
+#include "sim/stream_pipeline.h"
+
+namespace gapsp::sim {
+
+StreamPipeline::StreamPipeline(Device& dev, bool overlap, StreamId compute)
+    : dev_(&dev), overlap_(overlap), compute_(compute) {
+  in_ = overlap ? dev.create_stream() : compute;
+  out_ = overlap ? dev.create_stream() : compute;
+}
+
+Event StreamPipeline::stage_in(void* dst, const void* src, std::size_t bytes) {
+  dev_->memcpy_h2d(in_, dst, src, bytes, /*async=*/true, /*pinned=*/true);
+  return dev_->record_event(in_);
+}
+
+Event StreamPipeline::stage_out(void* dst, const void* src, std::size_t bytes,
+                                Event after) {
+  dev_->wait_event(out_, after);
+  dev_->memcpy_d2h(out_, dst, src, bytes, /*async=*/true, /*pinned=*/true);
+  return dev_->record_event(out_);
+}
+
+void StreamPipeline::consume(const Event& e) { dev_->wait_event(compute_, e); }
+
+Event StreamPipeline::computed() { return dev_->record_event(compute_); }
+
+void StreamPipeline::drain() {
+  dev_->stream_synchronize(compute_);
+  if (overlap_) {
+    dev_->stream_synchronize(in_);
+    dev_->stream_synchronize(out_);
+  }
+}
+
+}  // namespace gapsp::sim

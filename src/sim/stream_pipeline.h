@@ -1,0 +1,136 @@
+// Reusable compute/transfer overlap engine over the device simulator.
+//
+// The paper's §IV optimization — two CUDA streams with double buffering into
+// pinned host memory — first appeared as ad-hoc logic inside the boundary
+// algorithm. This layer generalizes it so every out-of-core algorithm can
+// overlap transfers with compute through one protocol:
+//
+//   StreamPipeline  — owns the stream roles: a compute stream, an H2D
+//                     prefetch lane and a D2H writeback lane (both collapse
+//                     onto the compute stream when overlap is disabled, so
+//                     call sites keep a single code path and the serialized
+//                     timeline falls out of the same calls).
+//   PingPong<T>     — a pair of capacity-charged DeviceBuffers (one when
+//                     serial) with matching pinned-host staging and per-slot
+//                     ready/free events. acquire() rotates slots and makes
+//                     the refilling stream wait until the previous consumer
+//                     released the slot; release() publishes the consumer's
+//                     completion event.
+//
+// Kernels in the simulator execute functionally at launch, so issuing work
+// in plain program order is always *correct*; the events exist to keep the
+// simulated timeline honest — an H2D into a buffer may not start, in
+// sim-time, before the kernel still reading that buffer has finished, which
+// is exactly the discipline CUDA double buffering enforces on real hardware.
+#pragma once
+
+#include <vector>
+
+#include "sim/device.h"
+
+namespace gapsp::sim {
+
+class StreamPipeline {
+ public:
+  /// When `overlap` is false every lane aliases `compute`: the same call
+  /// sequence then charges a fully serialized timeline.
+  StreamPipeline(Device& dev, bool overlap, StreamId compute = kDefaultStream);
+  StreamPipeline(const StreamPipeline&) = delete;
+  StreamPipeline& operator=(const StreamPipeline&) = delete;
+
+  Device& device() { return *dev_; }
+  bool overlapped() const { return overlap_; }
+  StreamId compute_stream() const { return compute_; }
+  StreamId in_stream() const { return in_; }    ///< H2D prefetch lane
+  StreamId out_stream() const { return out_; }  ///< D2H writeback lane
+
+  /// Async pinned H2D on the prefetch lane. Returns the completion event a
+  /// consumer must pass to consume() before reading `dst` on device.
+  Event stage_in(void* dst, const void* src, std::size_t bytes);
+
+  /// Async pinned D2H on the writeback lane, ordered after `after` (the
+  /// producer kernel's completion). Returns the drain event that frees the
+  /// source device buffer for refill.
+  Event stage_out(void* dst, const void* src, std::size_t bytes, Event after);
+
+  /// Makes the compute stream wait for `e` (no-op once `e` has passed).
+  void consume(const Event& e);
+
+  /// Event marking everything issued on the compute stream so far.
+  Event computed();
+
+  /// Joins the host clock to all three lanes (end of a pipelined phase).
+  void drain();
+
+ private:
+  Device* dev_;
+  bool overlap_;
+  StreamId compute_;
+  StreamId in_;
+  StreamId out_;
+};
+
+/// Ping-pong device-buffer pair (double-buffered when the pipeline overlaps,
+/// single-buffered otherwise) with pinned-host staging of the same shape.
+/// Slot lifecycle: acquire(writer) → fill → set_ready → consume/compute →
+/// release(consumer event) → next acquire of the slot waits on that event.
+template <typename T>
+class PingPong {
+ public:
+  /// `slots` = 0 picks the pipeline default (2 when overlapped, else 1).
+  PingPong(StreamPipeline& pipe, std::size_t elems, const char* what,
+           int slots = 0)
+      : pipe_(&pipe), elems_(elems) {
+    const int n = slots > 0 ? slots : (pipe.overlapped() ? 2 : 1);
+    dev_.reserve(static_cast<std::size_t>(n));
+    host_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      dev_.push_back(pipe.device().alloc<T>(elems, what));
+      host_.emplace_back(elems);
+    }
+    ready_.assign(static_cast<std::size_t>(n), Event{});
+    free_.assign(static_cast<std::size_t>(n), Event{});
+    pipe.device().note_pinned_alloc(static_cast<std::size_t>(n) * elems *
+                                    sizeof(T));
+  }
+  ~PingPong() {
+    if (pipe_ != nullptr) {
+      pipe_->device().note_pinned_release(host_.size() * elems_ * sizeof(T));
+    }
+  }
+  PingPong(const PingPong&) = delete;
+  PingPong& operator=(const PingPong&) = delete;
+
+  int slots() const { return static_cast<int>(dev_.size()); }
+  std::size_t elems() const { return elems_; }
+
+  /// Rotates to the next slot; `writer` (the stream about to refill it)
+  /// waits until the slot's previous consumer released it.
+  int acquire(StreamId writer) {
+    const int s = next_;
+    next_ = (next_ + 1) % slots();
+    pipe_->device().wait_event(writer, free_[static_cast<std::size_t>(s)]);
+    return s;
+  }
+
+  T* device_ptr(int slot) { return dev_[static_cast<std::size_t>(slot)].data(); }
+  T* host_ptr(int slot) { return host_[static_cast<std::size_t>(slot)].data(); }
+
+  /// Publishes the event after which the slot's device contents are valid.
+  void set_ready(int slot, Event e) { ready_[static_cast<std::size_t>(slot)] = e; }
+  Event ready(int slot) const { return ready_[static_cast<std::size_t>(slot)]; }
+
+  /// Marks `slot` reusable once `e` (its last consumer) has fired.
+  void release(int slot, Event e) { free_[static_cast<std::size_t>(slot)] = e; }
+
+ private:
+  StreamPipeline* pipe_;
+  std::size_t elems_;
+  std::vector<DeviceBuffer<T>> dev_;
+  std::vector<std::vector<T>> host_;  // pinned staging (accounted)
+  std::vector<Event> ready_;
+  std::vector<Event> free_;
+  int next_ = 0;
+};
+
+}  // namespace gapsp::sim

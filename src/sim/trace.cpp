@@ -1,6 +1,9 @@
 #include "sim/trace.h"
 
+#include <algorithm>
 #include <ostream>
+#include <utility>
+#include <vector>
 
 namespace gapsp::sim {
 namespace {
@@ -37,9 +40,65 @@ double TraceRecorder::total(TraceEvent::Kind kind) const {
   return sum;
 }
 
+OverlapStats TraceRecorder::overlap_stats() const {
+  OverlapStats stats;
+  std::vector<std::pair<double, double>> kernels;
+  int max_stream = -1;
+  for (const auto& e : events_) {
+    max_stream = std::max(max_stream, e.stream);
+    if (e.kind == TraceEvent::Kind::kKernel) {
+      kernels.emplace_back(e.start_s, e.end_s);
+    }
+  }
+  stats.stream_busy_s.assign(static_cast<std::size_t>(max_stream + 1), 0.0);
+  for (const auto& e : events_) {
+    stats.stream_busy_s[static_cast<std::size_t>(e.stream)] += e.duration_s();
+  }
+  std::sort(kernels.begin(), kernels.end());
+  std::vector<std::pair<double, double>> merged;
+  for (const auto& k : kernels) {
+    if (!merged.empty() && k.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, k.second);
+    } else {
+      merged.push_back(k);
+    }
+  }
+  double transfer_total = 0.0;
+  for (const auto& e : events_) {
+    if (e.kind == TraceEvent::Kind::kKernel) continue;
+    transfer_total += e.duration_s();
+    for (const auto& k : merged) {
+      if (k.first >= e.end_s) break;
+      stats.hidden_transfer_s +=
+          std::max(0.0, std::min(e.end_s, k.second) -
+                            std::max(e.start_s, k.first));
+    }
+  }
+  stats.exposed_transfer_s =
+      std::max(0.0, transfer_total - stats.hidden_transfer_s);
+  return stats;
+}
+
 void TraceRecorder::write_chrome_trace(std::ostream& os) const {
+  const OverlapStats stats = overlap_stats();
   os << "{\"traceEvents\":[";
   bool first = true;
+  // Name each stream lane with its busy occupancy so the overlap shows up
+  // directly in the chrome://tracing sidebar.
+  for (std::size_t s = 0; s < stats.stream_busy_s.size(); ++s) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << s
+       << ",\"args\":{\"name\":\"stream " << s << " (busy "
+       << stats.stream_busy_s[s] * 1e3 << " ms)\"}}";
+  }
+  if (!events_.empty()) {
+    os << ",\n{\"name\":\"overlap summary\",\"ph\":\"i\",\"pid\":0,\"tid\":0,"
+       << "\"ts\":0,\"s\":\"g\",\"args\":{\"hidden_transfer_ms\":"
+       << stats.hidden_transfer_s * 1e3 << ",\"exposed_transfer_ms\":"
+       << stats.exposed_transfer_s * 1e3 << ",\"hidden_fraction\":"
+       << stats.hidden_fraction() << "}}";
+  }
   for (const auto& e : events_) {
     if (!first) os << ",";
     first = false;

@@ -26,6 +26,21 @@ struct TraceEvent {
   double duration_s() const { return end_s - start_s; }
 };
 
+/// Per-stream overlap summary computed from a recorded timeline: how much
+/// transfer time ran under concurrent kernel execution (hidden) vs extended
+/// the critical path (exposed), and each stream's busy occupancy.
+struct OverlapStats {
+  double hidden_transfer_s = 0.0;
+  double exposed_transfer_s = 0.0;
+  std::vector<double> stream_busy_s;  ///< indexed by stream id
+
+  /// Fraction of transfer time hidden under compute (0 when no transfers).
+  double hidden_fraction() const {
+    const double total = hidden_transfer_s + exposed_transfer_s;
+    return total > 0.0 ? hidden_transfer_s / total : 0.0;
+  }
+};
+
 class TraceRecorder {
  public:
   void record(TraceEvent event) { events_.push_back(std::move(event)); }
@@ -36,7 +51,11 @@ class TraceRecorder {
   /// Total busy time per kind (seconds of simulated occupancy).
   double total(TraceEvent::Kind kind) const;
 
-  /// chrome://tracing "traceEvents" JSON; streams map to tids.
+  /// Overlap efficiency of the recorded timeline (see OverlapStats).
+  OverlapStats overlap_stats() const;
+
+  /// chrome://tracing "traceEvents" JSON; streams map to tids, each named
+  /// with its busy time, plus an instant event carrying the overlap summary.
   void write_chrome_trace(std::ostream& os) const;
 
  private:

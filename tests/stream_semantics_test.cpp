@@ -1,0 +1,351 @@
+// Stream/event semantics of the overlap engine: the discipline the
+// StreamPipeline relies on (async ops advance only their own stream clock,
+// event waits serialize across streams, synchronize() is the makespan) plus
+// the pipeline/ping-pong protocol itself — slot rotation, release gating,
+// capacity and pinned-staging accounting, and the hidden/exposed transfer
+// split in DeviceMetrics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "sim/device.h"
+#include "sim/device_spec.h"
+#include "sim/stream_pipeline.h"
+
+namespace gapsp::sim {
+namespace {
+
+DeviceSpec small_spec() { return DeviceSpec::v100().with_memory(1 << 20); }
+
+KernelProfile full_profile(const Device& dev, double ops) {
+  KernelProfile p;
+  p.ops = ops;
+  p.blocks = dev.spec().max_active_blocks;
+  return p;
+}
+
+// ---- raw stream/event semantics the pipeline builds on ----
+
+TEST(StreamSemantics, AsyncOpsAdvanceOnlyTheirStream) {
+  Device dev(small_spec());
+  auto buf = dev.alloc<dist_t>(1024);
+  std::vector<dist_t> host(1024);
+  const StreamId s2 = dev.create_stream();
+  dev.memcpy_h2d(s2, buf.data(), host.data(), 4096, /*async=*/true,
+                 /*pinned=*/true);
+  // Host clock and stream 0 are untouched: an event recorded on stream 0
+  // still carries time zero, and a wait on it is a no-op.
+  EXPECT_EQ(dev.now(), 0.0);
+  EXPECT_EQ(dev.record_event(kDefaultStream).time, 0.0);
+  EXPECT_GT(dev.record_event(s2).time, 0.0);
+}
+
+TEST(StreamSemantics, EventWaitSerializesAcrossStreams) {
+  Device dev(small_spec());
+  auto buf = dev.alloc<dist_t>(1024);
+  std::vector<dist_t> host(1024);
+  const StreamId s2 = dev.create_stream();
+  const double t = dev.transfer_time(4096, /*pinned=*/true);
+
+  dev.memcpy_h2d(kDefaultStream, buf.data(), host.data(), 4096, true, true);
+  dev.wait_event(s2, dev.record_event(kDefaultStream));
+  dev.memcpy_d2h(s2, host.data(), buf.data(), 4096, true, true);
+  dev.synchronize();
+  EXPECT_NEAR(dev.now(), 2 * t, t * 1e-9);
+}
+
+TEST(StreamSemantics, WaitOnPassedEventIsNoOp) {
+  Device dev(small_spec());
+  auto buf = dev.alloc<dist_t>(1024);
+  std::vector<dist_t> host(1024);
+  const StreamId s2 = dev.create_stream();
+  dev.memcpy_h2d(s2, buf.data(), host.data(), 4096, true, true);
+  const Event e = dev.record_event(s2);
+  dev.stream_synchronize(s2);
+  // s2's clock already passed e; waiting must not move anything forward.
+  const double before = dev.now();
+  dev.wait_event(kDefaultStream, e);
+  dev.memcpy_h2d(kDefaultStream, buf.data(), host.data(), 4, true, true);
+  dev.synchronize();
+  EXPECT_GE(dev.now(), before);
+  EXPECT_LT(dev.now(), before + dev.transfer_time(4096, true));
+}
+
+TEST(StreamSemantics, SynchronizeIsMakespanOverStreams) {
+  Device dev(small_spec());
+  auto buf = dev.alloc<dist_t>(4096);
+  std::vector<dist_t> host(4096);
+  const StreamId s2 = dev.create_stream();
+  // Unequal loads: stream 0 gets one copy, s2 gets three.
+  dev.memcpy_h2d(kDefaultStream, buf.data(), host.data(), 4096, true, true);
+  for (int i = 0; i < 3; ++i) {
+    dev.memcpy_h2d(s2, buf.data(), host.data(), 4096, true, true);
+  }
+  dev.synchronize();
+  const double t = dev.transfer_time(4096, true);
+  EXPECT_NEAR(dev.now(), 3 * t, t * 1e-9);
+}
+
+// ---- StreamPipeline ----
+
+TEST(StreamPipeline, SerialModeAliasesEveryLane) {
+  Device dev(small_spec());
+  StreamPipeline pipe(dev, /*overlap=*/false);
+  EXPECT_FALSE(pipe.overlapped());
+  EXPECT_EQ(pipe.in_stream(), pipe.compute_stream());
+  EXPECT_EQ(pipe.out_stream(), pipe.compute_stream());
+}
+
+TEST(StreamPipeline, OverlapModeUsesDistinctLanes) {
+  Device dev(small_spec());
+  StreamPipeline pipe(dev, /*overlap=*/true);
+  EXPECT_TRUE(pipe.overlapped());
+  EXPECT_NE(pipe.in_stream(), pipe.compute_stream());
+  EXPECT_NE(pipe.out_stream(), pipe.compute_stream());
+  EXPECT_NE(pipe.in_stream(), pipe.out_stream());
+}
+
+TEST(StreamPipeline, StageInMovesRealDataImmediately) {
+  Device dev(small_spec());
+  StreamPipeline pipe(dev, true);
+  auto buf = dev.alloc<dist_t>(4);
+  const std::vector<dist_t> src{7, 8, 9, 10};
+  pipe.stage_in(buf.data(), src.data(), 16);
+  // Functional copies happen at call time (the simulator's correctness
+  // contract) — only the *timeline* is asynchronous.
+  EXPECT_EQ(buf[0], 7);
+  EXPECT_EQ(buf[3], 10);
+}
+
+TEST(StreamPipeline, StageOutOrdersAfterProducerEvent) {
+  Device dev(small_spec());
+  StreamPipeline pipe(dev, true);
+  auto buf = dev.alloc<dist_t>(1024);
+  std::vector<dist_t> host(1024);
+  const double k = dev.launch(pipe.compute_stream(), "produce",
+                              [&](LaunchCtx&) {
+                                return full_profile(dev, 1e7);
+                              });
+  pipe.stage_out(host.data(), buf.data(), 4096, pipe.computed());
+  pipe.drain();
+  const double t = dev.transfer_time(4096, true);
+  // The D2H may not start, in sim time, before the producer kernel ends.
+  EXPECT_NEAR(dev.now(), k + t, (k + t) * 1e-9);
+}
+
+TEST(StreamPipeline, SerialModeSerializesTheSameCallSequence) {
+  // The identical call sequence, overlap off: every duration stacks on one
+  // stream, so the makespan is the plain sum.
+  Device dev(small_spec());
+  StreamPipeline pipe(dev, /*overlap=*/false);
+  auto buf = dev.alloc<dist_t>(1024);
+  std::vector<dist_t> host(1024);
+  const Event in = pipe.stage_in(buf.data(), host.data(), 4096);
+  pipe.consume(in);
+  const double k = dev.launch(pipe.compute_stream(), "work", [&](LaunchCtx&) {
+    return full_profile(dev, 1e7);
+  });
+  pipe.stage_out(host.data(), buf.data(), 4096, pipe.computed());
+  pipe.drain();
+  const double t = dev.transfer_time(4096, true);
+  EXPECT_NEAR(dev.now(), 2 * t + k, (2 * t + k) * 1e-9);
+}
+
+// ---- PingPong slots ----
+
+TEST(PingPong, SlotCountFollowsPipelineMode) {
+  Device dev(small_spec());
+  StreamPipeline serial(dev, false);
+  PingPong<dist_t> one(serial, 256, "buf");
+  EXPECT_EQ(one.slots(), 1);
+
+  Device dev2(small_spec());
+  StreamPipeline overlap(dev2, true);
+  PingPong<dist_t> two(overlap, 256, "buf");
+  EXPECT_EQ(two.slots(), 2);
+  PingPong<dist_t> pinned_single(overlap, 256, "buf", /*slots=*/1);
+  EXPECT_EQ(pinned_single.slots(), 1);
+}
+
+TEST(PingPong, CapacityChargesEverySlot) {
+  Device dev(small_spec());
+  StreamPipeline pipe(dev, true);
+  EXPECT_EQ(dev.used_bytes(), 0u);
+  {
+    PingPong<dist_t> pp(pipe, 1000, "pair");
+    EXPECT_EQ(dev.used_bytes(), 2 * 1000 * sizeof(dist_t));
+  }
+  EXPECT_EQ(dev.used_bytes(), 0u);
+}
+
+TEST(PingPong, DoubleBufferedPairMustFitTheDevice) {
+  // A buffer that fits once but not twice: the overlapped pair must throw,
+  // exactly like cudaMalloc would.
+  Device dev(small_spec());
+  StreamPipeline pipe(dev, true);
+  const std::size_t elems = (1 << 20) / sizeof(dist_t) * 6 / 10;
+  EXPECT_THROW(PingPong<dist_t> pp(pipe, elems, "too big"), Error);
+  Device dev2(small_spec());
+  StreamPipeline serial(dev2, false);
+  EXPECT_NO_THROW(PingPong<dist_t> pp(serial, elems, "fits once"));
+}
+
+TEST(PingPong, PinnedStagingIsAccounted) {
+  Device dev(small_spec());
+  StreamPipeline pipe(dev, true);
+  EXPECT_EQ(dev.pinned_bytes(), 0u);
+  {
+    PingPong<dist_t> pp(pipe, 500, "pair");
+    EXPECT_EQ(dev.pinned_bytes(), 2 * 500 * sizeof(dist_t));
+  }
+  EXPECT_EQ(dev.pinned_bytes(), 0u);
+  EXPECT_EQ(dev.metrics().pinned_peak_bytes, 2 * 500 * sizeof(dist_t));
+}
+
+TEST(PingPong, AcquireRotatesSlots) {
+  Device dev(small_spec());
+  StreamPipeline pipe(dev, true);
+  PingPong<dist_t> pp(pipe, 64, "pair");
+  EXPECT_EQ(pp.acquire(pipe.in_stream()), 0);
+  EXPECT_EQ(pp.acquire(pipe.in_stream()), 1);
+  EXPECT_EQ(pp.acquire(pipe.in_stream()), 0);
+}
+
+TEST(PingPong, ReleaseGatesTheNextRefill) {
+  // Single-slot pair: the refill of iteration i+1 must wait for the consumer
+  // of iteration i, so the loop fully serializes even on separate streams.
+  Device dev(small_spec());
+  StreamPipeline pipe(dev, true);
+  PingPong<dist_t> pp(pipe, 1024, "single", /*slots=*/1);
+  std::vector<dist_t> host(1024);
+  const int iters = 4;
+  double kernel_s = 0.0;
+  for (int i = 0; i < iters; ++i) {
+    const int s = pp.acquire(pipe.in_stream());
+    pp.set_ready(s, pipe.stage_in(pp.device_ptr(s), host.data(), 4096));
+    pipe.consume(pp.ready(s));
+    kernel_s += dev.launch(pipe.compute_stream(), "consume", [&](LaunchCtx&) {
+      return full_profile(dev, 1e7);
+    });
+    pp.release(s, pipe.computed());
+  }
+  pipe.drain();
+  const double t = dev.transfer_time(4096, true);
+  EXPECT_NEAR(dev.now(), iters * t + kernel_s, dev.now() * 1e-9);
+}
+
+TEST(PingPong, TwoSlotsPipelineTransfersUnderCompute) {
+  // Same loop with two slots: after the first fill, every H2D hides under
+  // the previous kernel. Makespan ≈ first transfer + all kernels (kernels
+  // dominate here), strictly less than the serialized single-slot run.
+  auto run = [](int slots) {
+    Device dev(small_spec());
+    StreamPipeline pipe(dev, true);
+    PingPong<dist_t> pp(pipe, 8192, "pair", slots);
+    std::vector<dist_t> host(8192);
+    for (int i = 0; i < 6; ++i) {
+      const int s = pp.acquire(pipe.in_stream());
+      pp.set_ready(s, pipe.stage_in(pp.device_ptr(s), host.data(), 32768));
+      pipe.consume(pp.ready(s));
+      dev.launch(pipe.compute_stream(), "consume", [&](LaunchCtx&) {
+        KernelProfile p;
+        p.ops = 1e8;
+        p.blocks = dev.spec().max_active_blocks;
+        return p;
+      });
+      pp.release(s, pipe.computed());
+    }
+    pipe.drain();
+    dev.synchronize();
+    return dev.metrics();
+  };
+  const DeviceMetrics serial = run(1);
+  const DeviceMetrics pipelined = run(2);
+  EXPECT_LT(pipelined.sim_seconds, serial.sim_seconds);
+  // Double buffering hides transfers that the single slot exposes.
+  EXPECT_GT(pipelined.hidden_transfer_seconds,
+            serial.hidden_transfer_seconds);
+}
+
+// ---- hidden/exposed transfer metrics ----
+
+TEST(OverlapMetrics, HiddenPlusExposedEqualsTransferSeconds) {
+  Device dev(small_spec());
+  StreamPipeline pipe(dev, true);
+  auto buf = dev.alloc<dist_t>(4096);
+  std::vector<dist_t> host(4096);
+  dev.launch(pipe.compute_stream(), "work", [&](LaunchCtx&) {
+    return full_profile(dev, 1e8);
+  });
+  pipe.stage_in(buf.data(), host.data(), 16384);
+  pipe.stage_out(host.data(), buf.data(), 16384, Event{});
+  pipe.drain();
+  dev.synchronize();
+  const DeviceMetrics m = dev.metrics();
+  EXPECT_NEAR(m.hidden_transfer_seconds + m.exposed_transfer_seconds,
+              m.transfer_seconds, m.transfer_seconds * 1e-9);
+}
+
+TEST(OverlapMetrics, ConcurrentTransferIsFullyHidden) {
+  // Kernel on compute, transfer on the H2D lane, both starting at t = 0 and
+  // the kernel strictly longer: the whole transfer is hidden.
+  Device dev(small_spec());
+  StreamPipeline pipe(dev, true);
+  auto buf = dev.alloc<dist_t>(1024);
+  std::vector<dist_t> host(1024);
+  const double k = dev.launch(pipe.compute_stream(), "long", [&](LaunchCtx&) {
+    return full_profile(dev, 1e9);
+  });
+  pipe.stage_in(buf.data(), host.data(), 4096);
+  pipe.drain();
+  dev.synchronize();
+  const DeviceMetrics m = dev.metrics();
+  ASSERT_GT(k, m.transfer_seconds);
+  EXPECT_NEAR(m.hidden_transfer_seconds, m.transfer_seconds,
+              m.transfer_seconds * 1e-9);
+  EXPECT_NEAR(m.exposed_transfer_seconds, 0.0, 1e-15);
+  // And the makespan is the kernel alone — the transfer cost vanished.
+  EXPECT_NEAR(m.sim_seconds, k, k * 1e-9);
+}
+
+TEST(OverlapMetrics, SameStreamTransferIsFullyExposed) {
+  // On a single stream nothing can overlap: hidden must be zero.
+  Device dev(small_spec());
+  auto buf = dev.alloc<dist_t>(1024);
+  std::vector<dist_t> host(1024);
+  dev.launch(kDefaultStream, "work", [&](LaunchCtx&) {
+    return full_profile(dev, 1e8);
+  });
+  dev.memcpy_h2d(kDefaultStream, buf.data(), host.data(), 4096, true, true);
+  dev.synchronize();
+  const DeviceMetrics m = dev.metrics();
+  EXPECT_EQ(m.hidden_transfer_seconds, 0.0);
+  EXPECT_NEAR(m.exposed_transfer_seconds, m.transfer_seconds, 1e-15);
+}
+
+TEST(OverlapMetrics, StreamBusySecondsPerLane) {
+  Device dev(small_spec());
+  StreamPipeline pipe(dev, true);
+  auto buf = dev.alloc<dist_t>(1024);
+  std::vector<dist_t> host(1024);
+  const double k = dev.launch(pipe.compute_stream(), "work", [&](LaunchCtx&) {
+    return full_profile(dev, 1e7);
+  });
+  pipe.stage_in(buf.data(), host.data(), 4096);
+  pipe.drain();
+  dev.synchronize();
+  const DeviceMetrics m = dev.metrics();
+  const double t = dev.transfer_time(4096, true);
+  ASSERT_EQ(m.stream_busy_seconds.size(), 3u);  // compute + in + out lanes
+  EXPECT_NEAR(m.stream_busy_seconds[pipe.compute_stream()], k, k * 1e-9);
+  EXPECT_NEAR(m.stream_busy_seconds[pipe.in_stream()], t, t * 1e-9);
+  EXPECT_EQ(m.stream_busy_seconds[pipe.out_stream()], 0.0);
+  const double busy = std::accumulate(m.stream_busy_seconds.begin(),
+                                      m.stream_busy_seconds.end(), 0.0);
+  EXPECT_NEAR(busy, m.kernel_seconds + m.transfer_seconds, busy * 1e-9);
+}
+
+}  // namespace
+}  // namespace gapsp::sim

@@ -19,7 +19,7 @@
 //   --memory-mb M           device memory in MiB              (default 8 / 6)
 //   --components K          boundary algorithm component count (0 = sqrt(n)/4)
 //   --no-batching           disable boundary transfer batching
-//   --no-overlap            disable boundary compute/transfer overlap
+//   --no-overlap            disable compute/transfer overlap (all algorithms)
 //   --no-dp                 disable Johnson dynamic parallelism
 //   --sparse-threshold P    selector sparse density band, percent (default 0.8)
 //   --dense-threshold P     selector dense density band, percent  (default 4)
@@ -214,13 +214,21 @@ int run(const Args& args) {
   std::cout << "\nsimulated time: " << r.metrics.sim_seconds * 1e3
             << " ms (kernels " << r.metrics.kernel_seconds * 1e3
             << " ms, transfers " << r.metrics.transfer_seconds * 1e3
-            << " ms)\ndevice traffic: "
+            << " ms)\ntransfer overlap: "
+            << r.metrics.hidden_transfer_seconds * 1e3 << " ms hidden, "
+            << r.metrics.exposed_transfer_seconds * 1e3 << " ms exposed\n"
+            << "device traffic: "
             << (r.metrics.bytes_h2d >> 10) << " KiB h2d in "
             << r.metrics.transfers_h2d << " transfers, "
             << (r.metrics.bytes_d2h >> 10) << " KiB d2h in "
             << r.metrics.transfers_d2h << " transfers\n"
             << "device peak memory: " << (r.metrics.device_peak_bytes >> 10)
-            << " KiB of " << (opts.device.memory_bytes >> 10) << " KiB\n";
+            << " KiB of " << (opts.device.memory_bytes >> 10) << " KiB";
+  if (r.metrics.pinned_peak_bytes > 0) {
+    std::cout << " (+" << (r.metrics.pinned_peak_bytes >> 10)
+              << " KiB pinned staging)";
+  }
+  std::cout << "\n";
   if (r.metrics.johnson_batch_size > 0) {
     std::cout << "johnson: bat=" << r.metrics.johnson_batch_size << ", "
               << r.metrics.johnson_num_batches << " batches, "
