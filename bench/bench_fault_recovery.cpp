@@ -1,0 +1,163 @@
+// Fault-recovery ablation (DESIGN.md §8): what does resilience cost when
+// nothing fails, and what does it save when something does?
+//
+//   1. Checkpoint overhead — round-level sidecar writes are host-side I/O,
+//      so the simulated makespan must be bit-identical with and without
+//      them; the wall-clock delta is the real price.
+//   2. Kill/resume — kill the device at increasing points of the op stream
+//      and resume from the sidecar: the later the death, the more completed
+//      rounds the checkpoint saves versus recomputing from scratch.
+//   3. Retry tax — probabilistic transient transfer/kernel faults absorbed
+//      by bounded retry-with-backoff: makespan growth vs fault rate.
+//   4. Multi-GPU failover — kill one of three devices mid-run; survivors
+//      re-run its unfinished components (LPT re-assignment) and the run
+//      still completes, at a measurable makespan premium.
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "core/multi_device.h"
+#include "graph/generators.h"
+
+namespace {
+
+using namespace gapsp;
+using namespace gapsp::bench;
+
+constexpr const char* kCkPath = "bench_fault_recovery.ck";
+
+core::ApspOptions fw_opts() {
+  auto o = bench_options(bench_v100());
+  // Shrink the device so the run has enough k-rounds (and enough gated ops)
+  // for mid-stream kills and probabilistic faults to actually land.
+  o.device = sim::DeviceSpec::v100_scaled(2u << 20);
+  o.algorithm = core::Algorithm::kBlockedFloydWarshall;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Fault injection & recovery — overhead and payoff",
+               "DESIGN.md §8 (no paper counterpart; robustness extension)");
+
+  const auto g = graph::make_erdos_renyi(1200, 7200, 777);
+  const vidx_t n = g.num_vertices();
+
+  // --- 1. checkpoint overhead on a fault-free run ---
+  {
+    auto plain = fw_opts();
+    auto ck = fw_opts();
+    ck.checkpoint_path = kCkPath;
+    auto s1 = core::make_ram_store(n);
+    auto s2 = core::make_ram_store(n);
+    const auto r1 = core::solve_apsp(g, plain, *s1);
+    const auto r2 = core::solve_apsp(g, ck, *s2);
+    Table t({"run", "sim (ms)", "wall (ms)", "checkpoints"});
+    t.add_row({"no checkpoint", ms(r1.metrics.sim_seconds),
+               ms(r1.metrics.wall_seconds), "0"});
+    t.add_row({"per-round checkpoint", ms(r2.metrics.sim_seconds),
+               ms(r2.metrics.wall_seconds),
+               Table::count(r2.metrics.checkpoints_written)});
+    t.print(std::cout);
+    std::cout << "sim makespans identical: "
+              << (r1.metrics.sim_seconds == r2.metrics.sim_seconds ? "yes"
+                                                                   : "NO")
+              << " (sidecar writes are host-side)\n\n";
+  }
+
+  // --- 2. kill at op K, resume from the sidecar vs recompute ---
+  {
+    auto clean_store = core::make_ram_store(n);
+    const auto clean = core::solve_apsp(g, fw_opts(), *clean_store);
+    Table t({"killed at op", "rounds saved", "resume (ms)", "scratch (ms)",
+             "recompute avoided %"});
+    for (long long kill = 16; kill <= 16384; kill *= 2) {
+      sim::FaultPlan plan;
+      plan.kill_device = 0;
+      plan.kill_at_op = kill;
+      auto faulty = fw_opts();
+      faulty.faults = &plan;
+      faulty.checkpoint_path = kCkPath;
+      auto store = core::make_ram_store(n);
+      bool died = false;
+      try {
+        core::solve_apsp(g, faulty, *store);
+      } catch (const sim::FaultError&) {
+        died = true;
+      }
+      if (!died) break;  // kill op beyond the op stream
+      auto resume = fw_opts();
+      resume.checkpoint_path = kCkPath;
+      resume.resume = true;
+      const auto r = core::solve_apsp(g, resume, *store);
+      const double avoided =
+          100.0 * (1.0 - r.metrics.sim_seconds / clean.metrics.sim_seconds);
+      t.add_row({Table::count(kill), Table::count(r.metrics.resumed_progress),
+                 ms(r.metrics.sim_seconds), ms(clean.metrics.sim_seconds),
+                 Table::num(avoided, 1)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // --- 3. transient-fault retry tax ---
+  {
+    auto clean_store = core::make_ram_store(n);
+    const auto clean = core::solve_apsp(g, fw_opts(), *clean_store);
+    Table t({"fault rate", "faults", "retries", "backoff (ms)",
+             "makespan (ms)", "overhead %"});
+    for (double p : {1e-4, 1e-3, 1e-2}) {
+      sim::FaultPlan plan;
+      plan.seed = 99;
+      plan.p_h2d = p;
+      plan.p_d2h = p;
+      plan.p_kernel = p / 2;
+      auto opts = fw_opts();
+      opts.faults = &plan;
+      opts.retry.max_retries = 5;
+      auto store = core::make_ram_store(n);
+      const auto r = core::solve_apsp(g, opts, *store);
+      const double overhead =
+          100.0 * (r.metrics.sim_seconds / clean.metrics.sim_seconds - 1.0);
+      t.add_row({Table::num(p, 4), Table::count(r.metrics.faults_injected),
+                 Table::count(r.metrics.transfer_retries +
+                              r.metrics.kernel_retries),
+                 ms(r.metrics.retry_backoff_seconds),
+                 ms(r.metrics.sim_seconds), Table::num(overhead, 2)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // --- 4. multi-GPU failover ---
+  {
+    const auto mg = graph::make_road(40, 40, 778);
+    auto opts = bench_options(bench_v100());
+    opts.algorithm = core::Algorithm::kBoundary;
+    auto s_ref = core::make_ram_store(mg.num_vertices());
+    const auto ref = core::ooc_boundary_multi(mg, opts, 3, *s_ref);
+    Table t({"killed at op", "failed devs", "components re-run",
+             "failover cost (ms)", "makespan (ms)", "fault-free (ms)"});
+    for (long long kill : {10LL, 25LL, 60LL}) {
+      sim::FaultPlan plan;
+      plan.kill_device = 1;
+      plan.kill_at_op = kill;
+      auto faulty = opts;
+      faulty.faults = &plan;
+      auto store = core::make_ram_store(mg.num_vertices());
+      const auto r = core::ooc_boundary_multi(mg, faulty, 3, *store);
+      t.add_row({Table::count(kill),
+                 Table::count(static_cast<long long>(
+                     r.multi.failed_devices.size())),
+                 Table::count(r.multi.failover_components),
+                 ms(r.multi.failover_cost_s),
+                 ms(r.result.metrics.sim_seconds),
+                 ms(ref.result.metrics.sim_seconds)});
+    }
+    t.print(std::cout);
+  }
+
+  std::remove(kCkPath);
+  return 0;
+}

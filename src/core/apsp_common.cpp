@@ -51,6 +51,10 @@ ApspMetrics metrics_from_device(const sim::Device& dev, double wall_seconds) {
   m.total_ops = dm.total_ops;
   m.device_peak_bytes = dm.peak_bytes;
   m.pinned_peak_bytes = dm.pinned_peak_bytes;
+  m.faults_injected = dm.faults_injected;
+  m.transfer_retries = dm.transfer_retries;
+  m.kernel_retries = dm.kernel_retries;
+  m.retry_backoff_seconds = dm.retry_backoff_seconds;
   return m;
 }
 

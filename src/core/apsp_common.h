@@ -1,12 +1,45 @@
 // Helpers shared by the three out-of-core implementations.
 #pragma once
 
+#include <memory>
+
 #include "core/apsp_options.h"
 #include "core/dist_store.h"
 #include "graph/csr_graph.h"
 #include "sim/device.h"
 
 namespace gapsp::core {
+
+/// Wires a Device to the fault schedule requested in ApspOptions for the
+/// lifetime of one algorithm run. Prefers the pre-built injector in
+/// opts.fault_injector (shared across degrade attempts so scripted faults
+/// stay consumed); otherwise materializes one from opts.faults, seeded for
+/// `device_index`. Always applies opts.retry. Detaches on destruction.
+class FaultScope {
+ public:
+  FaultScope(sim::Device& dev, const ApspOptions& opts, int device_index = 0)
+      : dev_(dev) {
+    if (opts.fault_injector != nullptr) {
+      injector_ = opts.fault_injector;
+    } else if (opts.faults != nullptr) {
+      owned_ = std::make_unique<sim::FaultInjector>(*opts.faults,
+                                                    device_index);
+      injector_ = owned_.get();
+    }
+    dev_.set_fault_injector(injector_);
+    dev_.set_retry_policy(opts.retry);
+  }
+  ~FaultScope() { dev_.set_fault_injector(nullptr); }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+  sim::FaultInjector* injector() const { return injector_; }
+
+ private:
+  sim::Device& dev_;
+  std::unique_ptr<sim::FaultInjector> owned_;
+  sim::FaultInjector* injector_ = nullptr;
+};
 
 /// Initializes `store` with the weight matrix of `g`: 0 on the diagonal,
 /// edge weights where arcs exist, kInf elsewhere (the Floyd–Warshall

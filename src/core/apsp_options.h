@@ -6,6 +6,7 @@
 
 #include "partition/kway.h"
 #include "sim/device_spec.h"
+#include "sim/fault.h"
 #include "sim/trace.h"
 #include "util/common.h"
 
@@ -81,6 +82,29 @@ struct ApspOptions {
   /// staging buffers. Costs extra device memory for the second buffer of
   /// each pair (FW blocks shrink, Johnson's bat shrinks accordingly).
   bool overlap_transfers = true;
+
+  // ---- fault injection & recovery ----
+  /// Fault schedule injected into the simulated device(s); nullptr disables
+  /// injection entirely (not owned). Multi-device runs derive one injector
+  /// per device from this plan (seed decorrelated by device index).
+  const sim::FaultPlan* faults = nullptr;
+  /// Pre-built injector to attach instead of materializing one from
+  /// `faults` (not owned). Used internally so scripted faults stay consumed
+  /// across degrade-and-retry attempts; most callers leave it null.
+  sim::FaultInjector* fault_injector = nullptr;
+  /// Bounded retry-with-backoff applied to transient faults on-device.
+  sim::RetryPolicy retry;
+  /// How many times solve_apsp may degrade the plan (disable overlap, then
+  /// shrink device memory) and re-run after a device OOM / alloc fault.
+  int max_degradations = 2;
+  /// Sidecar path for round-level checkpoints (empty disables). The file is
+  /// written atomically after each FW k-round / Johnson batch / boundary
+  /// step and removed once apsp() completes.
+  std::string checkpoint_path;
+  /// Resume from `checkpoint_path` when it holds a compatible checkpoint
+  /// (same graph fingerprint, algorithm, and blocking); otherwise start
+  /// fresh. The resumed run produces bit-identical distances.
+  bool resume = false;
 };
 
 struct ApspMetrics {
@@ -110,6 +134,19 @@ struct ApspMetrics {
   int johnson_num_batches = 0;  ///< n_b
   int boundary_k = 0;           ///< components
   vidx_t boundary_nodes = 0;    ///< NB
+
+  // Fault injection / recovery (0 when no faults fired).
+  long long faults_injected = 0;
+  long long transfer_retries = 0;
+  long long kernel_retries = 0;
+  double retry_backoff_seconds = 0.0;
+  /// Times solve_apsp degraded the plan (disabled overlap / shrank memory)
+  /// after a device OOM and re-ran.
+  int degradations = 0;
+  long long checkpoints_written = 0;
+  /// Progress units (FW rounds / Johnson batches / boundary steps) skipped
+  /// because a checkpoint restored them.
+  long long resumed_progress = 0;
 };
 
 /// Result handle. Distances live in the DistStore the caller supplied; when

@@ -1,0 +1,147 @@
+#include "core/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace gapsp::core {
+namespace {
+
+constexpr char kMagic[8] = {'G', 'A', 'P', 'S', 'P', 'C', 'K', '1'};
+
+/// Fixed-size portion of the sidecar, written raw (checkpoints are consumed
+/// on the machine that wrote them, like CUDA's binary dumps).
+struct Header {
+  char magic[8];
+  std::uint32_t algorithm;
+  std::uint32_t pad;
+  std::uint64_t fingerprint;
+  std::int64_t n;
+  std::int64_t progress;
+  std::int64_t aux0;
+  std::int64_t aux1;
+  std::uint64_t payload_bytes;
+};
+static_assert(sizeof(Header) == 64, "sidecar header layout drifted");
+
+/// RAII stdio handle so error paths cannot leak the descriptor.
+struct File {
+  std::FILE* f = nullptr;
+  explicit File(std::FILE* f) : f(f) {}
+  ~File() {
+    if (f != nullptr) std::fclose(f);
+  }
+  std::FILE* release() {
+    std::FILE* out = f;
+    f = nullptr;
+    return out;
+  }
+};
+
+}  // namespace
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t graph_fingerprint(const graph::CsrGraph& g) {
+  const std::int64_t shape[2] = {g.num_vertices(), g.num_edges()};
+  std::uint64_t h = fnv1a(shape, sizeof(shape));
+  h = fnv1a(g.offsets().data(), g.offsets().size_bytes(), h);
+  h = fnv1a(g.targets().data(), g.targets().size_bytes(), h);
+  h = fnv1a(g.edge_weights().data(), g.edge_weights().size_bytes(), h);
+  return h;
+}
+
+void write_checkpoint(const std::string& path, const Checkpoint& ck) {
+  Header h{};
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.algorithm = ck.algorithm;
+  h.fingerprint = ck.fingerprint;
+  h.n = ck.n;
+  h.progress = ck.progress;
+  h.aux0 = ck.aux0;
+  h.aux1 = ck.aux1;
+  h.payload_bytes = ck.payload.size();
+  // Content checksum over header+payload so a torn write is detected on
+  // read instead of resuming from garbage progress.
+  std::uint64_t sum = fnv1a(&h, sizeof(h));
+  if (!ck.payload.empty()) {
+    sum = fnv1a(ck.payload.data(), ck.payload.size(), sum);
+  }
+
+  // Write to a sibling tmp file, then rename: the sidecar at `path` is
+  // either the previous complete checkpoint or the new complete one, never
+  // a partial write (a crash mid-checkpoint must not poison resume).
+  const std::string tmp = path + ".tmp";
+  File file(std::fopen(tmp.c_str(), "wb"));
+  if (file.f == nullptr) {
+    throw IoError("checkpoint: cannot open " + tmp + " for writing");
+  }
+  bool ok = std::fwrite(&h, sizeof(h), 1, file.f) == 1;
+  if (ok && !ck.payload.empty()) {
+    ok = std::fwrite(ck.payload.data(), 1, ck.payload.size(), file.f) ==
+         ck.payload.size();
+  }
+  ok = ok && std::fwrite(&sum, sizeof(sum), 1, file.f) == 1;
+  ok = ok && std::fflush(file.f) == 0;
+  ok = std::fclose(file.release()) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    throw IoError("checkpoint: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError("checkpoint: cannot rename " + tmp + " to " + path);
+  }
+}
+
+bool read_checkpoint(const std::string& path, Checkpoint* ck) {
+  File file(std::fopen(path.c_str(), "rb"));
+  if (file.f == nullptr) return false;  // no sidecar: start fresh
+  Header h{};
+  if (std::fread(&h, sizeof(h), 1, file.f) != 1) return false;
+  if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) return false;
+  // Bound the payload by the actual file size before allocating.
+  if (std::fseek(file.f, 0, SEEK_END) != 0) return false;
+  const long size = std::ftell(file.f);
+  if (size < 0 ||
+      static_cast<unsigned long>(size) !=
+          sizeof(Header) + h.payload_bytes + sizeof(std::uint64_t)) {
+    return false;
+  }
+  if (std::fseek(file.f, sizeof(Header), SEEK_SET) != 0) return false;
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(h.payload_bytes));
+  if (!payload.empty() &&
+      std::fread(payload.data(), 1, payload.size(), file.f) !=
+          payload.size()) {
+    return false;
+  }
+  std::uint64_t stored_sum = 0;
+  if (std::fread(&stored_sum, sizeof(stored_sum), 1, file.f) != 1) {
+    return false;
+  }
+  std::uint64_t sum = fnv1a(&h, sizeof(h));
+  if (!payload.empty()) sum = fnv1a(payload.data(), payload.size(), sum);
+  if (sum != stored_sum) return false;  // torn/corrupt sidecar
+
+  ck->algorithm = h.algorithm;
+  ck->fingerprint = h.fingerprint;
+  ck->n = h.n;
+  ck->progress = h.progress;
+  ck->aux0 = h.aux0;
+  ck->aux1 = h.aux1;
+  ck->payload = std::move(payload);
+  return true;
+}
+
+void remove_checkpoint(const std::string& path) {
+  std::remove(path.c_str());  // ENOENT is fine
+}
+
+}  // namespace gapsp::core

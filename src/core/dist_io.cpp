@@ -1,7 +1,9 @@
 #include "core/dist_io.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 namespace gapsp::core {
@@ -66,7 +68,31 @@ LoadedDistances load_distances(const std::string& path) {
   GAPSP_CHECK(std::memcmp(h.magic, kMagic, sizeof(kMagic)) == 0,
               path + " is not a gapsp distance file");
   GAPSP_CHECK(h.n >= 0 && h.n < (1LL << 31), "implausible matrix size");
+  GAPSP_CHECK(h.has_perm == 0 || h.has_perm == 1,
+              "malformed header in " + path);
   const auto n = static_cast<vidx_t>(h.n);
+
+  // A malformed header with a huge n must be rejected *before* any
+  // allocation: n² elements can overflow std::size_t on 32-bit hosts and
+  // OOM-kill the process on 64-bit ones. n < 2^31 keeps every term below
+  // exactly representable in uint64, so compare the implied file size
+  // against the real one first.
+  const auto un = static_cast<std::uint64_t>(n);
+  GAPSP_CHECK(un == 0 ||
+                  un <= std::numeric_limits<std::size_t>::max() /
+                            sizeof(dist_t) / un,
+              "matrix size overflows addressable memory");
+  const std::uint64_t expected = sizeof(Header) +
+                                 (h.has_perm != 0 ? un * sizeof(vidx_t) : 0) +
+                                 un * un * sizeof(dist_t);
+  GAPSP_CHECK(std::fseek(f.get(), 0, SEEK_END) == 0, "cannot seek " + path);
+  const long actual = std::ftell(f.get());
+  GAPSP_CHECK(actual >= 0, "cannot size " + path);
+  GAPSP_CHECK(static_cast<std::uint64_t>(actual) == expected,
+              path + " size does not match its header (truncated or "
+                     "malformed n)");
+  GAPSP_CHECK(std::fseek(f.get(), sizeof(Header), SEEK_SET) == 0,
+              "cannot seek " + path);
 
   LoadedDistances out;
   if (h.has_perm != 0) {

@@ -53,21 +53,55 @@ class RamStore final : public DistStore {
 };
 
 /// stdio-backed store. Rows are contiguous on disk; unwritten regions read
-/// back as kInf via an initialization pass at construction.
+/// back as kInf via an initialization pass at construction. Every stdio
+/// return value is checked and surfaces as a typed IoError — the distance
+/// matrix is the product of hours of simulated work, so a silently-shorted
+/// write (full disk, quota) must not masquerade as success.
 class FileStore final : public DistStore {
  public:
   FileStore(vidx_t n, const std::string& path, bool keep_file)
       : DistStore(n), path_(path), keep_file_(keep_file) {
-    file_ = std::fopen(path.c_str(), "wb+");
-    GAPSP_CHECK(file_ != nullptr, "cannot create dist store file " + path);
-    // Pre-fill with kInf one row at a time (bounded scratch).
-    std::vector<dist_t> row(static_cast<std::size_t>(n), kInf);
-    for (vidx_t r = 0; r < n; ++r) {
-      const std::size_t wrote =
-          std::fwrite(row.data(), sizeof(dist_t), row.size(), file_);
-      GAPSP_CHECK(wrote == row.size(), "short write initializing " + path);
+    // Adopt an existing file of exactly the right size instead of
+    // truncating: the store is the durable state of a checkpointed run, so
+    // resuming across processes must see the rounds the dead run completed.
+    // (Safe for fresh runs too — every algorithm fully overwrites the
+    // region it reads back.)
+    const std::uint64_t expected = static_cast<std::uint64_t>(n) *
+                                   static_cast<std::uint64_t>(n) *
+                                   sizeof(dist_t);
+    file_ = std::fopen(path.c_str(), "rb+");
+    if (file_ != nullptr) {
+      if (std::fseek(file_, 0, SEEK_END) == 0 &&
+          static_cast<std::uint64_t>(std::ftell(file_)) == expected) {
+        return;  // matrix already on disk; no kInf prefill
+      }
+      std::fclose(file_);
+      file_ = nullptr;
     }
-    std::fflush(file_);
+    file_ = std::fopen(path.c_str(), "wb+");
+    if (file_ == nullptr) {
+      throw IoError("cannot create dist store file " + path);
+    }
+    try {
+      // Pre-fill with kInf one row at a time (bounded scratch).
+      std::vector<dist_t> row(static_cast<std::size_t>(n), kInf);
+      for (vidx_t r = 0; r < n; ++r) {
+        const std::size_t wrote =
+            std::fwrite(row.data(), sizeof(dist_t), row.size(), file_);
+        if (wrote != row.size()) {
+          throw IoError("short write initializing " + path);
+        }
+      }
+      if (std::fflush(file_) != 0) {
+        throw IoError("flush failed initializing " + path);
+      }
+    } catch (...) {
+      // The destructor will not run for a throwing constructor: close (and
+      // scrub) the partial file here or leak the handle.
+      std::fclose(file_);
+      if (!keep_file_) std::remove(path.c_str());
+      throw;
+    }
   }
 
   ~FileStore() override {
@@ -83,22 +117,26 @@ class FileStore final : public DistStore {
       const std::size_t wrote =
           std::fwrite(src + static_cast<std::size_t>(r) * src_ld,
                       sizeof(dist_t), static_cast<std::size_t>(cols), file_);
-      GAPSP_CHECK(wrote == static_cast<std::size_t>(cols),
-                  "short write to " + path_);
+      if (wrote != static_cast<std::size_t>(cols)) {
+        throw IoError("short write to " + path_);
+      }
     }
   }
 
   void read_block(vidx_t row0, vidx_t col0, vidx_t rows, vidx_t cols,
                   dist_t* dst, std::size_t dst_ld) const override {
     check_block(row0, col0, rows, cols);
-    std::fflush(file_);
+    if (std::fflush(file_) != 0) {
+      throw IoError("flush failed in " + path_);
+    }
     for (vidx_t r = 0; r < rows; ++r) {
       seek(row0 + r, col0);
       const std::size_t got =
           std::fread(dst + static_cast<std::size_t>(r) * dst_ld,
                      sizeof(dist_t), static_cast<std::size_t>(cols), file_);
-      GAPSP_CHECK(got == static_cast<std::size_t>(cols),
-                  "short read from " + path_);
+      if (got != static_cast<std::size_t>(cols)) {
+        throw IoError("short read from " + path_);
+      }
     }
   }
 
@@ -107,8 +145,9 @@ class FileStore final : public DistStore {
     const long long off =
         (static_cast<long long>(row) * n() + col) *
         static_cast<long long>(sizeof(dist_t));
-    GAPSP_CHECK(std::fseek(file_, static_cast<long>(off), SEEK_SET) == 0,
-                "seek failed in " + path_);
+    if (std::fseek(file_, static_cast<long>(off), SEEK_SET) != 0) {
+      throw IoError("seek failed in " + path_);
+    }
   }
   std::string path_;
   bool keep_file_ = false;

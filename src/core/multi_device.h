@@ -22,6 +22,14 @@ struct MultiDeviceMetrics {
   std::vector<double> device_seconds;  ///< per-device local finish time
   double barrier2_s = 0.0;             ///< barrier after step 2
   double barrier3_s = 0.0;             ///< barrier after the dist3 broadcast
+  /// Failover accounting (empty/zero on fault-free runs). When a device
+  /// dies mid-run its unfinished components are re-assigned by LPT over the
+  /// survivors; the run completes as long as one device stays alive.
+  std::vector<int> failed_devices;     ///< indices of devices that died
+  long long failover_components = 0;   ///< components re-run on survivors
+  /// Device-local busy time survivors spent re-executing reassigned
+  /// components (the price of the failure, on top of the lost work).
+  double failover_cost_s = 0.0;
 };
 
 struct MultiApspResult {

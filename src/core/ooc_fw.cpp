@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/device_kernels.h"
 #include "sim/stream_pipeline.h"
 #include "util/timer.h"
@@ -35,13 +36,37 @@ ApspResult ooc_floyd_warshall(const graph::CsrGraph& g,
   GAPSP_CHECK(store.n() == n, "store size does not match graph");
   sim::Device dev(opts.device);
   dev.set_trace(opts.trace);
+  FaultScope faults(dev, opts);
   const bool overlap = opts.overlap_transfers;
   const vidx_t b =
       fw_block_size(dev.spec(), n, fw_resident_blocks(overlap));
   const vidx_t nd = (n + b - 1) / b;
   auto bdim = [&](vidx_t t) { return std::min<vidx_t>(b, n - t * b); };
 
-  init_weight_matrix(g, store);
+  // Round-level checkpointing: the store is the durable state (it already
+  // holds every block round k wrote back by the time round k ends), so the
+  // sidecar only records how many k-rounds completed under this exact
+  // blocking of this exact graph.
+  const bool use_ck = !opts.checkpoint_path.empty();
+  std::uint64_t fp = 0;
+  vidx_t start_k = 0;
+  long long ck_written = 0;
+  if (use_ck) {
+    fp = graph_fingerprint(g);
+    const std::int64_t shape[3] = {n, b, nd};
+    fp = fnv1a(shape, sizeof(shape), fp);
+    Checkpoint ck;
+    if (opts.resume && read_checkpoint(opts.checkpoint_path, &ck) &&
+        ck.algorithm ==
+            static_cast<std::uint32_t>(Algorithm::kBlockedFloydWarshall) &&
+        ck.fingerprint == fp && ck.n == n && ck.aux0 == b && ck.aux1 == nd) {
+      start_k = static_cast<vidx_t>(
+          std::clamp<std::int64_t>(ck.progress, 0, nd));
+    }
+  }
+  // A resumed run continues on the partially-relaxed matrix already in the
+  // store; re-initializing would discard the completed rounds.
+  if (start_k == 0) init_weight_matrix(g, store);
 
   sim::StreamPipeline pipe(dev, overlap);
   const std::size_t elems = static_cast<std::size_t>(b) * b;
@@ -78,7 +103,7 @@ ApspResult ooc_floyd_warshall(const graph::CsrGraph& g,
 
   const sim::StreamId compute = pipe.compute_stream();
 
-  for (vidx_t k = 0; k < nd; ++k) {
+  for (vidx_t k = start_k; k < nd; ++k) {
     const vidx_t dk = bdim(k);
     // --- Stage 1: close the diagonal block with an in-core blocked FW ---
     // col doubles as the diagonal block A(k,k) through stages 1 and 2.
@@ -130,14 +155,31 @@ ApspResult ooc_floyd_warshall(const graph::CsrGraph& g,
       }
       col.release(ci, pipe.computed());
     }
+    // Every store.write_block of round k has executed (the functional copy
+    // happens at issue time), so progress = k+1 is durable.
+    if (use_ck) {
+      Checkpoint ck;
+      ck.algorithm =
+          static_cast<std::uint32_t>(Algorithm::kBlockedFloydWarshall);
+      ck.fingerprint = fp;
+      ck.n = n;
+      ck.progress = k + 1;
+      ck.aux0 = b;
+      ck.aux1 = nd;
+      write_checkpoint(opts.checkpoint_path, ck);
+      ++ck_written;
+    }
   }
   pipe.drain();
   dev.synchronize();
+  if (use_ck) remove_checkpoint(opts.checkpoint_path);
 
   ApspResult result;
   result.used = Algorithm::kBlockedFloydWarshall;
   result.metrics = metrics_from_device(dev, wall.seconds());
   result.metrics.fw_num_blocks = static_cast<int>(nd);
+  result.metrics.checkpoints_written = ck_written;
+  result.metrics.resumed_progress = start_k;
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "sim/stream_pipeline.h"
 #include "sssp/bellman_ford.h"
 #include "sssp/delta_stepping.h"
@@ -29,7 +30,7 @@ constexpr double kChildEfficiency = 0.48;
 class JohnsonRunner {
  public:
   JohnsonRunner(const graph::CsrGraph& g, const ApspOptions& opts)
-      : g_(g), opts_(opts), dev_(opts.device),
+      : g_(g), opts_(opts), dev_(opts.device), faults_(dev_, opts),
         pipe_(dev_, opts.overlap_transfers) {
     dev_.set_trace(opts.trace);
     bat_ = johnson_batch_size(dev_.spec(), g, opts.johnson_queue_factor,
@@ -190,6 +191,9 @@ class JohnsonRunner {
   const graph::CsrGraph& g_;
   ApspOptions opts_;
   sim::Device dev_;
+  // Attached before upload_graph in the ctor body so even the CSR upload is
+  // subject to the fault schedule.
+  FaultScope faults_;
   sim::StreamPipeline pipe_;
   DeviceGraph dg_;
   // Deferred because its size depends on bat_, computed in the ctor body.
@@ -225,15 +229,51 @@ ApspResult ooc_johnson(const graph::CsrGraph& g, const ApspOptions& opts,
   Timer wall;
   GAPSP_CHECK(store.n() == g.num_vertices(), "store size mismatch");
   JohnsonRunner runner(g, opts);
-  for (int bi = 0; bi < runner.num_batches(); ++bi) {
+
+  // Per-batch checkpointing: each batch fully overwrites its block of rows
+  // in the store, so completed-batch count is the whole recovery state.
+  const bool use_ck = !opts.checkpoint_path.empty();
+  std::uint64_t fp = 0;
+  int start_bi = 0;
+  long long ck_written = 0;
+  if (use_ck) {
+    fp = graph_fingerprint(g);
+    const std::int64_t shape[3] = {g.num_vertices(), runner.bat(),
+                                   runner.num_batches()};
+    fp = fnv1a(shape, sizeof(shape), fp);
+    Checkpoint ck;
+    if (opts.resume && read_checkpoint(opts.checkpoint_path, &ck) &&
+        ck.algorithm == static_cast<std::uint32_t>(Algorithm::kJohnson) &&
+        ck.fingerprint == fp && ck.n == g.num_vertices() &&
+        ck.aux0 == runner.bat() && ck.aux1 == runner.num_batches()) {
+      start_bi = static_cast<int>(
+          std::clamp<std::int64_t>(ck.progress, 0, runner.num_batches()));
+    }
+  }
+
+  for (int bi = start_bi; bi < runner.num_batches(); ++bi) {
     runner.run_batch(bi, &store);
+    if (use_ck) {
+      Checkpoint ck;
+      ck.algorithm = static_cast<std::uint32_t>(Algorithm::kJohnson);
+      ck.fingerprint = fp;
+      ck.n = g.num_vertices();
+      ck.progress = bi + 1;
+      ck.aux0 = runner.bat();
+      ck.aux1 = runner.num_batches();
+      write_checkpoint(opts.checkpoint_path, ck);
+      ++ck_written;
+    }
   }
   runner.finish();
+  if (use_ck) remove_checkpoint(opts.checkpoint_path);
   ApspResult result;
   result.used = Algorithm::kJohnson;
   result.metrics = metrics_from_device(runner.device(), wall.seconds());
   result.metrics.johnson_batch_size = runner.bat();
   result.metrics.johnson_num_batches = runner.num_batches();
+  result.metrics.checkpoints_written = ck_written;
+  result.metrics.resumed_progress = start_bi;
   return result;
 }
 

@@ -4,6 +4,46 @@
 
 namespace gapsp::sim {
 
+void Device::fault_gate(FaultOp op, StreamId s, const char* what) {
+  if (injector_ == nullptr) return;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      injector_->on_op(op, std::max(host_time_, stream_ready_[s]), what);
+      return;
+    } catch (const FaultError& e) {
+      ++metrics_.faults_injected;
+      const bool retryable = e.transient() && attempt < retry_.max_retries;
+      // Failure is detected at issue time; a retried attempt charges the
+      // backoff wait to the issuing stream's clock (idle, not busy — it can
+      // hide nothing), so retries lengthen the simulated makespan honestly.
+      double backoff = 0.0;
+      if (retryable) {
+        backoff = retry_.backoff_s;
+        for (int i = 0; i < attempt; ++i) backoff *= retry_.backoff_multiplier;
+      }
+      const double start = std::max(stream_ready_[s], host_time_);
+      if (trace_ != nullptr) {
+        TraceEvent ev;
+        ev.name = std::string("fault:") + fault_op_name(e.op()) +
+                  (retryable ? " (retry)" : " (fatal)");
+        ev.kind = TraceEvent::Kind::kFault;
+        ev.stream = s;
+        ev.start_s = start;
+        ev.end_s = start + backoff;
+        trace_->record(std::move(ev));
+      }
+      if (!retryable) throw;
+      stream_ready_[s] = start + backoff;
+      metrics_.retry_backoff_seconds += backoff;
+      if (op == FaultOp::kKernel) {
+        ++metrics_.kernel_retries;
+      } else {
+        ++metrics_.transfer_retries;
+      }
+    }
+  }
+}
+
 void LaunchCtx::child_launch(const KernelProfile& profile) {
   child_seconds_ += dev_.spec().child_launch_s + dev_.kernel_time(profile);
   ++children_;
@@ -69,6 +109,8 @@ void Device::do_copy(StreamId s, void* dst, const void* src, std::size_t bytes,
                      bool async, bool pinned, bool to_device) {
   GAPSP_CHECK(s >= 0 && s < static_cast<StreamId>(stream_ready_.size()),
               "bad stream id");
+  fault_gate(to_device ? FaultOp::kH2D : FaultOp::kD2H, s,
+             to_device ? "memcpy_h2d" : "memcpy_d2h");
   if (bytes > 0) std::memcpy(dst, src, bytes);
   const double dur = transfer_time(bytes, pinned);
   const double start = std::max(stream_ready_[s], host_time_);
@@ -113,6 +155,9 @@ double Device::launch(StreamId s, const std::string& name,
                       const std::function<KernelProfile(LaunchCtx&)>& body) {
   GAPSP_CHECK(s >= 0 && s < static_cast<StreamId>(stream_ready_.size()),
               "bad stream id: " + name);
+  // The gate runs before the body: a failed launch has no side effects, so
+  // a retry simply re-executes the (idempotent, min-plus monotone) kernel.
+  fault_gate(FaultOp::kKernel, s, name.c_str());
   LaunchCtx ctx(*this);
   const KernelProfile profile = body(ctx);  // real work happens here
   const double dur =
@@ -141,11 +186,13 @@ double Device::launch(StreamId s, const std::string& name,
 }
 
 void Device::reserve_bytes(std::size_t bytes, const char* what) {
-  GAPSP_CHECK(used_bytes_ + bytes <= spec_.memory_bytes,
-              std::string("device out of memory allocating ") + what + ": " +
-                  std::to_string(bytes) + " bytes requested, " +
-                  std::to_string(spec_.memory_bytes - used_bytes_) +
-                  " available on " + spec_.name);
+  fault_gate(FaultOp::kAlloc, kDefaultStream, what);
+  if (used_bytes_ + bytes > spec_.memory_bytes) {
+    throw OomError(std::string("device out of memory allocating ") + what +
+                   ": " + std::to_string(bytes) + " bytes requested, " +
+                   std::to_string(spec_.memory_bytes - used_bytes_) +
+                   " available on " + spec_.name);
+  }
   used_bytes_ += bytes;
   peak_bytes_ = std::max(peak_bytes_, used_bytes_);
 }
@@ -166,7 +213,7 @@ void Device::note_pinned_release(std::size_t bytes) {
 }
 
 DeviceMetrics Device::metrics() const {
-  DeviceMetrics m = metrics_;
+  DeviceMetrics m = metrics_;  // includes the fault/retry counters
   m.peak_bytes = peak_bytes_;
   m.pinned_peak_bytes = pinned_peak_bytes_;
   m.stream_busy_seconds = stream_busy_;

@@ -17,10 +17,19 @@
 #include <vector>
 
 #include "sim/device_spec.h"
+#include "sim/fault.h"
 #include "sim/trace.h"
 #include "util/common.h"
 
 namespace gapsp::sim {
+
+/// Typed out-of-memory error from the device allocator, so recovery layers
+/// can tell capacity exhaustion (degrade the plan and retry) apart from
+/// contract violations (propagate).
+class OomError : public Error {
+ public:
+  explicit OomError(const std::string& what) : Error(what) {}
+};
 
 /// Cost declaration for one kernel: how much scalar work it did, how many
 /// device-memory bytes it touched, over how many thread blocks, and how
@@ -62,6 +71,12 @@ struct DeviceMetrics {
   /// High-water mark of registered pinned-host staging (see
   /// Device::note_pinned_alloc) — what cudaHostAlloc would have reserved.
   std::size_t pinned_peak_bytes = 0;
+  /// Fault injection / recovery counters (all zero when no FaultInjector is
+  /// attached or the plan never fires).
+  long long faults_injected = 0;   ///< FaultErrors raised by this device
+  long long transfer_retries = 0;  ///< transient h2d/d2h faults retried
+  long long kernel_retries = 0;    ///< transient launch faults retried
+  double retry_backoff_seconds = 0.0;  ///< stream time spent backing off
 };
 
 class Device;
@@ -191,6 +206,18 @@ class Device {
   /// Attaches a timeline recorder (nullptr detaches). Not owned.
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
+  // ---- fault injection & recovery ----
+
+  /// Attaches a fault injector (nullptr detaches). Not owned; the injector
+  /// may outlive retries and re-plans so scripted faults stay consumed.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  /// Bounded retry-with-backoff applied to transient transfer/kernel faults
+  /// before they propagate as FaultError.
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  /// True once the attached injector killed this device; every further
+  /// transfer/launch/alloc throws FaultError(kDeviceLost).
+  bool lost() const { return injector_ != nullptr && injector_->device_killed(); }
+
  private:
   template <typename T>
   friend class DeviceBuffer;
@@ -199,6 +226,13 @@ class Device {
   void release_bytes(std::size_t bytes);
   void do_copy(StreamId s, void* dst, const void* src, std::size_t bytes,
                bool async, bool pinned, bool to_device);
+
+  /// Consults the fault injector before an operation on stream `s`. Retries
+  /// transient faults under retry_ (charging backoff to the stream clock and
+  /// recording each fault in the trace) and rethrows when the fault is not
+  /// transient or the retry budget is exhausted. Returns once the operation
+  /// may proceed.
+  void fault_gate(FaultOp op, StreamId s, const char* what);
 
   /// A busy interval on a stream's timeline, kept so metrics() can compute
   /// how much transfer time was hidden under concurrent kernel execution.
@@ -220,6 +254,8 @@ class Device {
   std::vector<Interval> intervals_;
   DeviceMetrics metrics_{};
   TraceRecorder* trace_ = nullptr;
+  FaultInjector* injector_ = nullptr;
+  RetryPolicy retry_;
 };
 
 template <typename T>

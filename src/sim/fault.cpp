@@ -1,0 +1,89 @@
+#include "sim/fault.h"
+
+namespace gapsp::sim {
+
+const char* fault_op_name(FaultOp op) {
+  switch (op) {
+    case FaultOp::kH2D:
+      return "h2d";
+    case FaultOp::kD2H:
+      return "d2h";
+    case FaultOp::kKernel:
+      return "kernel";
+    case FaultOp::kAlloc:
+      return "alloc";
+    case FaultOp::kDeviceLost:
+      return "device-lost";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, int device_index)
+    : plan_(plan),
+      // Decorrelate per-device probability streams without changing the
+      // single-device stream (index 0 keeps the plan seed verbatim).
+      rng_(plan.seed ^ (static_cast<std::uint64_t>(device_index) *
+                        0x9e3779b97f4a7c15ULL)),
+      device_(device_index) {}
+
+double FaultInjector::probability(FaultOp op) const {
+  switch (op) {
+    case FaultOp::kH2D:
+      return plan_.p_h2d;
+    case FaultOp::kD2H:
+      return plan_.p_d2h;
+    case FaultOp::kKernel:
+      return plan_.p_kernel;
+    case FaultOp::kAlloc:
+      return plan_.p_alloc;
+    case FaultOp::kDeviceLost:
+      break;
+  }
+  return 0.0;
+}
+
+void FaultInjector::on_op(FaultOp op, double device_now, const char* what) {
+  const std::string dev_tag = "device " + std::to_string(device_);
+  if (killed_) {
+    throw FaultError(FaultOp::kDeviceLost, /*transient=*/false,
+                     dev_tag + " is lost (" + std::string(what) + " on a dead"
+                     " device)");
+  }
+  ++total_ops_;
+  ++op_count_[static_cast<int>(op)];
+
+  // Kill rule first: a dying device takes precedence over any other fault.
+  if (plan_.kill_device == device_ &&
+      ((plan_.kill_at_op > 0 && total_ops_ >= plan_.kill_at_op) ||
+       (plan_.kill_at_s >= 0.0 && device_now >= plan_.kill_at_s))) {
+    killed_ = true;
+    ++injected_;
+    throw FaultError(FaultOp::kDeviceLost, /*transient=*/false,
+                     dev_tag + " lost at op " + std::to_string(total_ops_) +
+                         " (" + what + ")");
+  }
+
+  for (auto it = plan_.scripted.begin(); it != plan_.scripted.end(); ++it) {
+    if (it->op == op && (it->device < 0 || it->device == device_) &&
+        op_count_[static_cast<int>(op)] == it->nth) {
+      const bool transient = it->transient && op != FaultOp::kAlloc;
+      plan_.scripted.erase(it);
+      ++injected_;
+      throw FaultError(op, transient,
+                       "scripted " + std::string(fault_op_name(op)) +
+                           " fault on " + dev_tag + " (" + what + ")");
+    }
+  }
+
+  const double p = probability(op);
+  if (p > 0.0 && rng_.next_bool(p)) {
+    ++injected_;
+    // Alloc faults model OOM/fragmentation — retry cannot help, the caller
+    // must degrade its plan instead.
+    throw FaultError(op, /*transient=*/op != FaultOp::kAlloc,
+                     "injected " + std::string(fault_op_name(op)) +
+                         " fault on " + dev_tag + " (" + what + ")");
+  }
+}
+
+}  // namespace gapsp::sim

@@ -1,0 +1,121 @@
+// Deterministic fault injection for the device simulator.
+//
+// A FaultPlan describes *when* operations fail — per-op-kind probabilities
+// drawn from a seeded stream, scripted "fail the Nth H2D", and a device-kill
+// rule — and a FaultInjector executes one plan against one Device. Every
+// injected fault surfaces as a typed FaultError from the device entry point
+// it hit (memcpy_h2d/d2h, launch, alloc), so recovery policy lives with the
+// caller: the Device retries transient transfer/kernel faults under its
+// RetryPolicy (backoff charged on the stream timeline), core/ degrades or
+// checkpoints, and multi_device fails components over to surviving devices.
+// See DESIGN.md §8 for the fault model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace gapsp::sim {
+
+/// Operation classes the injector can fail.
+enum class FaultOp {
+  kH2D,
+  kD2H,
+  kKernel,
+  kAlloc,
+  kDeviceLost,
+};
+
+const char* fault_op_name(FaultOp op);
+
+/// Typed error raised by an injected fault. `transient()` faults model
+/// recoverable hiccups (link CRC error, launch timeout) and are eligible
+/// for retry; non-transient faults model device OOM (kAlloc) or a lost
+/// device (kDeviceLost) and propagate to the degradation/failover layers.
+class FaultError : public Error {
+ public:
+  FaultError(FaultOp op, bool transient, const std::string& what)
+      : Error(what), op_(op), transient_(transient) {}
+
+  FaultOp op() const { return op_; }
+  bool transient() const { return transient_; }
+
+ private:
+  FaultOp op_;
+  bool transient_;
+};
+
+/// Bounded exponential backoff for transient faults. The backoff is charged
+/// to the issuing stream's timeline, so retries show up honestly in the
+/// simulated makespan and the Chrome trace.
+struct RetryPolicy {
+  int max_retries = 3;
+  double backoff_s = 100e-6;      ///< first retry waits this long
+  double backoff_multiplier = 2.0;
+};
+
+/// Seeded fault schedule. Deterministic: the same plan against the same
+/// operation sequence injects the same faults (retries consume additional
+/// probability draws, which is itself deterministic).
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  /// Per-operation fault probabilities (0 disables that class). Transfer
+  /// and kernel faults are transient; alloc faults model OOM and are not.
+  double p_h2d = 0.0;
+  double p_d2h = 0.0;
+  double p_kernel = 0.0;
+  double p_alloc = 0.0;
+
+  /// Scripted one-shot faults: fail the nth (1-based) operation of `op` on
+  /// `device` (-1 = any device). Consumed once each.
+  struct Scripted {
+    FaultOp op = FaultOp::kH2D;
+    long long nth = 0;
+    int device = -1;
+    bool transient = true;
+  };
+  std::vector<Scripted> scripted;
+
+  /// Device-kill rule: device `kill_device` dies at its `kill_at_op`-th
+  /// operation (any kind, 1-based) or once its local clock reaches
+  /// `kill_at_s`, whichever is configured. A dead device throws
+  /// FaultError(kDeviceLost) from every subsequent operation.
+  int kill_device = -1;
+  long long kill_at_op = -1;
+  double kill_at_s = -1.0;
+};
+
+/// Executes one FaultPlan against one device (identified by `device_index`
+/// so multi-GPU runs can target individual devices and decorrelate their
+/// probability streams). Attach with Device::set_fault_injector; the
+/// injector outlives retries and re-plans, so scripted faults stay consumed
+/// across recovery attempts.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan, int device_index = 0);
+
+  /// Called by the device before each operation; throws FaultError when a
+  /// fault fires. `device_now` is the device-local time used by the
+  /// kill-at-time rule.
+  void on_op(FaultOp op, double device_now, const char* what);
+
+  long long injected() const { return injected_; }
+  bool device_killed() const { return killed_; }
+  int device_index() const { return device_; }
+
+ private:
+  double probability(FaultOp op) const;
+
+  FaultPlan plan_;  // scripted entries are consumed from this copy
+  Rng rng_;
+  int device_ = 0;
+  long long op_count_[4] = {0, 0, 0, 0};  ///< per-kind, indexed by FaultOp
+  long long total_ops_ = 0;
+  long long injected_ = 0;
+  bool killed_ = false;
+};
+
+}  // namespace gapsp::sim

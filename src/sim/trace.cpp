@@ -16,6 +16,8 @@ const char* kind_name(TraceEvent::Kind kind) {
       return "h2d";
     case TraceEvent::Kind::kD2H:
       return "d2h";
+    case TraceEvent::Kind::kFault:
+      return "fault";
   }
   return "?";
 }
@@ -65,7 +67,11 @@ OverlapStats TraceRecorder::overlap_stats() const {
   }
   double transfer_total = 0.0;
   for (const auto& e : events_) {
-    if (e.kind == TraceEvent::Kind::kKernel) continue;
+    // Only transfers participate in the hidden/exposed split; fault/backoff
+    // markers are idle time, not link occupancy.
+    if (e.kind != TraceEvent::Kind::kH2D && e.kind != TraceEvent::Kind::kD2H) {
+      continue;
+    }
     transfer_total += e.duration_s();
     for (const auto& k : merged) {
       if (k.first >= e.end_s) break;

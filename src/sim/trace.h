@@ -12,7 +12,9 @@
 namespace gapsp::sim {
 
 struct TraceEvent {
-  enum class Kind { kKernel, kH2D, kD2H };
+  /// kFault marks an injected fault on a stream's lane; a retried fault's
+  /// duration is the backoff wait, a fatal one is an instant marker.
+  enum class Kind { kKernel, kH2D, kD2H, kFault };
 
   std::string name;
   Kind kind = Kind::kKernel;

@@ -42,6 +42,14 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Error from host filesystem I/O (short writes, failed flush/seek, …), so
+/// callers can distinguish a sick disk from a logic bug and react (retry on
+/// other storage, fail the checkpoint but keep computing, …).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void fail_check(const char* expr, const std::string& msg,
                              const std::source_location& loc);

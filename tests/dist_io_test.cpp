@@ -92,6 +92,43 @@ TEST(DistIo, RejectsMissingFile) {
   EXPECT_THROW(load_distances("/nonexistent/nowhere.gapsp"), Error);
 }
 
+TEST(DistIo, RejectsHugeNBeforeAllocating) {
+  // Regression: a malformed header announcing a huge n used to reach the
+  // n×n allocation before any consistency check — n²·4 bytes can overflow
+  // std::size_t arithmetic or OOM-kill the process. The loader must reject
+  // the file from its header + real size alone, before allocating anything.
+  auto write_header_only = [](const std::string& path, std::int64_t n) {
+    std::ofstream out(path, std::ios::binary);
+    const char magic[8] = {'G', 'A', 'P', 'S', 'P', 'D', 'M', '1'};
+    const std::int64_t has_perm = 0;
+    out.write(magic, 8);
+    out.write(reinterpret_cast<const char*>(&n), 8);
+    out.write(reinterpret_cast<const char*>(&has_perm), 8);
+  };
+  const std::string path = tmp_path("dist_io_huge.bin");
+  // Largest n that passes the plausibility bound: must die at the size
+  // cross-check, not in the allocator.
+  write_header_only(path, (1LL << 31) - 1);
+  EXPECT_THROW(load_distances(path), Error);
+  // Beyond the plausibility bound entirely.
+  write_header_only(path, 1LL << 40);
+  EXPECT_THROW(load_distances(path), Error);
+  // Negative n.
+  write_header_only(path, -4);
+  EXPECT_THROW(load_distances(path), Error);
+  // Garbage has_perm discriminator on an otherwise tiny file.
+  {
+    std::ofstream out(path, std::ios::binary);
+    const char magic[8] = {'G', 'A', 'P', 'S', 'P', 'D', 'M', '1'};
+    const std::int64_t n = 2, has_perm = 7;
+    out.write(magic, 8);
+    out.write(reinterpret_cast<const char*>(&n), 8);
+    out.write(reinterpret_cast<const char*>(&has_perm), 8);
+  }
+  EXPECT_THROW(load_distances(path), Error);
+  std::remove(path.c_str());
+}
+
 TEST(DistIo, RejectsMalformedPermutation) {
   // Hand-craft a header announcing a permutation, then write a bogus one.
   const std::string path = tmp_path("dist_io_badperm.bin");

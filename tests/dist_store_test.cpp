@@ -100,6 +100,31 @@ TEST(DistStore, FileStoreBadPathThrows) {
   EXPECT_THROW(make_file_store(4, "/nonexistent-dir/x/y.bin"), Error);
 }
 
+TEST(DistStore, FileStoreErrorsAreTypedIoError) {
+  // The distance matrix is the product of hours of simulated work; disk
+  // failures must surface as the IoError subtype so callers can distinguish
+  // "retry on another volume" from a logic bug.
+  try {
+    make_file_store(4, "/nonexistent-dir/x/y.bin");
+    FAIL() << "expected IoError";
+  } catch (const IoError&) {
+  }
+}
+
+TEST(DistStore, ShortWriteSurfacesAsIoError) {
+  // /dev/full accepts the open and fails every flush with ENOSPC — the
+  // closest portable stand-in for a disk filling up mid-initialization.
+  std::FILE* probe = std::fopen("/dev/full", "wb+");
+  if (probe == nullptr) GTEST_SKIP() << "/dev/full not available";
+  std::fclose(probe);
+  try {
+    // keep_file so the failure path does not try to unlink the device node.
+    make_file_store(64, "/dev/full", /*keep_file=*/true);
+    FAIL() << "expected IoError";
+  } catch (const IoError&) {
+  }
+}
+
 TEST(DistStore, FileRemovedByDefault) {
   const std::string path = testing::TempDir() + "/gapsp_store_rm.bin";
   {
@@ -128,6 +153,44 @@ TEST(DistStore, KeepFileLeavesRawMatrixOnDisk) {
   ASSERT_EQ(std::fread(&v, sizeof(v), 1, f), 1u);
   EXPECT_EQ(v, 9);
   std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(DistStore, KeptFileIsAdoptedBySecondStore) {
+  // Cross-process resume depends on this: a new FileStore over a kept file
+  // of exactly the right size must see the prior store's contents instead
+  // of truncating back to kInf.
+  const std::string path = testing::TempDir() + "/gapsp_store_adopt.bin";
+  {
+    auto s = make_file_store(4, path, /*keep_file=*/true);
+    std::vector<dist_t> m(16);
+    for (std::size_t i = 0; i < 16; ++i) m[i] = static_cast<dist_t>(i + 10);
+    s->write_block(0, 0, 4, 4, m.data(), 4);
+  }
+  {
+    auto s = make_file_store(4, path, /*keep_file=*/true);
+    for (vidx_t u = 0; u < 4; ++u) {
+      for (vidx_t v = 0; v < 4; ++v) {
+        EXPECT_EQ(s->at(u, v), static_cast<dist_t>(u * 4 + v + 10));
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DistStore, WrongSizeFileIsReinitializedNotAdopted) {
+  const std::string path = testing::TempDir() + "/gapsp_store_resize.bin";
+  {
+    auto s = make_file_store(2, path, /*keep_file=*/true);
+    const dist_t d = 5;
+    s->write_block(0, 0, 1, 1, &d, 1);
+  }
+  {
+    // Different n: the leftover 2x2 file must not be adopted as a 3x3 store.
+    auto s = make_file_store(3, path, /*keep_file=*/true);
+    EXPECT_EQ(s->at(0, 0), kInf);
+    EXPECT_EQ(s->at(2, 2), kInf);
+  }
   std::remove(path.c_str());
 }
 

@@ -4,6 +4,11 @@
 // tests with breadth across the configuration space.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "core/apsp.h"
 #include "graph/generators.h"
 #include "test_util.h"
@@ -84,6 +89,98 @@ TEST_P(ApspFuzz, RandomConfigurationMatchesOracle) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ApspFuzz, ::testing::Range(0, 40));
+
+// ---------------------------------------------------------------------------
+// Fault-schedule fuzzer: random FaultPlan (probabilistic faults, occasional
+// device kill) × random graph × random recovery budget. The invariant is the
+// DESIGN.md §8 contract: every run either completes with distances
+// bit-identical to a fault-free twin — possibly after checkpointed resume
+// attempts — or surfaces a typed sim::FaultError. Crashes, hangs and silently
+// wrong matrices are the bugs this sweep exists to catch.
+// ---------------------------------------------------------------------------
+
+class FaultFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultFuzz, RandomFaultScheduleRecoversOrFailsTyped) {
+  Rng rng(0xFA17 + static_cast<std::uint64_t>(GetParam()) * 104729);
+  const auto g = random_graph(rng);
+
+  ApspOptions opts;
+  const std::size_t mem = (256u << 10)
+                          << static_cast<unsigned>(rng.next_below(4));
+  opts.device = sim::DeviceSpec::v100_scaled(mem);
+  opts.fw_tile = 32;
+  opts.overlap_transfers = rng.next_bool(0.7);
+  opts.num_components = rng.next_bool(0.5)
+                            ? 0
+                            : static_cast<int>(rng.next_in(2, 8));
+  const Algorithm algos[] = {Algorithm::kBlockedFloydWarshall,
+                             Algorithm::kJohnson, Algorithm::kBoundary};
+  opts.algorithm = algos[rng.next_below(3)];
+
+  auto clean_store = make_ram_store(g.num_vertices());
+  ApspResult clean;
+  try {
+    clean = solve_apsp(g, opts, *clean_store);
+  } catch (const Error&) {
+    return;  // infeasible configuration — covered by ApspFuzz above
+  }
+
+  sim::FaultPlan plan;
+  plan.seed = rng.next_u64();
+  if (rng.next_bool(0.7)) plan.p_h2d = rng.next_double() * 0.03;
+  if (rng.next_bool(0.7)) plan.p_d2h = rng.next_double() * 0.03;
+  if (rng.next_bool(0.5)) plan.p_kernel = rng.next_double() * 0.02;
+  if (rng.next_bool(0.2)) plan.p_alloc = rng.next_double() * 0.1;
+  if (rng.next_bool(0.4)) {
+    plan.kill_device = 0;
+    plan.kill_at_op = static_cast<long long>(rng.next_in(1, 500));
+  }
+
+  auto injector = std::make_unique<sim::FaultInjector>(plan);
+  ApspOptions faulty = opts;
+  faulty.fault_injector = injector.get();
+  faulty.retry.max_retries = static_cast<int>(rng.next_below(4));
+  faulty.max_degradations = static_cast<int>(rng.next_below(3));
+  faulty.checkpoint_path = ::testing::TempDir() + "gapsp_fault_fuzz_" +
+                           std::to_string(GetParam()) + ".ck";
+
+  auto store = make_ram_store(g.num_vertices());
+  bool completed = false;
+  ApspResult r;
+  for (int attempt = 0; attempt < 6 && !completed; ++attempt) {
+    try {
+      r = solve_apsp(g, faulty, *store);
+      completed = true;
+    } catch (const sim::FaultError& e) {
+      // Typed failure — resume from the checkpoint. A killed device stays
+      // dead, so model its replacement with a fresh injector whose kill
+      // rule already fired.
+      if (e.op() == sim::FaultOp::kDeviceLost) {
+        sim::FaultPlan replacement = plan;
+        replacement.kill_device = -1;
+        injector = std::make_unique<sim::FaultInjector>(replacement);
+        faulty.fault_injector = injector.get();
+      }
+      faulty.resume = true;
+    }
+    // Any exception that is not a gapsp::Error escapes and fails the test.
+  }
+  if (completed) {
+    ASSERT_EQ(r.perm, clean.perm);
+    const vidx_t n = g.num_vertices();
+    std::vector<dist_t> a(static_cast<std::size_t>(n));
+    std::vector<dist_t> b(static_cast<std::size_t>(n));
+    for (vidx_t row = 0; row < n; ++row) {
+      clean_store->read_block(row, 0, 1, n, a.data(), a.size());
+      store->read_block(row, 0, 1, n, b.data(), b.size());
+      ASSERT_EQ(a, b) << "row " << row;
+    }
+  }
+  std::remove(faulty.checkpoint_path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzz, ::testing::Range(0, 24));
 
 }  // namespace
 }  // namespace gapsp::core

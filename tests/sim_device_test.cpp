@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "sim/device.h"
@@ -54,6 +56,74 @@ TEST(Device, BufferMoveTransfersOwnership) {
   EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move) — spec'd empty
   b.release();
   EXPECT_EQ(dev.used_bytes(), 0u);
+}
+
+TEST(Device, BufferMoveAssignReleasesOldAllocation) {
+  Device dev(small_spec());
+  auto a = dev.alloc<dist_t>(100);   // 400 B
+  auto b = dev.alloc<dist_t>(1000);  // 4000 B
+  EXPECT_EQ(dev.used_bytes(), 4400u);
+  a = std::move(b);  // a's original 400 B must be returned, not leaked
+  EXPECT_EQ(dev.used_bytes(), 4000u);
+  EXPECT_EQ(a.size(), 1000u);
+  a.release();
+  EXPECT_EQ(dev.used_bytes(), 0u);
+}
+
+TEST(Device, BufferDoubleReleaseIsIdempotent) {
+  Device dev(small_spec());
+  auto a = dev.alloc<dist_t>(100);
+  a.release();
+  a.release();  // second release (and the destructor later) must be a no-op
+  EXPECT_EQ(dev.used_bytes(), 0u);
+}
+
+TEST(Device, UsedBytesExactUnderExceptionUnwinding) {
+  // Recovery re-plans on the same Device after faults: a leak in the
+  // unwinding path would masquerade as a shrunken device and degrade every
+  // subsequent attempt. Throw mid-scope and check the ledger returns to its
+  // prior state exactly.
+  Device dev(small_spec());
+  auto outer = dev.alloc<dist_t>(5000);
+  const std::size_t before = dev.used_bytes();
+  try {
+    auto a = dev.alloc<dist_t>(10000);
+    auto b = std::move(a);         // moved-from + owner in flight
+    auto c = dev.alloc<dist_t>(1); // distinct small allocation
+    b.release();                   // early release before the throw
+    throw std::runtime_error("unwind");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(dev.used_bytes(), before);
+  outer.release();
+  EXPECT_EQ(dev.used_bytes(), 0u);
+}
+
+TEST(Device, UsedBytesExactWhenAllocFaultUnwinds) {
+  // An injected alloc fault throws out of Device::alloc — buffers already
+  // live in the failing scope unwind through ~DeviceBuffer and the ledger
+  // must balance so a degraded retry sees the full capacity again.
+  Device dev(small_spec());
+  FaultPlan plan;
+  FaultInjector inj(plan);
+  dev.set_fault_injector(&inj);
+  {
+    FaultPlan scripted;
+    scripted.scripted.push_back({.op = FaultOp::kAlloc, .nth = 2});
+    FaultInjector one_shot(scripted);
+    dev.set_fault_injector(&one_shot);
+    try {
+      auto a = dev.alloc<dist_t>(1000);
+      auto b = dev.alloc<dist_t>(1000);  // the scripted fault fires here
+      FAIL() << "expected FaultError";
+    } catch (const FaultError& e) {
+      EXPECT_EQ(e.op(), FaultOp::kAlloc);
+    }
+  }
+  dev.set_fault_injector(nullptr);
+  EXPECT_EQ(dev.used_bytes(), 0u);
+  auto again = dev.alloc<dist_t>((1 << 20) / sizeof(dist_t));  // full capacity
+  EXPECT_EQ(dev.used_bytes(), static_cast<std::size_t>(1 << 20));
 }
 
 TEST(Device, PeakBytesHighWaterMark) {

@@ -36,6 +36,25 @@
 //   --path U,V              print one shortest path U -> V
 //   --trace FILE            write a chrome://tracing JSON timeline
 //   --stats                 print graph statistics and exit
+//
+// Fault injection & recovery (see DESIGN.md §8):
+//   --fault-seed S          fault schedule seed (default 1)
+//   --fault-h2d P           probability an H2D transfer faults (transient)
+//   --fault-d2h P           probability a D2H transfer faults (transient)
+//   --fault-kernel P        probability a kernel launch faults (transient)
+//   --fault-alloc P         probability an allocation faults (→ degrade)
+//   --kill-device D:N       device D dies at its N-th operation
+//   --retries N             max retries per transient fault (default 3)
+//   --checkpoint FILE       write a round-level checkpoint sidecar; requires
+//                           --store file (the store holds the completed
+//                           rounds, so it must outlive the process; the
+//                           store file is kept across runs automatically)
+//   --resume                resume from --checkpoint if compatible:
+//
+//   apsp_cli --generate road:20x20 --algorithm fw --store file \
+//            --store-path d.bin --checkpoint fw.ck [--kill-device 0:40]
+//   apsp_cli --generate road:20x20 --algorithm fw --store file \
+//            --store-path d.bin --checkpoint fw.ck --resume
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -175,15 +194,46 @@ int run(const Args& args) {
   sim::TraceRecorder trace;
   if (args.has("trace")) opts.trace = &trace;
 
+  sim::FaultPlan faults;
+  faults.seed = static_cast<std::uint64_t>(args.get_int_or("fault-seed", 1));
+  faults.p_h2d = args.get_double_or("fault-h2d", 0.0);
+  faults.p_d2h = args.get_double_or("fault-d2h", 0.0);
+  faults.p_kernel = args.get_double_or("fault-kernel", 0.0);
+  faults.p_alloc = args.get_double_or("fault-alloc", 0.0);
+  if (const auto kill = args.get("kill-device"); kill.has_value()) {
+    const auto colon = kill->find(':');
+    GAPSP_CHECK(colon != std::string::npos,
+                "expected --kill-device D:NTHOP but got " + *kill);
+    faults.kill_device = static_cast<int>(std::stoll(kill->substr(0, colon)));
+    faults.kill_at_op = std::stoll(kill->substr(colon + 1));
+  }
+  const bool any_faults = faults.p_h2d > 0 || faults.p_d2h > 0 ||
+                          faults.p_kernel > 0 || faults.p_alloc > 0 ||
+                          faults.kill_device >= 0;
+  if (any_faults) opts.faults = &faults;
+  opts.retry.max_retries = static_cast<int>(args.get_int_or("retries", 3));
+  opts.checkpoint_path = args.get_or("checkpoint", "");
+  opts.resume = args.has("resume");
+
   core::SelectorOptions sel;
   sel.sparse_percent = args.get_double_or("sparse-threshold", 0.8);
   sel.dense_percent = args.get_double_or("dense-threshold", 4.0);
 
+  // A checkpoint sidecar only records *progress*; the completed rounds live
+  // in the distance store. Across processes that store must be durable — a
+  // RAM store dies with the killed run, and resuming against a fresh one
+  // would silently continue from an uninitialized matrix.
+  GAPSP_CHECK(opts.checkpoint_path.empty() ||
+                  args.get_or("store", "ram") == "file",
+              "--checkpoint/--resume need a durable store: add "
+              "--store file --store-path P (the file is kept across runs)");
   std::unique_ptr<core::DistStore> store;
   if (args.get_or("store", "ram") == "file") {
+    // With a checkpoint in play the store must survive both the interrupted
+    // run (exception unwinds this unique_ptr) and the resume run.
+    const bool keep = args.has("keep-store") || !opts.checkpoint_path.empty();
     store = core::make_file_store(
-        g.num_vertices(), args.get_or("store-path", "apsp_dist.bin"),
-        args.has("keep-store"));
+        g.num_vertices(), args.get_or("store-path", "apsp_dist.bin"), keep);
   } else {
     store = core::make_ram_store(g.num_vertices());
   }
@@ -196,6 +246,15 @@ int run(const Args& args) {
     auto multi = core::ooc_boundary_multi(g, opts, devices, *store);
     std::cout << "multi-GPU boundary: " << devices << " devices, makespan "
               << multi.result.metrics.sim_seconds * 1e3 << " ms\n";
+    if (!multi.multi.failed_devices.empty()) {
+      std::cout << "failover:";
+      for (int d : multi.multi.failed_devices) {
+        std::cout << " device " << d << " lost;";
+      }
+      std::cout << " " << multi.multi.failover_components
+                << " components re-run on survivors ("
+                << multi.multi.failover_cost_s * 1e3 << " ms)\n";
+    }
     r = std::move(multi.result);
   } else if (args.has("per-component")) {
     auto comp = core::solve_apsp_per_component(g, opts, *store, sel);
@@ -237,6 +296,19 @@ int run(const Args& args) {
   if (r.metrics.boundary_k > 0) {
     std::cout << "boundary: k=" << r.metrics.boundary_k << ", "
               << r.metrics.boundary_nodes << " boundary vertices\n";
+  }
+  if (r.metrics.faults_injected > 0 || r.metrics.degradations > 0) {
+    std::cout << "recovery: " << r.metrics.faults_injected
+              << " faults injected, " << r.metrics.transfer_retries
+              << " transfer retries, " << r.metrics.kernel_retries
+              << " kernel retries ("
+              << r.metrics.retry_backoff_seconds * 1e3 << " ms backoff), "
+              << r.metrics.degradations << " degradations\n";
+  }
+  if (r.metrics.checkpoints_written > 0 || r.metrics.resumed_progress > 0) {
+    std::cout << "checkpoint: " << r.metrics.checkpoints_written
+              << " written, resumed past " << r.metrics.resumed_progress
+              << " completed units\n";
   }
 
   if (const auto q = args.get("query"); q.has_value()) {
@@ -303,7 +375,9 @@ int main(int argc, char** argv) {
          "components", "no-batching", "no-overlap", "no-dp",
          "sparse-threshold", "dense-threshold", "store", "store-path",
          "keep-store", "query", "path", "trace", "stats", "sssp-kernel",
-         "partitioner", "devices", "per-component", "save", "verify"});
+         "partitioner", "devices", "per-component", "save", "verify",
+         "fault-seed", "fault-h2d", "fault-d2h", "fault-kernel",
+         "fault-alloc", "kill-device", "retries", "checkpoint", "resume"});
     if (!unknown.empty()) {
       std::cerr << "unknown flag(s):";
       for (const auto& f : unknown) std::cerr << " --" << f;
