@@ -2,16 +2,34 @@
 // experiment: dense min-plus tiles, in-place FW, Near-Far SSSP rounds, the
 // k-way partitioner, plus ablations over the Near-Far Δ and the dynamic-
 // parallelism degree threshold.
+//
+// Besides the google-benchmark suite, `--ablation` runs the kernel-engine
+// ablation (microkernel variant × grid-execution threads on the blocked-FW
+// path), prints the table behind EXPERIMENTS.md §"Microkernel ablation" and
+// writes BENCH_kernels.json. `--assert-min-speedup=R` additionally exits
+// non-zero unless best-tiled is at least R× naive-serial — the CI perf-smoke
+// guard against microkernel regressions.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
 #include <vector>
 
+#include "core/device_kernels.h"
+#include "core/kernel_engine.h"
 #include "core/minplus.h"
 #include "graph/generators.h"
 #include "partition/kway.h"
 #include "sssp/dijkstra.h"
 #include "sssp/near_far.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -48,6 +66,66 @@ void BM_FwInplace(benchmark::State& state) {
                           n * n);
 }
 BENCHMARK(BM_FwInplace)->Arg(64)->Arg(128)->Arg(256);
+
+core::KernelVariant variant_of(int idx) {
+  switch (idx) {
+    case 0:
+      return core::KernelVariant::kNaive;
+    case 1:
+      return core::KernelVariant::kTiled;
+    default:
+      return core::KernelVariant::kTiledReg;
+  }
+}
+
+void BM_MinPlusVariant(benchmark::State& state) {
+  // Microkernel variant sweep: the ratio between rows (same size) is the
+  // cache/register-blocking payoff, independent of the thread pool.
+  const core::KernelVariant v = variant_of(static_cast<int>(state.range(0)));
+  const vidx_t n = static_cast<vidx_t>(state.range(1));
+  auto a = random_tile(n, 1), b = random_tile(n, 2), c = random_tile(n, 3);
+  for (auto _ : state) {
+    core::minplus_accum_variant(v, c.data(), n, a.data(), n, b.data(), n, n,
+                                n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetLabel(core::kernel_variant_name(v));
+  state.SetItemsProcessed(state.iterations() * 2 * static_cast<long long>(n) *
+                          n * n);
+}
+BENCHMARK(BM_MinPlusVariant)
+    ->ArgsProduct({{0, 1, 2}, {64, 128, 256}});
+
+void BM_BlockedFwVariantThreads(benchmark::State& state) {
+  // The full simulated blocked-FW path (diag / panels / update grid
+  // launches) under an explicit variant × grid-thread setting. Results and
+  // the simulated timeline are identical across all rows; only host
+  // wall-clock moves.
+  const core::KernelVariant v = variant_of(static_cast<int>(state.range(0)));
+  const int threads = static_cast<int>(state.range(1));
+  const vidx_t n = 512;
+  core::KernelConfig cfg;
+  cfg.variant = v;
+  cfg.threads = threads;
+  core::set_kernel_config(cfg);
+  const auto original = random_tile(n, 5);
+  for (auto _ : state) {
+    sim::Device dev(sim::DeviceSpec::v100_scaled(std::size_t{64} << 20));
+    dev.set_kernel_threads(threads);
+    auto m = dev.alloc<dist_t>(original.size(), "fw matrix");
+    std::copy(original.begin(), original.end(), m.data());
+    core::dev_blocked_fw(dev, sim::kDefaultStream, m.data(), n, n,
+                         core::kDeviceTile);
+    benchmark::DoNotOptimize(m.data());
+  }
+  state.SetLabel(std::string(core::kernel_variant_name(v)) + "/t" +
+                 std::to_string(threads));
+  state.SetItemsProcessed(state.iterations() * 2 * static_cast<long long>(n) *
+                          n * n);
+  core::set_kernel_config(core::KernelConfig{});
+}
+BENCHMARK(BM_BlockedFwVariantThreads)
+    ->ArgsProduct({{0, 1, 2}, {1, 0}});
 
 void BM_DijkstraRoad(benchmark::State& state) {
   const auto g = graph::make_road(40, 40, 5);
@@ -106,6 +184,140 @@ void BM_KwayPartition(benchmark::State& state) {
 }
 BENCHMARK(BM_KwayPartition)->Arg(4)->Arg(11)->Arg(32);
 
+struct AblationRow {
+  std::string kernel;
+  std::string variant;
+  int threads = 1;
+  vidx_t n = 0;
+  double seconds = 0.0;
+  double gops = 0.0;
+};
+
+double best_of(int reps, const std::function<double()>& run) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) best = std::min(best, run());
+  return best;
+}
+
+/// Kernel-engine ablation: microkernel alone (n=256) and the full blocked-FW
+/// launch path (n=512) for every variant × thread setting. Returns the rows
+/// and prints the table.
+std::vector<AblationRow> run_ablation() {
+  using clock = std::chrono::steady_clock;
+  std::vector<AblationRow> rows;
+  const std::size_t pool = ThreadPool::global().size();
+
+  // ---- microkernel, serial (variant effect in isolation) ----
+  {
+    const vidx_t n = 256;
+    auto a = random_tile(n, 1), b = random_tile(n, 2), c0 = random_tile(n, 3);
+    for (int vi = 0; vi < 3; ++vi) {
+      const core::KernelVariant v = variant_of(vi);
+      auto c = c0;
+      const double s = best_of(5, [&] {
+        c = c0;
+        const auto t0 = clock::now();
+        core::minplus_accum_variant(v, c.data(), n, a.data(), n, b.data(), n,
+                                    n, n, n);
+        return std::chrono::duration<double>(clock::now() - t0).count();
+      });
+      rows.push_back({"minplus", core::kernel_variant_name(v), 1, n, s,
+                      2.0 * n * n * n / s / 1e9});
+    }
+  }
+
+  // ---- blocked FW through the simulator, variant × threads ----
+  {
+    const vidx_t n = 512;
+    const auto original = random_tile(n, 5);
+    for (int vi = 0; vi < 3; ++vi) {
+      for (const int threads : {1, 0}) {
+        const core::KernelVariant v = variant_of(vi);
+        core::KernelConfig cfg;
+        cfg.variant = v;
+        cfg.threads = threads;
+        core::set_kernel_config(cfg);
+        const double s = best_of(3, [&] {
+          sim::Device dev(
+              sim::DeviceSpec::v100_scaled(std::size_t{64} << 20));
+          dev.set_kernel_threads(threads);
+          auto m = dev.alloc<dist_t>(original.size(), "fw matrix");
+          std::copy(original.begin(), original.end(), m.data());
+          const auto t0 = clock::now();
+          core::dev_blocked_fw(dev, sim::kDefaultStream, m.data(), n, n,
+                               core::kDeviceTile);
+          return std::chrono::duration<double>(clock::now() - t0).count();
+        });
+        rows.push_back({"blocked_fw", core::kernel_variant_name(v),
+                        threads == 0 ? static_cast<int>(pool) : threads, n, s,
+                        2.0 * n * n * n / s / 1e9});
+      }
+    }
+    core::set_kernel_config(core::KernelConfig{});
+  }
+
+  std::cout << "kernel engine ablation (pool: " << pool << " threads)\n"
+            << "kernel       variant    threads       n      ms    GOP/s\n";
+  for (const auto& r : rows) {
+    std::printf("%-12s %-10s %7d %7d %7.2f %8.2f\n", r.kernel.c_str(),
+                r.variant.c_str(), r.threads, static_cast<int>(r.n),
+                r.seconds * 1e3, r.gops);
+  }
+  return rows;
+}
+
+void write_json(const std::vector<AblationRow>& rows, const std::string& path) {
+  std::ofstream out(path);
+  out << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    out << "  {\"kernel\": \"" << r.kernel << "\", \"variant\": \""
+        << r.variant << "\", \"threads\": " << r.threads
+        << ", \"n\": " << r.n << ", \"seconds\": " << r.seconds
+        << ", \"gops\": " << r.gops << "}" << (i + 1 < rows.size() ? "," : "")
+        << "\n";
+  }
+  out << "]\n";
+  std::cout << rows.size() << " rows -> " << path << "\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool ablation = false;
+  double min_speedup = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ablation") == 0) ablation = true;
+    if (std::strncmp(argv[i], "--assert-min-speedup=", 21) == 0) {
+      ablation = true;
+      min_speedup = std::stod(argv[i] + 21);
+    }
+  }
+  if (ablation) {
+    const auto rows = run_ablation();
+    write_json(rows, "BENCH_kernels.json");
+    if (min_speedup > 0.0) {
+      // Guard: the best tiled blocked-FW configuration must beat the naive
+      // serial one by at least the requested factor.
+      double naive_serial = 0.0, best_tiled = 1e300;
+      for (const auto& r : rows) {
+        if (r.kernel != "blocked_fw") continue;
+        if (r.variant == "naive" && r.threads == 1) naive_serial = r.seconds;
+        if (r.variant != "naive") best_tiled = std::min(best_tiled, r.seconds);
+      }
+      const double speedup = naive_serial / best_tiled;
+      std::cout << "speedup (best tiled vs naive serial): " << speedup
+                << "x (required >= " << min_speedup << "x)\n";
+      if (speedup < min_speedup) {
+        std::cerr << "FAILED: kernel engine speedup below threshold\n";
+        return 1;
+      }
+    }
+    return 0;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

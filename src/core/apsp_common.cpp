@@ -33,6 +33,15 @@ void init_weight_matrix(const graph::CsrGraph& g, DistStore& store) {
   }
 }
 
+void configure_kernels(sim::Device& dev, const ApspOptions& opts) {
+  KernelConfig cfg;
+  cfg.variant = opts.kernel_variant;
+  cfg.threads = opts.kernel_threads;
+  set_kernel_config(cfg);
+  dev.set_kernel_threads(opts.kernel_threads);
+  dev.note_kernel_variant(kernel_variant_name(resolved_kernel_variant()));
+}
+
 ApspMetrics metrics_from_device(const sim::Device& dev, double wall_seconds) {
   const sim::DeviceMetrics dm = dev.metrics();
   ApspMetrics m;
@@ -55,6 +64,7 @@ ApspMetrics metrics_from_device(const sim::Device& dev, double wall_seconds) {
   m.transfer_retries = dm.transfer_retries;
   m.kernel_retries = dm.kernel_retries;
   m.retry_backoff_seconds = dm.retry_backoff_seconds;
+  m.kernel_variant = dm.kernel_variant;
   return m;
 }
 

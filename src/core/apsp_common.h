@@ -51,6 +51,11 @@ void init_weight_matrix(const graph::CsrGraph& g, DistStore& store);
 void weight_block(const graph::CsrGraph& g, vidx_t row0, vidx_t col0,
                   vidx_t rows, vidx_t cols, dist_t* dst, std::size_t ld);
 
+/// Applies the kernel-engine options to the process-wide engine config and
+/// to `dev` (grid-execution thread count), and records the resolved variant
+/// name in the device metrics. Call once per Device, right after creation.
+void configure_kernels(sim::Device& dev, const ApspOptions& opts);
+
 /// Copies the device metrics counters into an ApspMetrics (the algorithm-
 /// specific fields are left for the caller).
 ApspMetrics metrics_from_device(const sim::Device& dev, double wall_seconds);

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/kernel_engine.h"
 #include "partition/kway.h"
 #include "sim/device_spec.h"
 #include "sim/fault.h"
@@ -83,6 +84,18 @@ struct ApspOptions {
   /// each pair (FW blocks shrink, Johnson's bat shrinks accordingly).
   bool overlap_transfers = true;
 
+  // ---- kernel engine (DESIGN.md §9) ----
+  /// Min-plus microkernel variant run inside the simulated kernels. kAuto
+  /// micro-benchmarks the candidates once per process and caches the winner.
+  /// Every variant produces bit-identical distances; the choice affects host
+  /// wall-clock only, never the simulated timeline.
+  KernelVariant kernel_variant = KernelVariant::kAuto;
+  /// Host threads executing the blocks of a grid launch (Device::
+  /// launch_grid): 0 = the whole global pool, 1 = serial. Purely a
+  /// wall-clock knob; results and the simulated timeline are identical for
+  /// every setting.
+  int kernel_threads = 0;
+
   // ---- fault injection & recovery ----
   /// Fault schedule injected into the simulated device(s); nullptr disables
   /// injection entirely (not owned). Multi-device runs derive one injector
@@ -127,6 +140,10 @@ struct ApspMetrics {
   std::size_t device_peak_bytes = 0;
   /// High-water mark of pinned-host staging used by the transfer pipeline.
   std::size_t pinned_peak_bytes = 0;
+
+  /// Microkernel variant the kernel engine actually ran with ("naive" |
+  /// "tiled" | "tiled-reg"; the autotuner's pick when configured auto).
+  std::string kernel_variant;
 
   // Algorithm-specific (0 when not applicable).
   int fw_num_blocks = 0;        ///< n_d

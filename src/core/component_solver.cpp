@@ -152,6 +152,9 @@ ComponentResult solve_apsp_per_component(const graph::CsrGraph& g,
     agg.total_ops += r.metrics.total_ops;
     agg.device_peak_bytes =
         std::max(agg.device_peak_bytes, r.metrics.device_peak_bytes);
+    if (!r.metrics.kernel_variant.empty()) {
+      agg.kernel_variant = r.metrics.kernel_variant;
+    }
   }
   agg.wall_seconds = wall.seconds();
   return out;

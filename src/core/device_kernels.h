@@ -16,16 +16,21 @@ namespace gapsp::core {
 inline constexpr int kDeviceTile = 64;
 
 /// C = min(C, A ⊗ B) as one tiled kernel launch on `stream`. Pointers are
-/// into device buffers. Returns the simulated kernel duration.
+/// into device buffers. Executes its tile grid through Device::launch_grid
+/// (aliasing-aware decomposition, so C==A / C==B panel forms stay race-free);
+/// results and the simulated duration are independent of the host thread
+/// count. Returns the simulated kernel duration.
 double dev_minplus(sim::Device& dev, sim::StreamId stream, dist_t* c,
                    std::size_t ldc, const dist_t* a, std::size_t lda,
                    const dist_t* b, std::size_t ldb, vidx_t nr, vidx_t nk,
                    vidx_t nc, int tile = kDeviceTile);
 
 /// In-core blocked Floyd–Warshall over an n×n on-device matrix: per round,
-/// a single-block diagonal kernel, one launch for the row+column panels, and
-/// one launch for the remaining-tile min-plus update. Returns total
-/// simulated duration.
+/// a single-block diagonal kernel, one grid launch for the 2(nt-1) row and
+/// column panels, and one grid launch for the (nt-1)² remaining-tile min-plus
+/// updates. Independent blocks run over the host thread pool; results and
+/// the simulated timeline are bit-identical to serial execution. Returns
+/// total simulated duration.
 double dev_blocked_fw(sim::Device& dev, sim::StreamId stream, dist_t* m,
                       std::size_t ld, vidx_t n, int tile = kDeviceTile);
 

@@ -20,6 +20,7 @@ ApspResult incore_fw_apsp(const graph::CsrGraph& g, const ApspOptions& opts,
   GAPSP_CHECK(store.n() == n, "store size does not match graph");
   sim::Device dev(opts.device);
   dev.set_trace(opts.trace);
+  configure_kernels(dev, opts);
 
   // The single full-matrix allocation is the make-or-break step.
   auto mat = dev.alloc<dist_t>(

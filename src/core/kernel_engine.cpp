@@ -1,0 +1,250 @@
+#include "core/kernel_engine.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace gapsp::core {
+namespace {
+
+// Blocking parameters. kKTile keeps a strip of B rows hot while the output
+// rows stream past; the register block holds a kRegRows×kRegCols patch of C
+// in (vectorizable) locals across the whole k loop, so C is loaded and
+// stored once per patch instead of once per k.
+constexpr vidx_t kKTile = 64;
+constexpr vidx_t kRowTile = 64;
+constexpr int kRegRows = 4;
+constexpr int kRegCols = 16;
+
+std::mutex g_tune_mu;
+std::atomic<KernelVariant> g_variant{KernelVariant::kAuto};
+std::atomic<int> g_threads{0};
+std::atomic<KernelVariant> g_autotuned{KernelVariant::kAuto};
+
+/// Naive triple loop over a sub-rectangle of rows × [c_lo, c_hi) — the
+/// remainder path of the register-blocked kernel.
+void scalar_block(dist_t* c, std::size_t ldc, const dist_t* a,
+                  std::size_t lda, const dist_t* b, std::size_t ldb,
+                  vidx_t r_lo, vidx_t r_hi, vidx_t nk, vidx_t c_lo,
+                  vidx_t c_hi) {
+  if (c_lo >= c_hi) return;
+  for (vidx_t r = r_lo; r < r_hi; ++r) {
+    dist_t* __restrict crow = c + static_cast<std::size_t>(r) * ldc;
+    const dist_t* __restrict arow = a + static_cast<std::size_t>(r) * lda;
+    for (vidx_t k = 0; k < nk; ++k) {
+      const dist_t aval = arow[k];
+      if (aval >= kInf) continue;
+      const dist_t* __restrict brow = b + static_cast<std::size_t>(k) * ldb;
+      for (vidx_t col = c_lo; col < c_hi; ++col) {
+        crow[col] = std::min(crow[col], aval + brow[col]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const char* kernel_variant_name(KernelVariant v) {
+  switch (v) {
+    case KernelVariant::kAuto:
+      return "auto";
+    case KernelVariant::kNaive:
+      return "naive";
+    case KernelVariant::kTiled:
+      return "tiled";
+    case KernelVariant::kTiledReg:
+      return "tiled-reg";
+  }
+  return "?";
+}
+
+KernelVariant parse_kernel_variant(const std::string& name) {
+  if (name == "auto") return KernelVariant::kAuto;
+  if (name == "naive") return KernelVariant::kNaive;
+  if (name == "tiled") return KernelVariant::kTiled;
+  if (name == "tiled-reg") return KernelVariant::kTiledReg;
+  throw Error("unknown kernel variant: " + name +
+              " (want auto | naive | tiled | tiled-reg)");
+}
+
+void set_kernel_config(const KernelConfig& cfg) {
+  g_variant.store(cfg.variant, std::memory_order_relaxed);
+  g_threads.store(cfg.threads, std::memory_order_relaxed);
+}
+
+KernelConfig kernel_config() {
+  KernelConfig cfg;
+  cfg.variant = g_variant.load(std::memory_order_relaxed);
+  cfg.threads = g_threads.load(std::memory_order_relaxed);
+  return cfg;
+}
+
+KernelVariant resolved_kernel_variant() {
+  const KernelVariant v = g_variant.load(std::memory_order_relaxed);
+  if (v != KernelVariant::kAuto) return v;
+  KernelVariant tuned = g_autotuned.load(std::memory_order_acquire);
+  if (tuned == KernelVariant::kAuto) {
+    std::lock_guard<std::mutex> lk(g_tune_mu);
+    tuned = g_autotuned.load(std::memory_order_relaxed);
+    if (tuned == KernelVariant::kAuto) {
+      tuned = autotune_kernel_variant();
+      g_autotuned.store(tuned, std::memory_order_release);
+    }
+  }
+  return tuned;
+}
+
+KernelVariant autotune_kernel_variant() {
+  // FW-shaped working set: 128³ is large enough to expose the cache/register
+  // behaviour and small enough (~2 ms per candidate) to pay once per
+  // process. All candidates produce identical distances, so a noisy winner
+  // costs performance only, never correctness.
+  constexpr vidx_t n = 128;
+  const std::size_t elems = static_cast<std::size_t>(n) * n;
+  std::vector<dist_t> a(elems), b(elems), c0(elems), c(elems);
+  Rng rng(0x9e3779b9u);
+  for (auto& x : a) x = static_cast<dist_t>(rng.next_in(1, 1000));
+  for (auto& x : b) x = static_cast<dist_t>(rng.next_in(1, 1000));
+  for (auto& x : c0) x = static_cast<dist_t>(rng.next_in(500, 2000));
+
+  const std::array<KernelVariant, 3> candidates{
+      KernelVariant::kNaive, KernelVariant::kTiled, KernelVariant::kTiledReg};
+  KernelVariant best = KernelVariant::kTiledReg;
+  double best_s = std::numeric_limits<double>::infinity();
+  for (KernelVariant v : candidates) {
+    double v_best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 3; ++rep) {
+      c = c0;
+      const auto t0 = std::chrono::steady_clock::now();
+      minplus_accum_variant(v, c.data(), n, a.data(), n, b.data(), n, n, n,
+                            n);
+      const auto t1 = std::chrono::steady_clock::now();
+      v_best = std::min(v_best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    if (v_best < best_s) {
+      best_s = v_best;
+      best = v;
+    }
+  }
+  return best;
+}
+
+void minplus_accum_naive(dist_t* c, std::size_t ldc, const dist_t* a,
+                         std::size_t lda, const dist_t* b, std::size_t ldb,
+                         vidx_t nr, vidx_t nk, vidx_t nc) {
+  // r-k-c loop order: A[r][k] is hoisted, B row k and C row r stream
+  // sequentially — cache-friendly and auto-vectorizable.
+  for (vidx_t r = 0; r < nr; ++r) {
+    dist_t* __restrict crow = c + static_cast<std::size_t>(r) * ldc;
+    const dist_t* __restrict arow = a + static_cast<std::size_t>(r) * lda;
+    for (vidx_t k = 0; k < nk; ++k) {
+      const dist_t aval = arow[k];
+      if (aval >= kInf) continue;
+      const dist_t* __restrict brow = b + static_cast<std::size_t>(k) * ldb;
+      for (vidx_t col = 0; col < nc; ++col) {
+        // brow[col] may be kInf: aval + kInf stays >= kInf and the min is a
+        // no-op because crow is never above kInf. Guarded by the sentinel
+        // headroom of kInf (max/4), so no overflow check is needed here.
+        const dist_t cand = aval + brow[col];
+        crow[col] = std::min(crow[col], cand);
+      }
+    }
+  }
+}
+
+void minplus_accum_tiled(dist_t* c, std::size_t ldc, const dist_t* a,
+                         std::size_t lda, const dist_t* b, std::size_t ldb,
+                         vidx_t nr, vidx_t nk, vidx_t nc) {
+  for (vidx_t k0 = 0; k0 < nk; k0 += kKTile) {
+    const vidx_t k1 = std::min<vidx_t>(nk, k0 + kKTile);
+    for (vidx_t r = 0; r < nr; ++r) {
+      const dist_t* __restrict arow = a + static_cast<std::size_t>(r) * lda;
+      // kInf-row skip hoisted to tile granularity: one scan decides the
+      // whole (row, k-tile) strip — unreachable row segments cost O(tile)
+      // instead of O(tile · nc) branch tests.
+      bool live = false;
+      for (vidx_t k = k0; k < k1 && !live; ++k) live = arow[k] < kInf;
+      if (!live) continue;
+      dist_t* __restrict crow = c + static_cast<std::size_t>(r) * ldc;
+      for (vidx_t k = k0; k < k1; ++k) {
+        const dist_t aval = arow[k];
+        if (aval >= kInf) continue;
+        const dist_t* __restrict brow = b + static_cast<std::size_t>(k) * ldb;
+        for (vidx_t col = 0; col < nc; ++col) {
+          crow[col] = std::min(crow[col], aval + brow[col]);
+        }
+      }
+    }
+  }
+}
+
+void minplus_accum_tiled_reg(dist_t* c, std::size_t ldc, const dist_t* a,
+                             std::size_t lda, const dist_t* b,
+                             std::size_t ldb, vidx_t nr, vidx_t nk,
+                             vidx_t nc) {
+  const vidx_t c_main = nc - nc % kRegCols;
+  for (vidx_t r0 = 0; r0 < nr; r0 += kRowTile) {
+    const vidx_t r1 = std::min<vidx_t>(nr, r0 + kRowTile);
+    const vidx_t r_main = r0 + (r1 - r0) - (r1 - r0) % kRegRows;
+    for (vidx_t cc = 0; cc < c_main; cc += kRegCols) {
+      for (vidx_t r = r0; r < r_main; r += kRegRows) {
+        // The accumulator patch lives in locals across the whole k loop;
+        // the branchless inner loop auto-vectorizes over kRegCols.
+        dist_t acc[kRegRows][kRegCols];
+        for (int i = 0; i < kRegRows; ++i) {
+          const dist_t* crow =
+              c + static_cast<std::size_t>(r + i) * ldc + cc;
+          for (int j = 0; j < kRegCols; ++j) acc[i][j] = crow[j];
+        }
+        for (vidx_t k = 0; k < nk; ++k) {
+          const dist_t* __restrict brow =
+              b + static_cast<std::size_t>(k) * ldb + cc;
+          for (int i = 0; i < kRegRows; ++i) {
+            const dist_t aval =
+                a[static_cast<std::size_t>(r + i) * lda + k];
+            if (aval >= kInf) continue;
+            for (int j = 0; j < kRegCols; ++j) {
+              acc[i][j] = std::min(acc[i][j], aval + brow[j]);
+            }
+          }
+        }
+        for (int i = 0; i < kRegRows; ++i) {
+          dist_t* crow = c + static_cast<std::size_t>(r + i) * ldc + cc;
+          for (int j = 0; j < kRegCols; ++j) crow[j] = acc[i][j];
+        }
+      }
+      // Rows of this tile that do not fill a register block.
+      scalar_block(c, ldc, a, lda, b, ldb, r_main, r1, nk, cc,
+                   cc + kRegCols);
+    }
+    // Columns that do not fill a register block.
+    scalar_block(c, ldc, a, lda, b, ldb, r0, r1, nk, c_main, nc);
+  }
+}
+
+void minplus_accum_variant(KernelVariant v, dist_t* c, std::size_t ldc,
+                           const dist_t* a, std::size_t lda, const dist_t* b,
+                           std::size_t ldb, vidx_t nr, vidx_t nk, vidx_t nc) {
+  if (nr <= 0 || nk <= 0 || nc <= 0) return;
+  if (v == KernelVariant::kAuto) v = resolved_kernel_variant();
+  switch (v) {
+    case KernelVariant::kNaive:
+      minplus_accum_naive(c, ldc, a, lda, b, ldb, nr, nk, nc);
+      return;
+    case KernelVariant::kTiled:
+      minplus_accum_tiled(c, ldc, a, lda, b, ldb, nr, nk, nc);
+      return;
+    case KernelVariant::kAuto:
+    case KernelVariant::kTiledReg:
+      minplus_accum_tiled_reg(c, ldc, a, lda, b, ldb, nr, nk, nc);
+      return;
+  }
+}
+
+}  // namespace gapsp::core

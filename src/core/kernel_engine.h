@@ -1,0 +1,71 @@
+// Kernel engine: cache-blocked / register-blocked min-plus microkernel
+// variants with a process-wide configuration and a startup autotuner
+// (DESIGN.md §9). minplus_accum() dispatches through the engine, so every
+// dense kernel — OOC FW panels, boundary dist4 chains, the in-core
+// baseline — picks up the selected variant. All variants are bit-identical:
+// a cell's result is the min over the same candidate set, and integer min
+// is order-independent.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/common.h"
+
+namespace gapsp::core {
+
+enum class KernelVariant {
+  kAuto,      ///< micro-benchmark the candidates once, cache the winner
+  kNaive,     ///< scalar r-k-c triple loop (the pre-engine kernel)
+  kTiled,     ///< k-tiled loops, kInf-row skip hoisted to tile granularity
+  kTiledReg,  ///< kTiled + 4×16 register accumulator block
+};
+
+const char* kernel_variant_name(KernelVariant v);
+
+/// Parses "auto" | "naive" | "tiled" | "tiled-reg"; throws on anything else.
+KernelVariant parse_kernel_variant(const std::string& name);
+
+/// Process-wide kernel engine configuration. `threads` is the grid-parallel
+/// execution width handed to sim::Device::set_kernel_threads by
+/// configure_kernels (0 = whole pool, 1 = serial); it never changes results
+/// or the simulated timeline, only host wall-clock.
+struct KernelConfig {
+  KernelVariant variant = KernelVariant::kAuto;
+  int threads = 0;
+};
+
+void set_kernel_config(const KernelConfig& cfg);
+KernelConfig kernel_config();
+
+/// The variant minplus_accum actually runs: the configured one, or — when
+/// configured kAuto — the autotuner's cached winner (tuned once per
+/// process, on first use).
+KernelVariant resolved_kernel_variant();
+
+/// Micro-benchmarks the candidate variants on an FW-shaped working set and
+/// returns the fastest (never kAuto). Results of all candidates are
+/// bit-identical, so a timing-noise-dependent winner is still correct.
+KernelVariant autotune_kernel_variant();
+
+// ---- variant-explicit kernels (all compute C = min(C, A ⊗ B)) ----
+
+void minplus_accum_naive(dist_t* c, std::size_t ldc, const dist_t* a,
+                         std::size_t lda, const dist_t* b, std::size_t ldb,
+                         vidx_t nr, vidx_t nk, vidx_t nc);
+
+void minplus_accum_tiled(dist_t* c, std::size_t ldc, const dist_t* a,
+                         std::size_t lda, const dist_t* b, std::size_t ldb,
+                         vidx_t nr, vidx_t nk, vidx_t nc);
+
+void minplus_accum_tiled_reg(dist_t* c, std::size_t ldc, const dist_t* a,
+                             std::size_t lda, const dist_t* b,
+                             std::size_t ldb, vidx_t nr, vidx_t nk,
+                             vidx_t nc);
+
+/// Runs one explicit variant (kAuto resolves first).
+void minplus_accum_variant(KernelVariant v, dist_t* c, std::size_t ldc,
+                           const dist_t* a, std::size_t lda, const dist_t* b,
+                           std::size_t ldb, vidx_t nr, vidx_t nk, vidx_t nc);
+
+}  // namespace gapsp::core

@@ -2,29 +2,19 @@
 
 #include <algorithm>
 
+#include "core/kernel_engine.h"
+
 namespace gapsp::core {
 
 void minplus_accum(dist_t* c, std::size_t ldc, const dist_t* a,
                    std::size_t lda, const dist_t* b, std::size_t ldb,
                    vidx_t nr, vidx_t nk, vidx_t nc) {
-  // r-k-c loop order: A[r][k] is hoisted, B row k and C row r stream
-  // sequentially — cache-friendly and auto-vectorizable.
-  for (vidx_t r = 0; r < nr; ++r) {
-    dist_t* __restrict crow = c + static_cast<std::size_t>(r) * ldc;
-    const dist_t* __restrict arow = a + static_cast<std::size_t>(r) * lda;
-    for (vidx_t k = 0; k < nk; ++k) {
-      const dist_t aval = arow[k];
-      if (aval >= kInf) continue;
-      const dist_t* __restrict brow = b + static_cast<std::size_t>(k) * ldb;
-      for (vidx_t col = 0; col < nc; ++col) {
-        // brow[col] may be kInf: aval + kInf stays >= kInf and the min is a
-        // no-op because crow is never above kInf. Guarded by the sentinel
-        // headroom of kInf (max/4), so no overflow check is needed here.
-        const dist_t cand = aval + brow[col];
-        crow[col] = std::min(crow[col], cand);
-      }
-    }
-  }
+  // Dispatches through the kernel engine: the configured (or autotuned)
+  // microkernel variant runs here. All variants are bit-identical — they
+  // take the min over the same candidate set and integer min is
+  // order-independent — so callers never observe which one executed.
+  minplus_accum_variant(resolved_kernel_variant(), c, ldc, a, lda, b, ldb,
+                        nr, nk, nc);
 }
 
 void fw_inplace(dist_t* m, std::size_t ld, vidx_t n) {

@@ -104,6 +104,7 @@ MultiApspResult ooc_boundary_multi(const graph::CsrGraph& g,
   for (auto& st : devs) {
     st.dev = std::make_unique<sim::Device>(opts.device);
     st.dev->set_trace(opts.trace);
+    configure_kernels(*st.dev, opts);
     st.diag = st.dev->alloc<dist_t>(static_cast<std::size_t>(dmax) * dmax,
                                     "diagonal block");
     st.bound = st.dev->alloc<dist_t>(static_cast<std::size_t>(nb) * nb,
@@ -398,27 +399,36 @@ MultiApspResult ooc_boundary_multi(const graph::CsrGraph& g,
     st.dev->memcpy_h2d(s0, hbuf.data(), dist2[i].data(),
                        static_cast<std::size_t>(ni) * ni * sizeof(dist_t));
     if (bi > 0) {
-      st.dev->launch(s0, "block_row_minplus", [&](sim::LaunchCtx&) {
-        double ops = 0.0, bytes = 0.0;
-        int blocks = 0;
-        for (int j = 0; j < k; ++j) {
-          const vidx_t bj = layout.comp_boundary[j];
-          const vidx_t nj = layout.comp_size(j);
-          if (bj == 0) continue;
-          minplus_accum(row_base + layout.comp_offset[j], n,
-                        st.tmp.data() + layout.boundary_offset[j], nb,
-                        st.b2c.data() + b2c_off[j], nj, ni, bj, nj);
-          ops += minplus_ops(ni, bj, nj);
-          bytes += minplus_bytes(ni, bj, nj, opts.fw_tile);
-          blocks += ((ni + opts.fw_tile - 1) / opts.fw_tile) *
-                    ((nj + opts.fw_tile - 1) / opts.fw_tile);
-        }
-        sim::KernelProfile p;
-        p.ops = ops;
-        p.bytes = bytes;
-        p.blocks = std::max(1, blocks);
-        return p;
-      });
+      // Grid over destination components (disjoint column ranges of the
+      // block-row), same decomposition as the single-device path.
+      st.dev->launch_grid(
+          s0, "block_row_minplus", k,
+          [&](int j) {
+            const vidx_t bj = layout.comp_boundary[j];
+            const vidx_t nj = layout.comp_size(j);
+            if (bj == 0) return;
+            minplus_accum(row_base + layout.comp_offset[j], n,
+                          st.tmp.data() + layout.boundary_offset[j], nb,
+                          st.b2c.data() + b2c_off[j], nj, ni, bj, nj);
+          },
+          [&] {
+            double ops = 0.0, bytes = 0.0;
+            int blocks = 0;
+            for (int j = 0; j < k; ++j) {
+              const vidx_t bj = layout.comp_boundary[j];
+              const vidx_t nj = layout.comp_size(j);
+              if (bj == 0) continue;
+              ops += minplus_ops(ni, bj, nj);
+              bytes += minplus_bytes(ni, bj, nj, opts.fw_tile);
+              blocks += ((ni + opts.fw_tile - 1) / opts.fw_tile) *
+                        ((nj + opts.fw_tile - 1) / opts.fw_tile);
+            }
+            sim::KernelProfile p;
+            p.ops = ops;
+            p.bytes = bytes;
+            p.blocks = std::max(1, blocks);
+            return p;
+          });
     }
     st.staged_rows += ni;
     st.staged_comps.push_back(i);
@@ -476,6 +486,7 @@ MultiApspResult ooc_boundary_multi(const graph::CsrGraph& g,
     agg.transfer_retries += m.transfer_retries;
     agg.kernel_retries += m.kernel_retries;
     agg.retry_backoff_seconds += m.retry_backoff_seconds;
+    if (!m.kernel_variant.empty()) agg.kernel_variant = m.kernel_variant;
     agg.device_peak_bytes = std::max(agg.device_peak_bytes, m.device_peak_bytes);
   }
   agg.sim_seconds = makespan;

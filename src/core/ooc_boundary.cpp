@@ -130,6 +130,7 @@ ApspResult ooc_boundary(const graph::CsrGraph& g, const ApspOptions& opts,
 
   sim::Device dev(opts.device);
   dev.set_trace(opts.trace);
+  configure_kernels(dev, opts);
   FaultScope faults(dev, opts);
   sim::StreamPipeline pipe(dev, opts.overlap_transfers);
   const sim::StreamId compute = pipe.compute_stream();
@@ -403,27 +404,38 @@ ApspResult ooc_boundary(const graph::CsrGraph& g, const ApspOptions& opts,
       // One launch computes the whole block-row: for every j,
       // A(i,j) = min(A(i,j), tmp(:, bnd_j) ⊗ B2C[j]).
       if (bi > 0) {
-        dev.launch(compute, "block_row_minplus", [&](sim::LaunchCtx&) {
-          double ops = 0.0, bytes = 0.0;
-          int blocks = 0;
-          for (int j = 0; j < k; ++j) {
-            const vidx_t bj = layout.comp_boundary[j];
-            const vidx_t nj = layout.comp_size(j);
-            if (bj == 0) continue;
-            minplus_accum(row_base + layout.comp_offset[j], n,
-                          tmp_buf.data() + layout.boundary_offset[j], nb,
-                          b2c_buf.data() + b2c_off[j], nj, ni, bj, nj);
-            ops += minplus_ops(ni, bj, nj);
-            bytes += minplus_bytes(ni, bj, nj, opts.fw_tile);
-            blocks += ((ni + opts.fw_tile - 1) / opts.fw_tile) *
-                      ((nj + opts.fw_tile - 1) / opts.fw_tile);
-          }
-          sim::KernelProfile p;
-          p.ops = ops;
-          p.bytes = bytes;
-          p.blocks = std::max(1, blocks);
-          return p;
-        });
+        // Grid over destination components: block j owns the disjoint
+        // column range [comp_offset[j], comp_offset[j]+n_j) of the block-row
+        // and only reads tmp / B2C, so parallel execution is race-free and
+        // bit-identical to serial.
+        dev.launch_grid(
+            compute, "block_row_minplus", k,
+            [&](int j) {
+              const vidx_t bj = layout.comp_boundary[j];
+              const vidx_t nj = layout.comp_size(j);
+              if (bj == 0) return;
+              minplus_accum(row_base + layout.comp_offset[j], n,
+                            tmp_buf.data() + layout.boundary_offset[j], nb,
+                            b2c_buf.data() + b2c_off[j], nj, ni, bj, nj);
+            },
+            [&] {
+              double ops = 0.0, bytes = 0.0;
+              int blocks = 0;
+              for (int j = 0; j < k; ++j) {
+                const vidx_t bj = layout.comp_boundary[j];
+                const vidx_t nj = layout.comp_size(j);
+                if (bj == 0) continue;
+                ops += minplus_ops(ni, bj, nj);
+                bytes += minplus_bytes(ni, bj, nj, opts.fw_tile);
+                blocks += ((ni + opts.fw_tile - 1) / opts.fw_tile) *
+                          ((nj + opts.fw_tile - 1) / opts.fw_tile);
+              }
+              sim::KernelProfile p;
+              p.ops = ops;
+              p.bytes = bytes;
+              p.blocks = std::max(1, blocks);
+              return p;
+            });
       }
       staged_rows += ni;
     } else {

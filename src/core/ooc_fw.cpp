@@ -36,6 +36,7 @@ ApspResult ooc_floyd_warshall(const graph::CsrGraph& g,
   GAPSP_CHECK(store.n() == n, "store size does not match graph");
   sim::Device dev(opts.device);
   dev.set_trace(opts.trace);
+  configure_kernels(dev, opts);
   FaultScope faults(dev, opts);
   const bool overlap = opts.overlap_transfers;
   const vidx_t b =

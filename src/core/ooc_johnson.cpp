@@ -33,6 +33,7 @@ class JohnsonRunner {
       : g_(g), opts_(opts), dev_(opts.device), faults_(dev_, opts),
         pipe_(dev_, opts.overlap_transfers) {
     dev_.set_trace(opts.trace);
+    configure_kernels(dev_, opts);
     bat_ = johnson_batch_size(dev_.spec(), g, opts.johnson_queue_factor,
                               opts.overlap_transfers ? 2 : 1);
     nb_ = static_cast<int>((g.num_vertices() + bat_ - 1) / bat_);

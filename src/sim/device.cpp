@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/thread_pool.h"
+
 namespace gapsp::sim {
 
 void Device::fault_gate(FaultOp op, StreamId s, const char* what) {
@@ -183,6 +185,28 @@ double Device::launch(StreamId s, const std::string& name,
     trace_->record(std::move(e));
   }
   return dur;
+}
+
+double Device::launch_grid(StreamId s, const std::string& name, int grid,
+                           const std::function<void(int)>& block_body,
+                           const std::function<KernelProfile()>& profile) {
+  // Rides the plain launch path so fault gating, retry replay, tracing, and
+  // the timeline charge are shared: a grid launch is indistinguishable from
+  // a serial launch on the simulated timeline.
+  return launch(s, name, [&](LaunchCtx&) {
+    if (grid <= 1 || kernel_threads_ == 1) {
+      for (int b = 0; b < grid; ++b) block_body(b);
+    } else {
+      ThreadPool::global().parallel_for(
+          static_cast<std::size_t>(grid),
+          [&](std::size_t b) { block_body(static_cast<int>(b)); },
+          /*grain=*/1,
+          /*max_threads=*/kernel_threads_ <= 0
+              ? 0
+              : static_cast<std::size_t>(kernel_threads_));
+    }
+    return profile();
+  });
 }
 
 void Device::reserve_bytes(std::size_t bytes, const char* what) {

@@ -77,6 +77,10 @@ struct DeviceMetrics {
   long long transfer_retries = 0;  ///< transient h2d/d2h faults retried
   long long kernel_retries = 0;    ///< transient launch faults retried
   double retry_backoff_seconds = 0.0;  ///< stream time spent backing off
+  /// Name of the min-plus microkernel variant the kernel engine ran with
+  /// (set via Device::note_kernel_variant; empty when never noted). The
+  /// variant affects host wall-clock only, never the simulated timeline.
+  std::string kernel_variant;
 };
 
 class Device;
@@ -194,6 +198,27 @@ class Device {
   double launch(StreamId s, const std::string& name,
                 const std::function<KernelProfile(LaunchCtx&)>& body);
 
+  /// Grid-parallel launch form: `block_body(b)` performs the real work of
+  /// thread block b in [0, grid). Blocks must own disjoint outputs, so
+  /// serial and parallel execution are bit-identical — the thread pool only
+  /// changes host wall-clock, never results. `profile` is evaluated once on
+  /// the calling thread after every block finished (deterministic ops/bytes
+  /// accounting), and the timeline charge is exactly that of an equivalent
+  /// serial launch(). Honors set_kernel_threads().
+  double launch_grid(StreamId s, const std::string& name, int grid,
+                     const std::function<void(int)>& block_body,
+                     const std::function<KernelProfile()>& profile);
+
+  /// Host threads used to execute a launch_grid's blocks: 0 = the whole
+  /// global pool, 1 = serial. Purely a wall-clock knob.
+  void set_kernel_threads(int threads) { kernel_threads_ = threads; }
+  int kernel_threads() const { return kernel_threads_; }
+
+  /// Records the microkernel-variant name reported in DeviceMetrics.
+  void note_kernel_variant(const std::string& name) {
+    metrics_.kernel_variant = name;
+  }
+
   // ---- modeled costs (exposed for the Sec. IV cost models) ----
 
   /// Duration of a kernel with the given profile at its declared occupancy.
@@ -256,6 +281,7 @@ class Device {
   TraceRecorder* trace_ = nullptr;
   FaultInjector* injector_ = nullptr;
   RetryPolicy retry_;
+  int kernel_threads_ = 0;
 };
 
 template <typename T>

@@ -2,8 +2,19 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <memory>
 
 namespace gapsp {
+namespace {
+
+/// Set for the lifetime of every pool worker thread. parallel_for consults
+/// it so a nested call (e.g. a grid-parallel kernel inside Johnson's MSSP
+/// parallel_for) runs inline: its chunks would otherwise sit in the queue
+/// behind the very task that is blocked waiting for them.
+thread_local bool tls_in_worker = false;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -24,7 +35,10 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::in_worker() noexcept { return tls_in_worker; }
+
 void ThreadPool::worker_loop() {
+  tls_in_worker = true;
   for (;;) {
     Task task;
     {
@@ -48,40 +62,71 @@ void ThreadPool::enqueue(std::function<void()> fn) {
 
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn,
-                              std::size_t grain) {
+                              std::size_t grain, std::size_t max_threads) {
   if (count == 0) return;
-  grain = std::max<std::size_t>(1, grain);
+  if (grain <= 1) {
+    // Auto-grain: ~4 chunks per worker balances dispatch overhead against
+    // load imbalance when per-index cost varies.
+    grain = std::max<std::size_t>(
+        1, count / (4 * std::max<std::size_t>(1, workers_.size())));
+  }
   const std::size_t chunks = (count + grain - 1) / grain;
-  if (chunks == 1 || workers_.size() <= 1) {
+  std::size_t width = workers_.size();
+  if (max_threads > 0) width = std::min(width, max_threads);
+  if (chunks == 1 || width <= 1 || in_worker()) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-  std::atomic<std::size_t> next{0};
-  std::atomic<std::size_t> done{0};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  const std::size_t launches = std::min(chunks, workers_.size());
-  auto body = [&] {
+  // The latch must live on the heap: the caller's wait predicate can become
+  // true through the atomic before the last finisher has taken the mutex to
+  // notify, so the caller may return (and pop its stack frame) while that
+  // finisher is still inside the notify path. Each participant keeps the
+  // state alive through its own shared_ptr.
+  struct Work {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t count = 0, grain = 0, chunks = 0, launches = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto work = std::make_shared<Work>();
+  work->count = count;
+  work->grain = grain;
+  work->chunks = chunks;
+  work->launches = std::min(chunks, width);
+  // Borrowing fn is safe: every fn(i) call happens before that participant's
+  // done increment, and the caller does not return until done == launches.
+  work->fn = &fn;
+  auto body = [](const std::shared_ptr<Work>& w) {
     for (;;) {
-      const std::size_t c = next.fetch_add(1);
-      if (c >= chunks) break;
-      const std::size_t lo = c * grain;
-      const std::size_t hi = std::min(count, lo + grain);
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
+      const std::size_t c = w->next.fetch_add(1);
+      if (c >= w->chunks) break;
+      const std::size_t lo = c * w->grain;
+      const std::size_t hi = std::min(w->count, lo + w->grain);
+      for (std::size_t i = lo; i < hi; ++i) (*w->fn)(i);
     }
-    if (done.fetch_add(1) + 1 == launches) {
-      std::lock_guard<std::mutex> lk(done_mu);
-      done_cv.notify_one();
+    if (w->done.fetch_add(1) + 1 == w->launches) {
+      std::lock_guard<std::mutex> lk(w->mu);
+      w->cv.notify_one();
     }
   };
-  for (std::size_t t = 1; t < launches; ++t) enqueue(body);
-  body();  // the calling thread participates as launch #0
-  std::unique_lock<std::mutex> lk(done_mu);
-  done_cv.wait(lk, [&] { return done.load() == launches; });
+  for (std::size_t t = 1; t < work->launches; ++t) {
+    enqueue([work, body] { body(work); });
+  }
+  body(work);  // the calling thread participates as launch #0
+  std::unique_lock<std::mutex> lk(work->mu);
+  work->cv.wait(lk, [&] { return work->done.load() == work->launches; });
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("GAPSP_THREADS"); env != nullptr) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{0};
+  }());
   return pool;
 }
 

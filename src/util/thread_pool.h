@@ -25,11 +25,22 @@ class ThreadPool {
   std::size_t size() const noexcept { return workers_.size(); }
 
   /// Runs fn(i) for i in [0, count), blocking until all iterations finish.
-  /// Iterations are distributed in contiguous chunks of `grain`.
+  /// Iterations are distributed in contiguous chunks of `grain`; the default
+  /// grain of 1 is auto-sized to count / (4 · workers) so per-index
+  /// std::function dispatch cannot dominate tiny bodies. `max_threads`
+  /// bounds how many threads participate (0 = the whole pool, 1 = inline).
+  /// A call from inside a pool worker (nested parallelism) degrades to
+  /// inline execution instead of deadlocking on chunks queued behind the
+  /// caller's own blocked task.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
-                    std::size_t grain = 1);
+                    std::size_t grain = 1, std::size_t max_threads = 0);
 
-  /// Shared process-wide pool (sized to the hardware).
+  /// True when called from a thread owned by any ThreadPool — the signal
+  /// parallel_for uses to detect (and inline) nested parallelism.
+  static bool in_worker() noexcept;
+
+  /// Shared process-wide pool. Sized from the GAPSP_THREADS environment
+  /// variable when set, otherwise to the hardware.
   static ThreadPool& global();
 
  private:

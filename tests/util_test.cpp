@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "util/common.h"
@@ -182,6 +184,70 @@ TEST(ThreadPool, SingleThreadPoolRunsInline) {
 TEST(ThreadPool, GlobalPoolSingleton) {
   EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
   EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // Regression: a parallel_for issued from inside a pool worker used to
+  // enqueue its chunks behind the caller's own blocked task. It must inline
+  // instead — and still cover every (outer, inner) pair exactly once.
+  ThreadPool pool(4);
+  constexpr std::size_t kOuter = 8, kInner = 16;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.parallel_for(kOuter, [&](std::size_t o) {
+    pool.parallel_for(kInner,
+                      [&](std::size_t i) { hits[o * kInner + i]++; });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedCallOnGlobalPoolDoesNotDeadlock) {
+  // Same shape as Johnson MSSP (outer over sources) containing a grid
+  // launch (inner over blocks), both on the global pool.
+  auto& pool = ThreadPool::global();
+  std::atomic<long long> sum{0};
+  pool.parallel_for(6, [&](std::size_t o) {
+    pool.parallel_for(50, [&](std::size_t i) {
+      sum += static_cast<long long>(o * 1000 + i);
+    });
+  });
+  long long want = 0;
+  for (long long o = 0; o < 6; ++o) {
+    for (long long i = 0; i < 50; ++i) want += o * 1000 + i;
+  }
+  EXPECT_EQ(sum.load(), want);
+}
+
+TEST(ThreadPool, AutoGrainCoversAllIndices) {
+  // grain <= 1 derives count/(4·workers); coverage must be unaffected for
+  // counts around the chunking boundaries.
+  ThreadPool pool(3);
+  for (const std::size_t count : {1u, 2u, 11u, 12u, 13u, 100u, 1023u}) {
+    std::atomic<std::size_t> n{0};
+    pool.parallel_for(count, [&](std::size_t) { n++; });
+    EXPECT_EQ(n.load(), count) << "count=" << count;
+  }
+}
+
+TEST(ThreadPool, MaxThreadsOneRunsInlineInOrder) {
+  ThreadPool pool(4);
+  std::vector<int> order;  // unsynchronized on purpose: must stay inline
+  pool.parallel_for(6, [&](std::size_t i) { order.push_back(static_cast<int>(i)); },
+                    /*grain=*/1, /*max_threads=*/1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(ThreadPool, InWorkerReflectsContext) {
+  EXPECT_FALSE(ThreadPool::in_worker());
+  ThreadPool pool(2);
+  std::atomic<int> inside{0};
+  // Each body sleeps long enough that the enqueued worker reliably claims a
+  // chunk before the calling thread (which also participates) drains them.
+  pool.parallel_for(4, [&](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    if (ThreadPool::in_worker()) inside++;
+  });
+  EXPECT_GT(inside.load(), 0);
+  EXPECT_FALSE(ThreadPool::in_worker());
 }
 
 }  // namespace

@@ -37,6 +37,13 @@
 //   --trace FILE            write a chrome://tracing JSON timeline
 //   --stats                 print graph statistics and exit
 //
+// Kernel engine (see DESIGN.md §9):
+//   --kernel-variant V      auto | naive | tiled | tiled-reg min-plus
+//                           microkernel (auto benchmarks once and caches)
+//   --kernel-threads N      host threads for grid-parallel kernel execution
+//                           (0 = whole pool, 1 = serial); never changes
+//                           results or simulated time, only wall-clock
+//
 // Fault injection & recovery (see DESIGN.md §8):
 //   --fault-seed S          fault schedule seed (default 1)
 //   --fault-h2d P           probability an H2D transfer faults (transient)
@@ -212,6 +219,10 @@ int run(const Args& args) {
                           faults.kill_device >= 0;
   if (any_faults) opts.faults = &faults;
   opts.retry.max_retries = static_cast<int>(args.get_int_or("retries", 3));
+  opts.kernel_variant =
+      core::parse_kernel_variant(args.get_or("kernel-variant", "auto"));
+  opts.kernel_threads =
+      static_cast<int>(args.get_int_or("kernel-threads", 0));
   opts.checkpoint_path = args.get_or("checkpoint", "");
   opts.resume = args.has("resume");
 
@@ -288,6 +299,17 @@ int run(const Args& args) {
               << " KiB pinned staging)";
   }
   std::cout << "\n";
+  if (!r.metrics.kernel_variant.empty()) {
+    std::cout << "kernel engine: " << r.metrics.kernel_variant
+              << " microkernel, "
+              << (opts.kernel_threads == 1
+                      ? std::string("serial")
+                      : opts.kernel_threads == 0
+                            ? std::string("pooled")
+                            : std::to_string(opts.kernel_threads) +
+                                  "-thread")
+              << " grid execution\n";
+  }
   if (r.metrics.johnson_batch_size > 0) {
     std::cout << "johnson: bat=" << r.metrics.johnson_batch_size << ", "
               << r.metrics.johnson_num_batches << " batches, "
@@ -377,7 +399,8 @@ int main(int argc, char** argv) {
          "keep-store", "query", "path", "trace", "stats", "sssp-kernel",
          "partitioner", "devices", "per-component", "save", "verify",
          "fault-seed", "fault-h2d", "fault-d2h", "fault-kernel",
-         "fault-alloc", "kill-device", "retries", "checkpoint", "resume"});
+         "fault-alloc", "kill-device", "retries", "checkpoint", "resume",
+         "kernel-variant", "kernel-threads"});
     if (!unknown.empty()) {
       std::cerr << "unknown flag(s):";
       for (const auto& f : unknown) std::cerr << " --" << f;
