@@ -1,0 +1,147 @@
+// Benchmark of the distance-oracle query service (DESIGN.md §10).
+//
+// Solves one road graph into a file-backed store, then measures batched
+// point-query throughput through the block-cached QueryEngine — cold cache
+// vs warm cache, across cache capacities, serial vs pooled — against the
+// baseline every pre-service caller used: a per-element DistStore::at()
+// loop that pays one seek+read per query. Writes BENCH_query.json.
+//
+// `--assert-min-speedup=R` exits non-zero unless the warm-cache pooled
+// batch throughput is at least R× the at() loop — the acceptance guard
+// (ISSUE 4 requires ≥ 5×).
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/apsp.h"
+#include "graph/generators.h"
+#include "service/query_engine.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace gapsp;
+
+struct Row {
+  std::string mode;
+  std::size_t cache_kb = 0;
+  int threads = 0;
+  std::size_t queries = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double hit_rate = 0.0;
+};
+
+void write_json(const std::vector<Row>& rows, const std::string& path) {
+  std::ofstream out(path);
+  out << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "  {\"mode\": \"" << r.mode << "\", \"cache_kb\": " << r.cache_kb
+        << ", \"threads\": " << r.threads << ", \"queries\": " << r.queries
+        << ", \"seconds\": " << r.seconds << ", \"qps\": " << r.qps
+        << ", \"hit_rate\": " << r.hit_rate << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  std::cout << rows.size() << " rows -> " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double min_speedup = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--assert-min-speedup=", 21) == 0) {
+      min_speedup = std::stod(argv[i] + 21);
+    }
+  }
+
+  // One solved matrix serves every series: road 40×40 → n = 1600, a 10 MiB
+  // file store, 49 cache tiles of 256².
+  const auto g = graph::make_road(40, 40, 11);
+  const vidx_t n = g.num_vertices();
+  core::ApspOptions opts;
+  opts.device = sim::DeviceSpec::v100_scaled();
+  opts.algorithm = core::Algorithm::kJohnson;
+  const std::string store_path = "bench_query_dist.bin";
+  auto store = core::make_file_store(n, store_path, /*keep_file=*/false);
+  const auto solved = core::solve_apsp(g, opts, *store);
+  std::cout << "solved n=" << n << " via "
+            << core::algorithm_name(solved.used) << ", serving from "
+            << store_path << "\n";
+
+  constexpr std::size_t kQueries = 50000;
+  Rng rng(17);
+  std::vector<service::Query> queries;
+  queries.reserve(kQueries);
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    queries.push_back({service::QueryKind::kPoint,
+                       static_cast<vidx_t>(rng.next_below(n)),
+                       static_cast<vidx_t>(rng.next_below(n))});
+  }
+
+  std::vector<Row> rows;
+
+  // --- baseline: the pre-service read path, one at() per element ---
+  {
+    Timer t;
+    long long sum = 0;
+    for (const auto& q : queries) sum += store->at(q.u, q.v);
+    const double s = t.seconds();
+    rows.push_back({"at_loop", 0, 1, kQueries, s,
+                    static_cast<double>(kQueries) / s, 0.0});
+    std::cout << "at() loop: " << s * 1e3 << " ms ("
+              << static_cast<long long>(rows.back().qps)
+              << " qps, checksum " << sum << ")\n";
+  }
+
+  double best_warm_qps = 0.0;
+  for (const std::size_t cache_kb : {256u, 1024u, 4096u, 16384u}) {
+    service::QueryEngineOptions qopt;
+    qopt.cache_bytes = cache_kb << 10;
+    for (const int threads : {1, 0}) {  // serial, then the whole pool
+      qopt.max_threads = threads;
+      const service::QueryEngine engine(*store, qopt);
+      const auto cold = engine.run_batch(queries);
+      rows.push_back({"cold", cache_kb, threads, kQueries, cold.wall_seconds,
+                      cold.qps, cold.cache.hit_rate()});
+      const auto warm = engine.run_batch(queries);
+      const auto warm_stats = warm.cache;
+      // Batched execution resolves each tile once per bucket, so cache
+      // counters move per tile resolution: the warm hit rate is the share
+      // of the warm run's resolutions served from cache.
+      const auto hits_d =
+          static_cast<double>(warm_stats.hits - cold.cache.hits);
+      const auto miss_d =
+          static_cast<double>(warm_stats.misses - cold.cache.misses);
+      const double warm_hit_rate =
+          hits_d + miss_d == 0.0 ? 1.0 : hits_d / (hits_d + miss_d);
+      rows.push_back({"warm", cache_kb, threads, kQueries, warm.wall_seconds,
+                      warm.qps, warm_hit_rate});
+      if (threads == 0) best_warm_qps = std::max(best_warm_qps, warm.qps);
+      std::cout << "cache " << (cache_kb >> 10 > 0 ? cache_kb >> 10 : cache_kb)
+                << (cache_kb >= 1024 ? " MiB" : " KiB") << ", "
+                << (threads == 1 ? "serial" : "pooled") << ": cold "
+                << static_cast<long long>(cold.qps) << " qps, warm "
+                << static_cast<long long>(warm.qps) << " qps ("
+                << warm_hit_rate * 100.0 << "% warm tile hits, "
+                << warm_stats.evictions << " evictions)\n";
+    }
+  }
+
+  write_json(rows, "BENCH_query.json");
+
+  const double at_qps = rows.front().qps;
+  const double speedup = best_warm_qps / at_qps;
+  std::cout << "warm-cache batch vs at() loop: " << speedup << "x\n";
+  if (min_speedup > 0.0 && speedup < min_speedup) {
+    std::cerr << "FAILED: query service speedup below " << min_speedup
+              << "x\n";
+    return 1;
+  }
+  return 0;
+}

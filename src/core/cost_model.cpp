@@ -181,8 +181,18 @@ Calibration run_calibration(const ApspOptions& base) {
 const Calibration& calibrate(const ApspOptions& opts) {
   static std::mutex mu;
   static std::map<std::string, Calibration> cache;
+  // The probe runs execute real (simulated) solves, so every option that
+  // changes their cost must be part of the key — keying on the device alone
+  // would let two configs on the same device silently share stale
+  // calibrations (e.g. overlap on/off changes block sizes and hidden
+  // transfer time, the kernel variant changes measured kernel seconds).
   const std::string key =
-      opts.device.name + "/" + std::to_string(opts.device.memory_bytes);
+      opts.device.name + "/" + std::to_string(opts.device.memory_bytes) +
+      "/ov" + std::to_string(opts.overlap_transfers ? 1 : 0) + "/bt" +
+      std::to_string(opts.batch_transfers ? 1 : 0) + "/kv" +
+      std::to_string(static_cast<int>(opts.kernel_variant)) + "/qf" +
+      std::to_string(opts.johnson_queue_factor) + "/ft" +
+      std::to_string(opts.fw_tile);
   std::lock_guard<std::mutex> lk(mu);
   auto it = cache.find(key);
   if (it == cache.end()) {
@@ -203,21 +213,38 @@ CostBreakdown estimate_fw(const graph::CsrGraph& g, const ApspOptions& opts) {
   return cost;
 }
 
+std::int64_t johnson_num_batches(vidx_t n, int bat) {
+  GAPSP_CHECK(bat > 0, "batch size must be positive");
+  // 64-bit on purpose: n + bat - 1 overflows a 32-bit vidx_t for n near the
+  // type's maximum with a small batch size.
+  return (static_cast<std::int64_t>(n) + bat - 1) / bat;
+}
+
 CostBreakdown estimate_johnson(const graph::CsrGraph& g,
                                const ApspOptions& opts, int sample_batches) {
-  const int bat =
-      johnson_batch_size(opts.device, g, opts.johnson_queue_factor,
-                         opts.overlap_transfers ? 2 : 1);
-  const int nb =
-      static_cast<int>((g.num_vertices() + bat - 1) / bat);
+  int bat = 0;
+  try {
+    bat = johnson_batch_size(opts.device, g, opts.johnson_queue_factor,
+                             opts.overlap_transfers ? 2 : 1);
+  } catch (const Error&) {
+    // Not even one SSSP instance fits the device: infeasible, like
+    // estimate_boundary when no k fits — never an exception the selector
+    // has to survive.
+    CostBreakdown cost;
+    cost.feasible = false;
+    cost.compute_s = cost.transfer_s = std::numeric_limits<double>::infinity();
+    return cost;
+  }
+  const std::int64_t nb = johnson_num_batches(g.num_vertices(), bat);
   // Randomly choose up to `sample_batches` distinct batches (paper: k = 5).
   Rng rng(opts.seed ^ 0x5eedULL);
   std::vector<int> chosen;
   if (nb <= sample_batches) {
-    for (int i = 0; i < nb; ++i) chosen.push_back(i);
+    for (int i = 0; i < static_cast<int>(nb); ++i) chosen.push_back(i);
   } else {
     while (static_cast<int>(chosen.size()) < sample_batches) {
-      const int c = static_cast<int>(rng.next_below(nb));
+      const int c = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(nb)));
       if (std::find(chosen.begin(), chosen.end(), c) == chosen.end()) {
         chosen.push_back(c);
       }
@@ -229,7 +256,7 @@ CostBreakdown estimate_johnson(const graph::CsrGraph& g,
   const JohnsonSample sample = johnson_sample_batches(g, sample_opts, chosen);
   CostBreakdown cost;
   cost.compute_s = sample.kernel_seconds * static_cast<double>(nb) /
-                   std::max(1, sample.sampled);
+                   static_cast<double>(std::max(1, sample.sampled));
   cost.transfer_s = johnson_transfer_model(g.num_vertices(), opts.device);
   cost.overlapped = opts.overlap_transfers;
   return cost;

@@ -79,8 +79,13 @@ struct CostBreakdown {
 /// FW estimate: calibrated cubic scaling + transfer model.
 CostBreakdown estimate_fw(const graph::CsrGraph& g, const ApspOptions& opts);
 
+/// Number of Johnson batches ⌈n / bat⌉, computed in 64-bit so large n with
+/// a small batch size cannot overflow 32-bit arithmetic.
+std::int64_t johnson_num_batches(vidx_t n, int bat);
+
 /// Johnson estimate: run `sample_batches` random batches (paper uses 5) and
-/// scale by n_b / sampled; plus the transfer model.
+/// scale by n_b / sampled; plus the transfer model. Infeasible (infinite
+/// cost) when not even one SSSP instance fits the device.
 CostBreakdown estimate_johnson(const graph::CsrGraph& g,
                                const ApspOptions& opts,
                                int sample_batches = 5);

@@ -1,6 +1,7 @@
 #include "core/dist_store.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <vector>
 
@@ -59,6 +60,17 @@ class RamStore final : public DistStore {
 /// write (full disk, quota) must not masquerade as success.
 class FileStore final : public DistStore {
  public:
+  /// Tag for the read-only "adopt an existing matrix" constructor.
+  struct OpenExisting {};
+
+  FileStore(vidx_t n, const std::string& path, OpenExisting)
+      : DistStore(n), path_(path), keep_file_(true), read_only_(true) {
+    file_ = std::fopen(path.c_str(), "rb");
+    if (file_ == nullptr) {
+      throw IoError("cannot open dist store file " + path);
+    }
+  }
+
   FileStore(vidx_t n, const std::string& path, bool keep_file)
       : DistStore(n), path_(path), keep_file_(keep_file) {
     // Adopt an existing file of exactly the right size instead of
@@ -112,6 +124,21 @@ class FileStore final : public DistStore {
   void write_block(vidx_t row0, vidx_t col0, vidx_t rows, vidx_t cols,
                    const dist_t* src, std::size_t src_ld) override {
     check_block(row0, col0, rows, cols);
+    if (read_only_) {
+      throw IoError("dist store " + path_ + " is opened read-only");
+    }
+    dirty_ = true;
+    // Full-width multi-row blocks are one contiguous span on disk when the
+    // source rows are packed too: a single fwrite instead of a per-row loop.
+    if (cols == n() && rows > 1 && src_ld == static_cast<std::size_t>(cols)) {
+      seek(row0, 0);
+      const auto count =
+          static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+      if (std::fwrite(src, sizeof(dist_t), count, file_) != count) {
+        throw IoError("short write to " + path_);
+      }
+      return;
+    }
     for (vidx_t r = 0; r < rows; ++r) {
       seek(row0 + r, col0);
       const std::size_t wrote =
@@ -126,8 +153,25 @@ class FileStore final : public DistStore {
   void read_block(vidx_t row0, vidx_t col0, vidx_t rows, vidx_t cols,
                   dist_t* dst, std::size_t dst_ld) const override {
     check_block(row0, col0, rows, cols);
-    if (std::fflush(file_) != 0) {
-      throw IoError("flush failed in " + path_);
+    // Only a store with buffered writes needs the flush; the query-serving
+    // read-only path must not pay a flush per point lookup.
+    if (dirty_) {
+      if (std::fflush(file_) != 0) {
+        throw IoError("flush failed in " + path_);
+      }
+      dirty_ = false;
+    }
+    // Row-contiguous fast path: full-width rows packed in the destination
+    // read back as one span (the query service's block loads and the CLI's
+    // row queries land here).
+    if (cols == n() && rows >= 1 && dst_ld == static_cast<std::size_t>(cols)) {
+      seek(row0, 0);
+      const auto count =
+          static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+      if (std::fread(dst, sizeof(dist_t), count, file_) != count) {
+        throw IoError("short read from " + path_);
+      }
+      return;
     }
     for (vidx_t r = 0; r < rows; ++r) {
       seek(row0 + r, col0);
@@ -151,6 +195,10 @@ class FileStore final : public DistStore {
   }
   std::string path_;
   bool keep_file_ = false;
+  bool read_only_ = false;
+  /// Buffered writes pending since the last flush; read_block() only pays
+  /// the fflush when this is set (mutated from the const read path).
+  mutable bool dirty_ = false;
   std::FILE* file_ = nullptr;
 };
 
@@ -163,6 +211,28 @@ std::unique_ptr<DistStore> make_ram_store(vidx_t n) {
 std::unique_ptr<DistStore> make_file_store(vidx_t n, const std::string& path,
                                            bool keep_file) {
   return std::make_unique<FileStore>(n, path, keep_file);
+}
+
+std::unique_ptr<DistStore> open_file_store(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw IoError("cannot open dist store file " + path);
+  }
+  std::uint64_t bytes = 0;
+  if (std::fseek(f, 0, SEEK_END) == 0) {
+    const long long end = std::ftell(f);
+    if (end > 0) bytes = static_cast<std::uint64_t>(end);
+  }
+  std::fclose(f);
+  const std::uint64_t elems = bytes / sizeof(dist_t);
+  const auto n = static_cast<vidx_t>(std::llround(std::sqrt(
+      static_cast<double>(elems))));
+  if (bytes == 0 || bytes % sizeof(dist_t) != 0 ||
+      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) != elems) {
+    throw IoError("file " + path + " is not a square dist_t matrix (" +
+                  std::to_string(bytes) + " bytes)");
+  }
+  return std::make_unique<FileStore>(n, path, FileStore::OpenExisting{});
 }
 
 }  // namespace gapsp::core

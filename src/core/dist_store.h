@@ -51,4 +51,12 @@ std::unique_ptr<DistStore> make_ram_store(vidx_t n);
 std::unique_ptr<DistStore> make_file_store(vidx_t n, const std::string& path,
                                            bool keep_file = false);
 
+/// Opens an existing kept store file read-only for serving queries (the
+/// query service's entry point; see src/service/). The dimension is inferred
+/// from the file size, which must be exactly n²·sizeof(dist_t) for integer
+/// n. Throws IoError when the file is missing or not a square matrix;
+/// write_block on the returned store throws IoError. The file is never
+/// removed on destruction.
+std::unique_ptr<DistStore> open_file_store(const std::string& path);
+
 }  // namespace gapsp::core

@@ -36,7 +36,8 @@ class JohnsonRunner {
     configure_kernels(dev_, opts);
     bat_ = johnson_batch_size(dev_.spec(), g, opts.johnson_queue_factor,
                               opts.overlap_transfers ? 2 : 1);
-    nb_ = static_cast<int>((g.num_vertices() + bat_ - 1) / bat_);
+    nb_ = static_cast<int>(
+        (static_cast<std::int64_t>(g.num_vertices()) + bat_ - 1) / bat_);
     dg_ = upload_graph(dev_, pipe_.compute_stream(), g);
     rows_.emplace(pipe_,
                   static_cast<std::size_t>(bat_) * g.num_vertices(),

@@ -29,13 +29,34 @@ SelectorReport select_algorithm(const graph::CsrGraph& g,
   AlgoEstimate johnson{Algorithm::kJohnson, true, {}};
   AlgoEstimate boundary{Algorithm::kBoundary, consider_boundary, {}};
 
-  johnson.cost = estimate_johnson(g, opts, sel.sample_batches);
-  if (consider_fw) fw.cost = estimate_fw(g, opts);
-  if (consider_boundary) boundary.cost = estimate_boundary(g, opts);
+  // An estimator that cannot even plan on this device (graph too large for
+  // one SSSP instance, no feasible k, ...) marks its candidate infeasible
+  // instead of disqualifying the whole selection.
+  auto guarded = [](auto&& estimator) -> CostBreakdown {
+    try {
+      return estimator();
+    } catch (const Error&) {
+      CostBreakdown c;
+      c.feasible = false;
+      c.compute_s = c.transfer_s = std::numeric_limits<double>::infinity();
+      return c;
+    }
+  };
+  johnson.cost =
+      guarded([&] { return estimate_johnson(g, opts, sel.sample_batches); });
+  if (consider_fw) fw.cost = guarded([&] { return estimate_fw(g, opts); });
+  if (consider_boundary) {
+    boundary.cost = guarded([&] { return estimate_boundary(g, opts); });
+  }
 
   report.estimates = {fw, johnson, boundary};
-  report.chosen = Algorithm::kJohnson;
-  double best = johnson.cost.total();
+  // Pick the cheapest *feasible* considered candidate. Seeding `best` from
+  // Johnson unconditionally would let an infeasible or infinite Johnson
+  // estimate pin the choice against feasible FW/boundary estimates — the
+  // selector would return an algorithm it just estimated as unrunnable.
+  report.chosen = Algorithm::kJohnson;  // explicit last resort: nothing is
+                                        // feasible, Johnson degrades best
+  double best = std::numeric_limits<double>::infinity();
   for (const auto& e : report.estimates) {
     if (!e.considered || !e.cost.feasible) continue;
     if (e.cost.total() < best) {

@@ -21,8 +21,14 @@ DegreeStats degree_stats(const CsrGraph& g) {
 }
 
 std::vector<vidx_t> component_labels(const CsrGraph& g) {
+  // Weak connectivity: arc direction must not matter. Following out-edges
+  // only would make labels depend on vertex iteration order on directed
+  // graphs (graph 1→0: vertex 0 is labeled first, 1 then starts a new
+  // component) and the component solver would split weakly-connected pairs
+  // into separate subproblems, reporting ∞ for distances that exist.
   const vidx_t n = g.num_vertices();
   std::vector<vidx_t> label(static_cast<std::size_t>(n), -1);
+  const CsrGraph rev = g.transpose();
   vidx_t next = 0;
   std::queue<vidx_t> q;
   for (vidx_t s = 0; s < n; ++s) {
@@ -32,10 +38,12 @@ std::vector<vidx_t> component_labels(const CsrGraph& g) {
     while (!q.empty()) {
       const vidx_t u = q.front();
       q.pop();
-      for (vidx_t v : g.neighbors(u)) {
-        if (label[v] == -1) {
-          label[v] = next;
-          q.push(v);
+      for (const CsrGraph* dir : {&g, &rev}) {
+        for (vidx_t v : dir->neighbors(u)) {
+          if (label[v] == -1) {
+            label[v] = next;
+            q.push(v);
+          }
         }
       }
     }

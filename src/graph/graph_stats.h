@@ -16,14 +16,16 @@ struct DegreeStats {
 
 DegreeStats degree_stats(const CsrGraph& g);
 
-/// Number of weakly connected components (graphs here are symmetric, so this
-/// equals the number of connected components).
+/// Number of weakly connected components — arc direction is ignored, so a
+/// directed graph's weakly-connected pairs always share a component (on
+/// symmetric graphs this equals the number of connected components).
 vidx_t count_components(const CsrGraph& g);
 
-/// Component id per vertex (BFS labelling).
+/// Weak-component id per vertex (BFS labelling over the union of out- and
+/// in-edges).
 std::vector<vidx_t> component_labels(const CsrGraph& g);
 
-/// true iff every vertex is reachable from vertex 0.
+/// true iff the graph has one weak component (or is empty).
 bool is_connected(const CsrGraph& g);
 
 }  // namespace gapsp::graph

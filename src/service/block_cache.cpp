@@ -1,0 +1,83 @@
+#include "service/block_cache.h"
+
+namespace gapsp::service {
+
+BlockCache::BlockCache(std::size_t capacity_bytes, int shards)
+    : capacity_bytes_(capacity_bytes) {
+  GAPSP_CHECK(shards > 0, "cache needs at least one shard");
+  shards_ = std::vector<Shard>(static_cast<std::size_t>(shards));
+  shard_capacity_ = capacity_bytes_ / shards_.size();
+}
+
+BlockCache::Shard& BlockCache::shard_of(std::uint64_t key) {
+  // Fibonacci mixing so block-diagonal access patterns spread over shards.
+  const std::uint64_t h = (key * 0x9e3779b97f4a7c15ULL) >> 32;
+  return shards_[static_cast<std::size_t>(h) % shards_.size()];
+}
+
+BlockData BlockCache::get_or_load(vidx_t row_block, vidx_t col_block,
+                                  const Loader& loader) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(row_block))
+       << 32) |
+      static_cast<std::uint32_t>(col_block);
+  Shard& s = shard_of(key);
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    const auto it = s.index.find(key);
+    if (it != s.index.end()) {
+      ++s.hits;
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+      return it->second->data;
+    }
+    ++s.misses;
+  }
+
+  BlockData data = loader();
+  GAPSP_CHECK(data != nullptr, "cache loader returned no block");
+  const std::size_t size = data->size() * sizeof(dist_t);
+
+  std::lock_guard<std::mutex> lk(s.mu);
+  const auto it = s.index.find(key);
+  if (it != s.index.end()) {
+    // A racing thread loaded and published the same key first; serve its
+    // copy so every reader of one block shares one allocation.
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return it->second->data;
+  }
+  s.lru.push_front(Entry{key, data});
+  s.index.emplace(key, s.lru.begin());
+  s.bytes += size;
+  while (s.bytes > shard_capacity_ && s.lru.size() > 1) {
+    const Entry& victim = s.lru.back();
+    s.bytes -= victim.data->size() * sizeof(dist_t);
+    s.index.erase(victim.key);
+    s.lru.pop_back();
+    ++s.evictions;
+  }
+  return data;
+}
+
+CacheStats BlockCache::stats() const {
+  CacheStats out;
+  out.capacity_bytes = capacity_bytes_;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    out.hits += s.hits;
+    out.misses += s.misses;
+    out.evictions += s.evictions;
+    out.bytes_cached += s.bytes;
+  }
+  return out;
+}
+
+void BlockCache::clear() {
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.lru.clear();
+    s.index.clear();
+    s.bytes = 0;
+  }
+}
+
+}  // namespace gapsp::service

@@ -1,0 +1,89 @@
+// Block-granular read cache for the distance-oracle query service.
+//
+// The solved n×n matrix is orders of magnitude larger than the input
+// (dist_store.h) and, for the file-backed store, lives on disk — a service
+// answering millions of point queries cannot afford a seek+read per element.
+// The cache holds square tiles of the matrix keyed on (row_block, col_block)
+// in a sharded LRU: per-shard locking keeps concurrent readers from
+// serializing on one global mutex, and a byte budget (not an entry count)
+// bounds host memory no matter how ragged the edge tiles are.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/common.h"
+
+namespace gapsp::service {
+
+/// Aggregate cache counters, summed over shards.
+struct CacheStats {
+  long long hits = 0;
+  long long misses = 0;
+  long long evictions = 0;
+  std::size_t bytes_cached = 0;
+  std::size_t capacity_bytes = 0;
+
+  double hit_rate() const {
+    const auto total = static_cast<double>(hits + misses);
+    return total == 0.0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// A cached block. Immutable once published and shared with readers, so an
+/// eviction never invalidates a tile a query is still copying from.
+using BlockData = std::shared_ptr<const std::vector<dist_t>>;
+
+class BlockCache {
+ public:
+  /// `capacity_bytes` is split evenly across `shards` independent LRU lists.
+  explicit BlockCache(std::size_t capacity_bytes, int shards = 8);
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  using Loader = std::function<BlockData()>;
+
+  /// Returns the block keyed (row_block, col_block), invoking `loader` on a
+  /// miss and caching its result. The loader runs outside the shard lock so
+  /// a slow disk read never blocks hits on the same shard; when two threads
+  /// race on one key the first published copy wins and the loser's load is
+  /// discarded. Eviction pops least-recently-used entries until the shard is
+  /// back under budget, but always keeps the entry just inserted (a single
+  /// over-budget block is served, not thrashed).
+  BlockData get_or_load(vidx_t row_block, vidx_t col_block,
+                        const Loader& loader);
+
+  CacheStats stats() const;
+
+  /// Drops every entry; counters keep accumulating.
+  void clear();
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    BlockData data;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+    std::size_t bytes = 0;
+    long long hits = 0;
+    long long misses = 0;
+    long long evictions = 0;
+  };
+
+  Shard& shard_of(std::uint64_t key);
+
+  std::size_t capacity_bytes_;
+  std::size_t shard_capacity_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace gapsp::service

@@ -1,0 +1,116 @@
+// Distance-oracle query engine: serves point, row, block, and batched
+// queries out of a solved DistStore without re-running the solver.
+//
+// This is the read side of the system the ROADMAP asks for — the solver
+// produces the n×n matrix once (hours of simulated work at production
+// scale), and this engine turns it into a servable artifact: a block-
+// granular LRU cache (block_cache.h) absorbs the file-backed store's
+// per-element seek cost, and batches fan out across ThreadPool::global()
+// with a latency sample per query.
+#pragma once
+
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/dist_store.h"
+#include "service/block_cache.h"
+
+namespace gapsp::service {
+
+enum class QueryKind {
+  kPoint,  ///< dist(u, v)
+  kRow,    ///< all of row u, in original vertex order
+};
+
+struct Query {
+  QueryKind kind = QueryKind::kPoint;
+  vidx_t u = 0;
+  vidx_t v = 0;  ///< unused for row queries
+};
+
+struct QueryResult {
+  Query query;
+  dist_t dist = kInf;       ///< point queries
+  std::vector<dist_t> row;  ///< row queries, indexed by original vertex id
+  double latency_s = 0.0;
+};
+
+struct LatencyStats {
+  std::size_t count = 0;
+  double mean_s = 0.0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double max_s = 0.0;
+};
+
+struct BatchReport {
+  std::vector<QueryResult> results;  ///< same order as the input span
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  LatencyStats latency;
+  CacheStats cache;  ///< snapshot after the batch (cumulative counters)
+};
+
+struct QueryEngineOptions {
+  /// Cache tile side length in elements; edge tiles are smaller.
+  vidx_t block_size = 256;
+  std::size_t cache_bytes = 64u << 20;
+  int cache_shards = 8;
+  /// Batch fan-out width over ThreadPool::global(): 0 = the whole pool,
+  /// 1 = serial.
+  int max_threads = 0;
+};
+
+class QueryEngine {
+ public:
+  /// `store` must outlive the engine and must not be written while serving.
+  /// `perm` is the solve's vertex permutation (ApspResult::perm; empty =
+  /// identity): point and row queries take *original* vertex ids and
+  /// translate internally, so callers never see the boundary algorithm's
+  /// relabeling.
+  explicit QueryEngine(const core::DistStore& store,
+                       QueryEngineOptions opt = {},
+                       std::vector<vidx_t> perm = {});
+
+  vidx_t n() const { return store_.n(); }
+
+  dist_t point(vidx_t u, vidx_t v) const;
+
+  /// Row of `u` with result[v] = dist(u, v) for original vertex ids v.
+  std::vector<dist_t> row(vidx_t u) const;
+
+  /// Copies the stored-order tile [row0, row0+rows) × [col0, col0+cols)
+  /// into dst (leading dimension dst_ld, elements) through the cache.
+  /// Addresses *stored* coordinates: a rectangle is only rectangular in the
+  /// solve's own layout.
+  void block(vidx_t row0, vidx_t col0, vidx_t rows, vidx_t cols, dist_t* dst,
+             std::size_t dst_ld) const;
+
+  /// Runs `queries` concurrently over ThreadPool::global(), timing each.
+  /// Results come back in input order. Point queries are grouped by cache
+  /// tile: each tile is resolved once per batch (the first query of the
+  /// bucket pays it) and the rest of the bucket reads the pinned tile
+  /// directly, so cache counters move per *tile*, not per query.
+  BatchReport run_batch(std::span<const Query> queries) const;
+
+  CacheStats cache_stats() const { return cache_.stats(); }
+
+ private:
+  vidx_t stored_id(vidx_t v) const {
+    return perm_.empty() ? v : perm_[static_cast<std::size_t>(v)];
+  }
+  BlockData fetch(vidx_t block_row, vidx_t block_col) const;
+
+  const core::DistStore& store_;
+  QueryEngineOptions opt_;
+  std::vector<vidx_t> perm_;
+  vidx_t num_blocks_ = 0;  ///< tiles per side
+  mutable BlockCache cache_;
+  /// Miss-path reads are serialized: the file-backed store is one stateful
+  /// FILE* stream (seek+read pairs must not interleave). Hits never touch
+  /// this mutex.
+  mutable std::mutex store_mu_;
+};
+
+}  // namespace gapsp::service

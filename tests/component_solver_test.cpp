@@ -110,5 +110,24 @@ TEST(ComponentSolver, PermutationIsBijection) {
   }
 }
 
+TEST(ComponentSolver, DirectedIslandsUseWeakComponents) {
+  // Regression: island B is a *reverse* chain (every arc v -> v-1), which an
+  // out-edge-only labelling shreds into singletons — the packed-group solve
+  // then produced wrong group shapes. Weak labelling keeps each island whole.
+  std::vector<graph::Edge> edges;
+  for (vidx_t v = 1; v < 50; ++v) edges.push_back({v - 1, v, 1});    // A: fwd
+  for (vidx_t v = 51; v < 120; ++v) edges.push_back({v, v - 1, 2});  // B: rev
+  const auto g = graph::CsrGraph::from_edges(120, std::move(edges),
+                                             /*symmetrize=*/false);
+  auto store = make_ram_store(g.num_vertices());
+  const auto r = solve_apsp_per_component(g, opts(), *store, sel());
+  EXPECT_EQ(r.num_components, 2);
+  EXPECT_EQ(r.largest_component, 70);
+  test::expect_store_matches_reference(g, *store, r.result);
+  // Directedness survives the decomposition: B flows only downwards.
+  EXPECT_EQ(store->at(r.result.stored_id(119), r.result.stored_id(51)), 136);
+  EXPECT_EQ(store->at(r.result.stored_id(51), r.result.stored_id(119)), kInf);
+}
+
 }  // namespace
 }  // namespace gapsp::core

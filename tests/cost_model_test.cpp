@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "core/cost_model.h"
 #include "core/ooc_fw.h"
@@ -86,6 +87,49 @@ TEST(Calibration, CachedPerDeviceConfig) {
   auto other = opts;
   other.device = test::tiny_device(3u << 20);
   EXPECT_NE(&calibrate(other), &a);
+}
+
+TEST(Calibration, KeyedOnCostRelevantOptions) {
+  // Regression: the cache key was device name + memory only, so flipping
+  // overlap_transfers, the kernel variant, or the Johnson queue factor
+  // returned a calibration measured under the *other* configuration.
+  const auto base = model_opts();
+  const Calibration& a = calibrate(base);
+
+  auto overlap = base;
+  overlap.overlap_transfers = !base.overlap_transfers;
+  EXPECT_NE(&calibrate(overlap), &a);
+
+  auto qf = base;
+  qf.johnson_queue_factor = base.johnson_queue_factor * 2.0;
+  EXPECT_NE(&calibrate(qf), &a);
+
+  // Same cost-relevant options still share one entry.
+  auto same = base;
+  EXPECT_EQ(&calibrate(same), &a);
+}
+
+TEST(JohnsonBatches, CountIsComputedIn64Bit) {
+  // Regression: ⌈n/bat⌉ was computed as (n + bat - 1) in int, which wraps
+  // negative for n near INT32_MAX and small bat.
+  const vidx_t big = std::numeric_limits<vidx_t>::max();
+  EXPECT_EQ(johnson_num_batches(big, 1), static_cast<std::int64_t>(big));
+  EXPECT_EQ(johnson_num_batches(big, 2), (static_cast<std::int64_t>(big) + 1) / 2);
+  EXPECT_GT(johnson_num_batches(big, 7), 0);
+  EXPECT_EQ(johnson_num_batches(10, 3), 4);
+  EXPECT_EQ(johnson_num_batches(9, 3), 3);
+}
+
+TEST(Estimates, JohnsonInfeasibleWhenNoInstanceFits) {
+  // Regression: estimate_johnson let the batch planner's exception escape;
+  // it must report an infeasible (infinite) estimate like estimate_boundary.
+  const auto g = graph::make_dense(300, 12.0, 88);
+  auto opts = model_opts();
+  opts.device = test::tiny_device(64u << 10);  // CSR alone exceeds the device
+  CostBreakdown est;
+  EXPECT_NO_THROW(est = estimate_johnson(g, opts));
+  EXPECT_FALSE(est.feasible);
+  EXPECT_TRUE(std::isinf(est.total()));
 }
 
 TEST(Estimates, FwPowerLawScaling) {

@@ -8,8 +8,10 @@
 #include <vector>
 
 #include "core/apsp.h"
+#include "core/component_solver.h"
 #include "core/path_extract.h"
 #include "graph/generators.h"
+#include "graph/graph_stats.h"
 #include "test_util.h"
 #include "util/rng.h"
 
@@ -120,6 +122,43 @@ TEST(DirectedPath, BacktrackingFollowsArcDirections) {
       EXPECT_EQ(px.walk_length(p), d);
     }
   }
+}
+
+TEST(DirectedComponents, BackwardArcStillOneWeakComponent) {
+  // Regression: component_labels used to follow out-edges only, so the sole
+  // arc 1 -> 0 left vertex 0 labelled before its in-neighbour was reached
+  // and the graph split into two bogus components.
+  const auto g = graph::CsrGraph::from_edges(2, {{1, 0, 5}}, false);
+  const auto labels = graph::component_labels(g);
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(graph::count_components(g), 1);
+  EXPECT_TRUE(graph::is_connected(g));
+}
+
+TEST(DirectedComponents, ReverseChainIsOneWeakComponent) {
+  // Every arc points "backwards" (v -> v-1): an out-edge-only BFS from any
+  // start reaches only lower-numbered vertices, fragmenting the chain.
+  std::vector<graph::Edge> edges;
+  for (vidx_t v = 1; v < 50; ++v) edges.push_back({v, v - 1, 1});
+  const auto g = graph::CsrGraph::from_edges(50, std::move(edges), false);
+  EXPECT_EQ(graph::count_components(g), 1);
+  const auto labels = graph::component_labels(g);
+  for (vidx_t v = 1; v < 50; ++v) EXPECT_EQ(labels[v], labels[0]);
+}
+
+TEST(DirectedComponents, PerComponentSolveKeepsOneWayDistances) {
+  // Weak components group 1 -> 0 together, and the per-component solve must
+  // still report the directed truth: 1 reaches 0, 0 never reaches 1.
+  const auto g = graph::CsrGraph::from_edges(2, {{1, 0, 5}}, false);
+  ApspOptions o;
+  o.device = test::tiny_device(1u << 20);
+  o.algorithm = Algorithm::kJohnson;
+  auto store = make_ram_store(2);
+  const auto r = solve_apsp_per_component(g, o, *store, {});
+  EXPECT_EQ(r.num_components, 1);
+  EXPECT_EQ(store->at(r.result.stored_id(1), r.result.stored_id(0)), 5);
+  EXPECT_EQ(store->at(r.result.stored_id(0), r.result.stored_id(1)), kInf);
 }
 
 }  // namespace

@@ -93,6 +93,37 @@ TEST(Selector, InfeasibleBoundaryFallsBackToJohnson) {
   }
 }
 
+TEST(Selector, InfeasibleJohnsonFallsBackToFeasibleFw) {
+  // Regression: the selector seeded `best` from the Johnson estimate without
+  // a feasibility check, so when the CSR itself outgrew the device (Johnson
+  // infeasible — pre-fix estimate_johnson even threw out of the planner) the
+  // selector either crashed or pinned the choice on an unrunnable algorithm
+  // instead of falling back to the feasible FW estimate.
+  const auto g = graph::make_dense(300, 12.0, 91);  // dense band
+  auto opts = sel_opts();
+  opts.device = test::tiny_device(64u << 10);  // CSR > 0.95 * 64 KiB
+  const auto report = select_algorithm(g, opts, scaled_thresholds());
+  EXPECT_FALSE(report.estimate(Algorithm::kJohnson).cost.feasible);
+  ASSERT_TRUE(
+      report.estimate(Algorithm::kBlockedFloydWarshall).cost.feasible);
+  EXPECT_EQ(report.chosen, Algorithm::kBlockedFloydWarshall);
+}
+
+TEST(Selector, AllInfeasibleStillReturnsAnAlgorithm) {
+  // When nothing fits, the selector must still name a deterministic last
+  // resort (Johnson) rather than crash or return kAuto.
+  const auto g = graph::make_dense(300, 12.0, 91);
+  auto opts = sel_opts();
+  opts.device = test::tiny_device(1u << 10);  // 1 KiB: nothing is feasible
+  const auto report = select_algorithm(g, opts, scaled_thresholds());
+  for (const auto& e : report.estimates) {
+    if (e.considered) {
+      EXPECT_FALSE(e.cost.feasible);
+    }
+  }
+  EXPECT_EQ(report.chosen, Algorithm::kJohnson);
+}
+
 TEST(Selector, ReportDensityMatchesGraph) {
   const auto g = graph::make_road(15, 15, 99);
   const auto report = select_algorithm(g, sel_opts(), scaled_thresholds());

@@ -62,6 +62,31 @@
 //            --store-path d.bin --checkpoint fw.ck [--kill-device 0:40]
 //   apsp_cli --generate road:20x20 --algorithm fw --store file \
 //            --store-path d.bin --checkpoint fw.ck --resume
+//
+// Query service (see DESIGN.md §10): `apsp_cli query` opens a kept store
+// file from a previous solve and serves point/row/batch queries through the
+// block-cached query engine, printing cache and latency metrics:
+//
+//   apsp_cli --generate road:24x24 --store file --store-path d.bin --keep-store
+//   apsp_cli query --store-path d.bin --point 0,100 --row 5
+//   apsp_cli query --store-path d.bin --batch queries.txt --cache-mb 32
+//
+// Query flags:
+//   --store-path P          kept store file from `--keep-store` (required)
+//   --point U,V             point queries (several: "U,V;U2,V2")
+//   --row U                 row queries (several: "U;U2")
+//   --batch FILE            one query per line: "U V" / "U,V" (point) or
+//                           "row U"; '#' starts a comment
+//   --cache-mb M            block cache capacity in MiB       (default 64)
+//   --block B               cache tile side, elements         (default 256)
+//   --shards S              cache shard count                 (default 8)
+//   --threads T             batch fan-out threads (0 = whole pool)
+//   --repeat N              run the batch N times (N >= 2 shows the
+//                           warm-cache steady state; metrics per run)
+//
+// Query-mode vertex ids address the store's own layout; solves that permute
+// (the boundary algorithm) should query through the API with ApspResult::
+// perm, or save via --save which records the permutation.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -76,6 +101,7 @@
 #include "graph/graph_stats.h"
 #include "graph/matrix_market.h"
 #include "partition/boundary.h"
+#include "service/query_engine.h"
 #include "util/args.h"
 
 namespace {
@@ -142,6 +168,125 @@ std::pair<vidx_t, vidx_t> parse_pair(const std::string& s) {
   GAPSP_CHECK(comma != std::string::npos, "expected U,V but got " + s);
   return {static_cast<vidx_t>(std::stoll(s.substr(0, comma))),
           static_cast<vidx_t>(std::stoll(s.substr(comma + 1)))};
+}
+
+std::string us(double seconds) {
+  std::ostringstream os;
+  os << seconds * 1e6 << "us";
+  return os.str();
+}
+
+int run_query(const Args& args) {
+  const std::string path = args.get_or("store-path", "apsp_dist.bin");
+  const auto store = core::open_file_store(path);
+
+  service::QueryEngineOptions qopt;
+  qopt.cache_bytes =
+      static_cast<std::size_t>(args.get_int_or("cache-mb", 64)) << 20;
+  qopt.block_size = static_cast<vidx_t>(args.get_int_or("block", 256));
+  qopt.cache_shards = static_cast<int>(args.get_int_or("shards", 8));
+  qopt.max_threads = static_cast<int>(args.get_int_or("threads", 0));
+  const service::QueryEngine engine(*store, qopt);
+  std::cout << "store: " << path << " (n=" << store->n() << ", "
+            << (static_cast<std::uint64_t>(store->n()) * store->n() *
+                sizeof(dist_t) >> 10)
+            << " KiB)\ncache: " << (qopt.cache_bytes >> 20) << " MiB in "
+            << qopt.cache_shards << " shards, " << qopt.block_size
+            << "-wide blocks\n";
+
+  std::vector<service::Query> queries;
+  std::size_t inline_queries = 0;  // from --point/--row: echo each result
+  auto add_points = [&](const std::string& list) {
+    std::istringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ';')) {
+      const auto [u, v] = parse_pair(item);
+      queries.push_back({service::QueryKind::kPoint, u, v});
+    }
+  };
+  if (const auto p = args.get("point"); p.has_value()) {
+    add_points(*p);
+    inline_queries = queries.size();
+  }
+  if (const auto rws = args.get("row"); rws.has_value()) {
+    std::istringstream ss(*rws);
+    std::string item;
+    while (std::getline(ss, item, ';')) {
+      queries.push_back({service::QueryKind::kRow,
+                         static_cast<vidx_t>(std::stoll(item)), 0});
+    }
+    inline_queries = queries.size();
+  }
+  if (const auto batch = args.get("batch"); batch.has_value()) {
+    std::ifstream in(*batch);
+    GAPSP_CHECK(in.good(), "cannot open batch file " + *batch);
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto first = line.find_first_not_of(" \t");
+      if (first == std::string::npos || line[first] == '#') continue;
+      std::istringstream ls(line.substr(first));
+      std::string tok;
+      ls >> tok;
+      if (tok == "row") {
+        long long u = 0;
+        GAPSP_CHECK(static_cast<bool>(ls >> u), "bad batch line: " + line);
+        queries.push_back(
+            {service::QueryKind::kRow, static_cast<vidx_t>(u), 0});
+      } else if (tok.find(',') != std::string::npos) {
+        const auto [u, v] = parse_pair(tok);
+        queries.push_back({service::QueryKind::kPoint, u, v});
+      } else {
+        long long v = 0;
+        GAPSP_CHECK(static_cast<bool>(ls >> v), "bad batch line: " + line);
+        queries.push_back({service::QueryKind::kPoint,
+                           static_cast<vidx_t>(std::stoll(tok)),
+                           static_cast<vidx_t>(v)});
+      }
+    }
+  }
+  GAPSP_CHECK(!queries.empty(),
+              "nothing to serve: give --point, --row, or --batch");
+
+  const auto repeat = std::max<long long>(1, args.get_int_or("repeat", 1));
+  auto report = engine.run_batch(queries);
+  for (long long rep = 1; rep < repeat; ++rep) {
+    report = engine.run_batch(queries);  // cache counters accumulate
+  }
+  for (std::size_t i = 0; i < inline_queries; ++i) {
+    const auto& r = report.results[i];
+    if (r.query.kind == service::QueryKind::kPoint) {
+      std::cout << "dist(" << r.query.u << ", " << r.query.v << ") = ";
+      if (r.dist >= kInf) {
+        std::cout << "unreachable\n";
+      } else {
+        std::cout << r.dist << "\n";
+      }
+    } else {
+      vidx_t reachable = 0;
+      dist_t far = 0;
+      for (dist_t d : r.row) {
+        if (d < kInf) {
+          ++reachable;
+          far = std::max(far, d);
+        }
+      }
+      std::cout << "row " << r.query.u << ": " << reachable << "/"
+                << store->n() << " reachable, eccentricity " << far << "\n";
+    }
+  }
+
+  const auto& cs = report.cache;
+  std::cout << "batch: " << report.results.size() << " queries in "
+            << report.wall_seconds * 1e3 << " ms ("
+            << static_cast<long long>(report.qps) << " qps)\n"
+            << "latency: mean " << us(report.latency.mean_s) << ", p50 "
+            << us(report.latency.p50_s) << ", p95 " << us(report.latency.p95_s)
+            << ", max " << us(report.latency.max_s) << "\n"
+            << "cache: " << cs.hits << " hits, " << cs.misses << " misses ("
+            << cs.hit_rate() * 100.0 << "% hit rate), " << cs.evictions
+            << " evictions, " << (cs.bytes_cached >> 10) << " KiB of "
+            << (cs.capacity_bytes >> 10) << " KiB used\n";
+  return 0;
 }
 
 int run(const Args& args) {
@@ -377,6 +522,10 @@ int run(const Args& args) {
                        g.num_vertices() * sizeof(dist_t) / (1 << 20);
     std::cout << "distances: " << mib << " MiB -> " << *save << "\n";
   }
+  if (args.has("keep-store") && args.get_or("store", "ram") == "file") {
+    std::cout << "store kept: " << args.get_or("store-path", "apsp_dist.bin")
+              << " (serve it with: apsp_cli query --store-path ...)\n";
+  }
   if (const auto tpath = args.get("trace"); tpath.has_value()) {
     std::ofstream out(*tpath);
     GAPSP_CHECK(out.good(), "cannot open " + *tpath);
@@ -392,6 +541,18 @@ int run(const Args& args) {
 int main(int argc, char** argv) {
   try {
     const Args args(argc, argv);
+    if (!args.positional().empty() && args.positional().front() == "query") {
+      const auto unknown = args.unknown(
+          {"store-path", "point", "row", "batch", "cache-mb", "block",
+           "shards", "threads", "repeat"});
+      if (!unknown.empty()) {
+        std::cerr << "unknown query flag(s):";
+        for (const auto& f : unknown) std::cerr << " --" << f;
+        std::cerr << "\n";
+        return 2;
+      }
+      return run_query(args);
+    }
     const auto unknown = args.unknown(
         {"input", "generate", "seed", "algorithm", "device", "memory-mb",
          "components", "no-batching", "no-overlap", "no-dp",
