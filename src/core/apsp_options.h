@@ -74,6 +74,13 @@ struct ApspOptions {
   /// Transfer batching (accumulate N_row block-rows per D2H transfer).
   bool batch_transfers = true;
 
+  // ---- storage sink ----
+  /// Effective bytes per element the output stream moves: sizeof(dist_t)
+  /// for a raw store, sizeof(dist_t)/R once a block-compressed sink at
+  /// measured ratio R absorbs the stream. Scales the n² output term of the
+  /// Sec. IV-B transfer models so the selector sees the cheaper I/O.
+  double store_bytes_per_element = sizeof(dist_t);
+
   // ---- all algorithms ----
   /// Double-buffered compute/transfer overlap on extra streams through
   /// pinned staging (sim::StreamPipeline). Applies to all three algorithms:
@@ -164,6 +171,16 @@ struct ApspMetrics {
   /// Progress units (FW rounds / Johnson batches / boundary steps) skipped
   /// because a checkpoint restored them.
   long long resumed_progress = 0;
+
+  // Store compression (0 when no sink ran). Filled by the --keep-store
+  // compaction / `apsp_cli compact` sink, not by the solve loop — blocked
+  // FW rewrites every tile O(n_d) times, so compression happens only where
+  // bytes leave the hot loop for good (DESIGN.md §11).
+  std::size_t store_raw_bytes = 0;
+  std::size_t store_compressed_bytes = 0;
+  long long store_tiles = 0;
+  long long store_inf_tiles = 0;  ///< all-kInf tiles kept as directory entries
+  double store_compact_seconds = 0.0;
 };
 
 /// Result handle. Distances live in the DistStore the caller supplied; when

@@ -1,6 +1,6 @@
-#include "service/block_cache.h"
+#include "core/block_cache.h"
 
-namespace gapsp::service {
+namespace gapsp::core {
 
 BlockCache::BlockCache(std::size_t capacity_bytes, int shards)
     : capacity_bytes_(capacity_bytes) {
@@ -35,9 +35,11 @@ BlockData BlockCache::get_or_load(vidx_t row_block, vidx_t col_block,
 
   BlockData data = loader();
   GAPSP_CHECK(data != nullptr, "cache loader returned no block");
-  const std::size_t size = data->size() * sizeof(dist_t);
+  const bool negative = negative_ != nullptr && data == negative_;
+  const std::size_t size = negative ? 0 : data->size() * sizeof(dist_t);
 
   std::lock_guard<std::mutex> lk(s.mu);
+  if (negative) ++s.negative_loads;
   const auto it = s.index.find(key);
   if (it != s.index.end()) {
     // A racing thread loaded and published the same key first; serve its
@@ -45,12 +47,12 @@ BlockData BlockCache::get_or_load(vidx_t row_block, vidx_t col_block,
     s.lru.splice(s.lru.begin(), s.lru, it->second);
     return it->second->data;
   }
-  s.lru.push_front(Entry{key, data});
+  s.lru.push_front(Entry{key, data, size});
   s.index.emplace(key, s.lru.begin());
   s.bytes += size;
   while (s.bytes > shard_capacity_ && s.lru.size() > 1) {
     const Entry& victim = s.lru.back();
-    s.bytes -= victim.data->size() * sizeof(dist_t);
+    s.bytes -= victim.bytes;
     s.index.erase(victim.key);
     s.lru.pop_back();
     ++s.evictions;
@@ -66,6 +68,7 @@ CacheStats BlockCache::stats() const {
     out.hits += s.hits;
     out.misses += s.misses;
     out.evictions += s.evictions;
+    out.negative_loads += s.negative_loads;
     out.bytes_cached += s.bytes;
   }
   return out;
@@ -80,4 +83,4 @@ void BlockCache::clear() {
   }
 }
 
-}  // namespace gapsp::service
+}  // namespace gapsp::core

@@ -1,4 +1,4 @@
-// Block-granular read cache for the distance-oracle query service.
+// Block-granular read cache over a solved distance store.
 //
 // The solved n×n matrix is orders of magnitude larger than the input
 // (dist_store.h) and, for the file-backed store, lives on disk — a service
@@ -7,6 +7,18 @@
 // in a sharded LRU: per-shard locking keeps concurrent readers from
 // serializing on one global mutex, and a byte budget (not an entry count)
 // bounds host memory no matter how ragged the edge tiles are.
+//
+// Lives in core (it depends only on util) so both the query service
+// (service/query_engine.h) and path extraction (core/path_extract.h) read
+// through it instead of paying DistStore::at() per element.
+//
+// Negative-tile support: kInf-dominated matrices (road-like, disconnected)
+// are mostly tiles in which every element is kInf. A loader that recognizes
+// such a tile — from the compressed store's directory for free, or by
+// scanning what it just read — returns the one shared constant tile
+// registered via set_negative_tile(); entries backed by it charge zero
+// bytes against the budget, so a huge unreachable region never evicts real
+// data.
 #pragma once
 
 #include <cstdint>
@@ -19,13 +31,16 @@
 
 #include "util/common.h"
 
-namespace gapsp::service {
+namespace gapsp::core {
 
 /// Aggregate cache counters, summed over shards.
 struct CacheStats {
   long long hits = 0;
   long long misses = 0;
   long long evictions = 0;
+  /// Misses whose loader resolved to the shared all-kInf tile; those
+  /// entries are cached at zero byte cost.
+  long long negative_loads = 0;
   std::size_t bytes_cached = 0;
   std::size_t capacity_bytes = 0;
 
@@ -46,6 +61,11 @@ class BlockCache {
 
   BlockCache(const BlockCache&) = delete;
   BlockCache& operator=(const BlockCache&) = delete;
+
+  /// Registers the shared all-kInf tile. A loader returning exactly this
+  /// pointer marks its block negative: cached, but charged no bytes. Set it
+  /// before the first get_or_load and never change it mid-flight.
+  void set_negative_tile(BlockData tile) { negative_ = std::move(tile); }
 
   using Loader = std::function<BlockData()>;
 
@@ -68,6 +88,7 @@ class BlockCache {
   struct Entry {
     std::uint64_t key = 0;
     BlockData data;
+    std::size_t bytes = 0;  ///< charged size (0 for the negative tile)
   };
   struct Shard {
     mutable std::mutex mu;
@@ -77,6 +98,7 @@ class BlockCache {
     long long hits = 0;
     long long misses = 0;
     long long evictions = 0;
+    long long negative_loads = 0;
   };
 
   Shard& shard_of(std::uint64_t key);
@@ -84,6 +106,7 @@ class BlockCache {
   std::size_t capacity_bytes_;
   std::size_t shard_capacity_;
   std::vector<Shard> shards_;
+  BlockData negative_;
 };
 
-}  // namespace gapsp::service
+}  // namespace gapsp::core

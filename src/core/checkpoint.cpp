@@ -3,23 +3,30 @@
 #include <cstdio>
 #include <cstring>
 
+#include "core/compressed_store.h"
+
 namespace gapsp::core {
 namespace {
 
 constexpr char kMagic[8] = {'G', 'A', 'P', 'S', 'P', 'C', 'K', '1'};
+
+/// flags bit: the stored payload is a z1 frame (compressed_store.h) and
+/// must be decompressed on read. Boundary dist2/dist3 blobs are distance
+/// data with long kInf runs — compressing them cuts chaos-resume I/O.
+constexpr std::uint32_t kPayloadCompressed = 1u << 0;
 
 /// Fixed-size portion of the sidecar, written raw (checkpoints are consumed
 /// on the machine that wrote them, like CUDA's binary dumps).
 struct Header {
   char magic[8];
   std::uint32_t algorithm;
-  std::uint32_t pad;
+  std::uint32_t flags;
   std::uint64_t fingerprint;
   std::int64_t n;
   std::int64_t progress;
   std::int64_t aux0;
   std::int64_t aux1;
-  std::uint64_t payload_bytes;
+  std::uint64_t payload_bytes;  ///< bytes stored on disk (post-compression)
 };
 static_assert(sizeof(Header) == 64, "sidecar header layout drifted");
 
@@ -67,12 +74,23 @@ void write_checkpoint(const std::string& path, const Checkpoint& ck) {
   h.progress = ck.progress;
   h.aux0 = ck.aux0;
   h.aux1 = ck.aux1;
-  h.payload_bytes = ck.payload.size();
+  // Compress the payload at this sink when it pays for itself; a payload
+  // that random data defeats is stored raw so the sidecar never grows.
+  const std::vector<std::uint8_t>* body = &ck.payload;
+  std::vector<std::uint8_t> z;
+  if (!ck.payload.empty()) {
+    z = z1_compress(ck.payload.data(), ck.payload.size());
+    if (z.size() < ck.payload.size()) {
+      body = &z;
+      h.flags |= kPayloadCompressed;
+    }
+  }
+  h.payload_bytes = body->size();
   // Content checksum over header+payload so a torn write is detected on
   // read instead of resuming from garbage progress.
   std::uint64_t sum = fnv1a(&h, sizeof(h));
-  if (!ck.payload.empty()) {
-    sum = fnv1a(ck.payload.data(), ck.payload.size(), sum);
+  if (!body->empty()) {
+    sum = fnv1a(body->data(), body->size(), sum);
   }
 
   // Write to a sibling tmp file, then rename: the sidecar at `path` is
@@ -84,9 +102,8 @@ void write_checkpoint(const std::string& path, const Checkpoint& ck) {
     throw IoError("checkpoint: cannot open " + tmp + " for writing");
   }
   bool ok = std::fwrite(&h, sizeof(h), 1, file.f) == 1;
-  if (ok && !ck.payload.empty()) {
-    ok = std::fwrite(ck.payload.data(), 1, ck.payload.size(), file.f) ==
-         ck.payload.size();
+  if (ok && !body->empty()) {
+    ok = std::fwrite(body->data(), 1, body->size(), file.f) == body->size();
   }
   ok = ok && std::fwrite(&sum, sizeof(sum), 1, file.f) == 1;
   ok = ok && std::fflush(file.f) == 0;
@@ -129,6 +146,17 @@ bool read_checkpoint(const std::string& path, Checkpoint* ck) {
   std::uint64_t sum = fnv1a(&h, sizeof(h));
   if (!payload.empty()) sum = fnv1a(payload.data(), payload.size(), sum);
   if (sum != stored_sum) return false;  // torn/corrupt sidecar
+  if ((h.flags & ~kPayloadCompressed) != 0) return false;  // unknown flags
+  if ((h.flags & kPayloadCompressed) != 0) {
+    try {
+      std::vector<std::uint8_t> raw(static_cast<std::size_t>(
+          z1_raw_size(payload.data(), payload.size())));
+      z1_decompress(payload.data(), payload.size(), raw.data(), raw.size());
+      payload = std::move(raw);
+    } catch (const IoError&) {
+      return false;  // corrupt frame: start fresh, like any other damage
+    }
+  }
 
   ck->algorithm = h.algorithm;
   ck->fingerprint = h.fingerprint;

@@ -36,6 +36,8 @@ struct Checkpoint {
   std::int64_t aux1 = 0;
   /// Host-side intermediates not yet reflected in the store (boundary
   /// dist2 blobs after step 2, plus dist3 after step 3). Empty elsewhere.
+  /// Always uncompressed here: the sidecar stores it as a z1 frame
+  /// (compressed_store.h) when that is smaller, transparently to callers.
   std::vector<std::uint8_t> payload;
 };
 

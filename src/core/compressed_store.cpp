@@ -1,0 +1,558 @@
+#include "core/compressed_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "core/checkpoint.h"  // fnv1a
+#include "util/timer.h"
+
+namespace gapsp::core {
+namespace {
+
+// ---- z1 codec ----
+
+constexpr std::size_t kFrameHeaderBytes = 16;  // u64 raw_len + u64 checksum
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 65535;
+constexpr int kHashBits = 13;
+
+std::uint32_t load32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+std::size_t hash32(std::uint32_t v) {
+  return static_cast<std::size_t>((v * 2654435761u) >> (32 - kHashBits));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void put_len_extension(std::vector<std::uint8_t>& out, std::size_t rem) {
+  while (rem >= 255) {
+    out.push_back(255);
+    rem -= 255;
+  }
+  out.push_back(static_cast<std::uint8_t>(rem));
+}
+
+/// One sequence: literals then (unless final) a back-reference match.
+void emit_sequence(std::vector<std::uint8_t>& out, const std::uint8_t* lit,
+                   std::size_t nlit, std::size_t match_len,
+                   std::size_t offset) {
+  const std::size_t lit_nib = std::min<std::size_t>(nlit, 15);
+  std::size_t match_nib = 0;
+  if (match_len > 0) {
+    match_nib = std::min<std::size_t>(match_len - kMinMatch, 15);
+  }
+  out.push_back(static_cast<std::uint8_t>((lit_nib << 4) | match_nib));
+  if (lit_nib == 15) put_len_extension(out, nlit - 15);
+  out.insert(out.end(), lit, lit + nlit);
+  if (match_len == 0) return;  // final literal-only sequence: stream ends here
+  out.push_back(static_cast<std::uint8_t>(offset & 0xff));
+  out.push_back(static_cast<std::uint8_t>(offset >> 8));
+  if (match_nib == 15) put_len_extension(out, match_len - kMinMatch - 15);
+}
+
+[[noreturn]] void bad_frame(const char* what) {
+  throw IoError(std::string("z1 frame: ") + what);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> z1_compress(const void* src_v, std::size_t len) {
+  const auto* src = static_cast<const std::uint8_t*>(src_v);
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderBytes + len / 4 + 64);
+  GAPSP_CHECK(len < (1ull << 32) - 2, "z1 input too large");
+  put_u64(out, len);
+  put_u64(out, fnv1a(src, len));
+  if (len == 0) return out;
+
+  std::vector<std::uint32_t> table(1u << kHashBits, 0);  // position + 1
+  std::size_t pos = 0;
+  std::size_t lit_start = 0;
+  // Matches must not start within the last kMinMatch bytes (nothing to
+  // compare a 4-byte probe against); those trail out as final literals.
+  const std::size_t match_limit = len >= kMinMatch ? len - kMinMatch + 1 : 0;
+  while (pos < match_limit) {
+    std::size_t match_pos = 0;
+    bool found = false;
+    // Fast path for 4-byte-periodic runs: a tile of kInf (or any constant
+    // dist_t region) matches itself at offset 4, so long runs are consumed
+    // without probing the hash table at every byte.
+    if (pos >= 4 && load32(src + pos) == load32(src + pos - 4)) {
+      match_pos = pos - 4;
+      found = true;
+    } else {
+      const std::uint32_t v = load32(src + pos);
+      const std::size_t h = hash32(v);
+      const std::uint32_t cand = table[h];
+      table[h] = static_cast<std::uint32_t>(pos + 1);
+      if (cand != 0) {
+        const std::size_t c = cand - 1;
+        if (pos - c <= kMaxOffset && load32(src + c) == v) {
+          match_pos = c;
+          found = true;
+        }
+      }
+    }
+    if (!found) {
+      ++pos;
+      continue;
+    }
+    std::size_t match_len = kMinMatch;
+    while (pos + match_len < len &&
+           src[match_pos + match_len] == src[pos + match_len]) {
+      ++match_len;
+    }
+    emit_sequence(out, src + lit_start, pos - lit_start, match_len,
+                  pos - match_pos);
+    // Seed the table at the match head so the next occurrence of this
+    // content is findable; skipping the interior keeps compression O(len).
+    if (pos + match_len < match_limit) {
+      table[hash32(load32(src + pos))] = static_cast<std::uint32_t>(pos + 1);
+    }
+    pos += match_len;
+    lit_start = pos;
+  }
+  // The stream must end with a literal-only sequence (possibly empty): the
+  // decoder recognizes the end of the frame as "input exhausted right after
+  // the literals".
+  emit_sequence(out, src + lit_start, len - lit_start, 0, 0);
+  return out;
+}
+
+std::uint64_t z1_raw_size(const std::uint8_t* frame, std::size_t frame_len) {
+  if (frame_len < kFrameHeaderBytes) bad_frame("truncated header");
+  return get_u64(frame);
+}
+
+void z1_decompress(const std::uint8_t* frame, std::size_t frame_len,
+                   void* dst_v, std::size_t dst_len) {
+  if (frame_len < kFrameHeaderBytes) bad_frame("truncated header");
+  const std::uint64_t raw_len = get_u64(frame);
+  const std::uint64_t want_sum = get_u64(frame + 8);
+  if (raw_len != dst_len) bad_frame("destination size mismatch");
+  auto* dst = static_cast<std::uint8_t*>(dst_v);
+  const std::uint8_t* ip = frame + kFrameHeaderBytes;
+  const std::uint8_t* const end = frame + frame_len;
+  std::size_t op = 0;
+
+  // Bounds-checked 255-continuation length reader. The accumulated value is
+  // capped by the output that could still legally be produced, so a
+  // malicious run of 0xff bytes cannot overflow the accumulator.
+  const auto read_extension = [&](std::size_t base) -> std::size_t {
+    std::size_t v = base;
+    while (true) {
+      if (ip >= end) bad_frame("truncated length");
+      const std::uint8_t b = *ip++;
+      v += b;
+      if (v > dst_len) bad_frame("length exceeds output");
+      if (b != 255) return v;
+    }
+  };
+
+  if (raw_len == 0) {
+    if (ip != end) bad_frame("trailing bytes after empty frame");
+    return;
+  }
+  while (true) {
+    if (ip >= end) bad_frame("missing final sequence");
+    const std::uint8_t token = *ip++;
+    std::size_t nlit = token >> 4;
+    if (nlit == 15) nlit = read_extension(15);
+    if (nlit > static_cast<std::size_t>(end - ip)) bad_frame("literals overrun input");
+    if (nlit > dst_len - op) bad_frame("literals overrun output");
+    std::memcpy(dst + op, ip, nlit);
+    ip += nlit;
+    op += nlit;
+    if (ip == end) break;  // final sequence carries no match
+    if (end - ip < 2) bad_frame("truncated offset");
+    const std::size_t offset =
+        static_cast<std::size_t>(ip[0]) | (static_cast<std::size_t>(ip[1]) << 8);
+    ip += 2;
+    if (offset == 0 || offset > op) bad_frame("offset outside produced output");
+    std::size_t match_len = (token & 0x0f) + kMinMatch;
+    if ((token & 0x0f) == 15) match_len = read_extension(match_len);
+    if (match_len > dst_len - op) bad_frame("match overruns output");
+    // Byte-by-byte on purpose: offsets shorter than the match length copy
+    // the run they are producing (the kInf fast path emits offset 4).
+    const std::uint8_t* from = dst + op - offset;
+    for (std::size_t i = 0; i < match_len; ++i) dst[op + i] = from[i];
+    op += match_len;
+  }
+  if (op != raw_len) bad_frame("short output");
+  if (fnv1a(dst, dst_len) != want_sum) bad_frame("content checksum mismatch");
+}
+
+// ---- GAPSPZ1 store ----
+
+namespace {
+
+constexpr char kZMagic[8] = {'G', 'A', 'P', 'S', 'P', 'Z', '1', '\0'};
+
+struct ZHeader {
+  char magic[8];
+  std::int64_t n;
+  std::int64_t tile;
+  std::int64_t tiles_per_side;
+  std::uint64_t payload_bytes;  ///< sum of directory entry sizes
+  std::uint64_t dir_checksum;   ///< fnv1a over the directory array
+  std::uint64_t reserved[2];
+};
+static_assert(sizeof(ZHeader) == 64, "GAPSPZ1 header layout drifted");
+
+struct ZDirEntry {
+  std::uint64_t offset = 0;  ///< absolute file offset of the tile's frame
+  std::uint64_t bytes = 0;   ///< 0 = all-kInf tile, nothing stored
+};
+static_assert(sizeof(ZDirEntry) == 16, "GAPSPZ1 directory layout drifted");
+
+/// RAII stdio handle (mirrors checkpoint.cpp) so error paths cannot leak.
+struct File {
+  std::FILE* f = nullptr;
+  explicit File(std::FILE* f) : f(f) {}
+  ~File() {
+    if (f != nullptr) std::fclose(f);
+  }
+  std::FILE* release() {
+    std::FILE* out = f;
+    f = nullptr;
+    return out;
+  }
+};
+
+bool all_inf(const dist_t* p, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (p[i] != kInf) return false;
+  }
+  return true;
+}
+
+void seek_to(std::FILE* f, std::uint64_t off, const std::string& path) {
+  if (std::fseek(f, static_cast<long>(off), SEEK_SET) != 0) {
+    throw IoError("seek failed in " + path);
+  }
+}
+
+/// Header + validated directory, shared by the reader and the info probe.
+struct ZIndex {
+  ZHeader h{};
+  std::vector<ZDirEntry> dir;
+  std::uint64_t file_bytes = 0;
+};
+
+ZIndex read_index(std::FILE* f, const std::string& path) {
+  ZIndex ix;
+  if (std::fread(&ix.h, sizeof(ix.h), 1, f) != 1) {
+    throw IoError(path + ": short read of GAPSPZ1 header");
+  }
+  if (std::memcmp(ix.h.magic, kZMagic, sizeof(kZMagic)) != 0) {
+    throw IoError(path + ": not a GAPSPZ1 store");
+  }
+  const std::int64_t n = ix.h.n;
+  const std::int64_t tile = ix.h.tile;
+  const std::int64_t tps = ix.h.tiles_per_side;
+  if (n <= 0 || tile <= 0 || tile > n || tps != (n + tile - 1) / tile) {
+    throw IoError(path + ": corrupt GAPSPZ1 geometry");
+  }
+  const auto num_tiles =
+      static_cast<std::uint64_t>(tps) * static_cast<std::uint64_t>(tps);
+  ix.dir.resize(static_cast<std::size_t>(num_tiles));
+  if (std::fread(ix.dir.data(), sizeof(ZDirEntry), ix.dir.size(), f) !=
+      ix.dir.size()) {
+    throw IoError(path + ": short read of GAPSPZ1 directory");
+  }
+  if (fnv1a(ix.dir.data(), ix.dir.size() * sizeof(ZDirEntry)) !=
+      ix.h.dir_checksum) {
+    throw IoError(path + ": GAPSPZ1 directory checksum mismatch");
+  }
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    throw IoError("seek failed in " + path);
+  }
+  const long fend = std::ftell(f);
+  if (fend < 0) throw IoError("tell failed in " + path);
+  ix.file_bytes = static_cast<std::uint64_t>(fend);
+  const std::uint64_t data_start =
+      sizeof(ZHeader) + num_tiles * sizeof(ZDirEntry);
+  std::uint64_t payload = 0;
+  for (const ZDirEntry& e : ix.dir) {
+    if (e.bytes == 0) continue;
+    if (e.offset < data_start || e.offset + e.bytes < e.offset ||
+        e.offset + e.bytes > ix.file_bytes) {
+      throw IoError(path + ": GAPSPZ1 directory entry out of bounds");
+    }
+    payload += e.bytes;
+  }
+  if (payload != ix.h.payload_bytes) {
+    throw IoError(path + ": GAPSPZ1 payload size mismatch");
+  }
+  return ix;
+}
+
+class CompressedStore final : public DistStore {
+ public:
+  CompressedStore(ZIndex ix, std::FILE* f, std::string path)
+      : DistStore(static_cast<vidx_t>(ix.h.n)),
+        ix_(std::move(ix)),
+        file_(f),
+        path_(std::move(path)),
+        tile_(static_cast<vidx_t>(ix_.h.tile)),
+        tps_(static_cast<vidx_t>(ix_.h.tiles_per_side)) {}
+
+  ~CompressedStore() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  void write_block(vidx_t, vidx_t, vidx_t, vidx_t, const dist_t*,
+                   std::size_t) override {
+    throw IoError("compressed store " + path_ + " is read-only");
+  }
+
+  void read_block(vidx_t row0, vidx_t col0, vidx_t rows, vidx_t cols,
+                  dist_t* dst, std::size_t dst_ld) const override {
+    check_block(row0, col0, rows, cols);
+    if (rows == 0 || cols == 0) return;
+    for (vidx_t bi = row0 / tile_; bi * tile_ < row0 + rows; ++bi) {
+      for (vidx_t bj = col0 / tile_; bj * tile_ < col0 + cols; ++bj) {
+        // Intersection of the request with tile (bi, bj).
+        const vidx_t r0 = std::max(row0, bi * tile_);
+        const vidx_t r1 = std::min<vidx_t>(row0 + rows, (bi + 1) * tile_);
+        const vidx_t c0 = std::max(col0, bj * tile_);
+        const vidx_t c1 = std::min<vidx_t>(col0 + cols, (bj + 1) * tile_);
+        const vidx_t tile_cols = std::min<vidx_t>(tile_, n() - bj * tile_);
+        const std::size_t t = tile_index(bi, bj);
+        if (ix_.dir[t].bytes == 0) {
+          for (vidx_t r = r0; r < r1; ++r) {
+            std::fill_n(dst + static_cast<std::size_t>(r - row0) * dst_ld +
+                            static_cast<std::size_t>(c0 - col0),
+                        static_cast<std::size_t>(c1 - c0), kInf);
+          }
+          continue;
+        }
+        const std::vector<dist_t>& buf = load_tile(bi, bj);
+        for (vidx_t r = r0; r < r1; ++r) {
+          std::copy_n(buf.data() +
+                          static_cast<std::size_t>(r - bi * tile_) *
+                              static_cast<std::size_t>(tile_cols) +
+                          static_cast<std::size_t>(c0 - bj * tile_),
+                      static_cast<std::size_t>(c1 - c0),
+                      dst + static_cast<std::size_t>(r - row0) * dst_ld +
+                          static_cast<std::size_t>(c0 - col0));
+        }
+      }
+    }
+  }
+
+  vidx_t tile_size() const override { return tile_; }
+
+  bool block_known_inf(vidx_t row0, vidx_t col0, vidx_t rows,
+                       vidx_t cols) const override {
+    check_block(row0, col0, rows, cols);
+    if (rows == 0 || cols == 0) return true;
+    for (vidx_t bi = row0 / tile_; bi * tile_ < row0 + rows; ++bi) {
+      for (vidx_t bj = col0 / tile_; bj * tile_ < col0 + cols; ++bj) {
+        if (ix_.dir[tile_index(bi, bj)].bytes != 0) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::size_t tile_index(vidx_t bi, vidx_t bj) const {
+    return static_cast<std::size_t>(bi) * static_cast<std::size_t>(tps_) +
+           static_cast<std::size_t>(bj);
+  }
+
+  /// Decompresses tile (bi, bj) into the single-tile memo. Repeated reads
+  /// from one tile (a row sweep, an at() loop) decode it once; callers
+  /// wanting real caching put a BlockCache in front (QueryEngine does).
+  const std::vector<dist_t>& load_tile(vidx_t bi, vidx_t bj) const {
+    const std::size_t t = tile_index(bi, bj);
+    if (memo_tile_ == static_cast<std::int64_t>(t)) return memo_;
+    const ZDirEntry& e = ix_.dir[t];
+    comp_.resize(static_cast<std::size_t>(e.bytes));
+    seek_to(file_, e.offset, path_);
+    if (std::fread(comp_.data(), 1, comp_.size(), file_) != comp_.size()) {
+      throw IoError("short read from " + path_);
+    }
+    const vidx_t trows = std::min<vidx_t>(tile_, n() - bi * tile_);
+    const vidx_t tcols = std::min<vidx_t>(tile_, n() - bj * tile_);
+    const std::size_t elems =
+        static_cast<std::size_t>(trows) * static_cast<std::size_t>(tcols);
+    if (z1_raw_size(comp_.data(), comp_.size()) != elems * sizeof(dist_t)) {
+      throw IoError(path_ + ": tile frame size does not match geometry");
+    }
+    memo_.resize(elems);
+    memo_tile_ = -1;  // invalid while the buffer is being overwritten
+    z1_decompress(comp_.data(), comp_.size(), memo_.data(),
+                  elems * sizeof(dist_t));
+    memo_tile_ = static_cast<std::int64_t>(t);
+    return memo_;
+  }
+
+  ZIndex ix_;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  vidx_t tile_ = 0;
+  vidx_t tps_ = 0;
+  // One stateful stream, like FileStore: concurrent readers must serialize.
+  mutable std::vector<std::uint8_t> comp_;
+  mutable std::vector<dist_t> memo_;
+  mutable std::int64_t memo_tile_ = -1;
+};
+
+}  // namespace
+
+StoreCompactionStats write_compressed_store(const DistStore& src,
+                                            const std::string& out_path,
+                                            vidx_t tile) {
+  const vidx_t n = src.n();
+  GAPSP_CHECK(n > 0, "cannot compress an empty store");
+  GAPSP_CHECK(tile > 0, "tile side must be positive");
+  tile = std::min(tile, n);
+  const vidx_t tps = (n + tile - 1) / tile;
+
+  Timer timer;
+  StoreCompactionStats stats;
+  stats.raw_bytes = static_cast<std::uint64_t>(n) *
+                    static_cast<std::uint64_t>(n) * sizeof(dist_t);
+
+  ZHeader h{};
+  std::memcpy(h.magic, kZMagic, sizeof(kZMagic));
+  h.n = n;
+  h.tile = tile;
+  h.tiles_per_side = tps;
+  std::vector<ZDirEntry> dir(static_cast<std::size_t>(tps) *
+                             static_cast<std::size_t>(tps));
+
+  const std::string tmp = out_path + ".ztmp";
+  File file(std::fopen(tmp.c_str(), "wb"));
+  if (file.f == nullptr) {
+    throw IoError("cannot open " + tmp + " for writing");
+  }
+  const auto write_all = [&](const void* p, std::size_t bytes) {
+    if (bytes != 0 && std::fwrite(p, 1, bytes, file.f) != bytes) {
+      std::remove(tmp.c_str());
+      throw IoError("short write to " + tmp);
+    }
+  };
+  try {
+    // Placeholder header+directory; rewritten once the offsets are known.
+    write_all(&h, sizeof(h));
+    write_all(dir.data(), dir.size() * sizeof(ZDirEntry));
+    std::uint64_t offset = sizeof(ZHeader) + dir.size() * sizeof(ZDirEntry);
+    std::vector<dist_t> buf;
+    for (vidx_t bi = 0; bi < tps; ++bi) {
+      for (vidx_t bj = 0; bj < tps; ++bj) {
+        const vidx_t rows = std::min<vidx_t>(tile, n - bi * tile);
+        const vidx_t cols = std::min<vidx_t>(tile, n - bj * tile);
+        const std::size_t elems =
+            static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+        buf.resize(elems);
+        src.read_block(bi * tile, bj * tile, rows, cols, buf.data(),
+                       static_cast<std::size_t>(cols));
+        ++stats.tiles;
+        ZDirEntry& e = dir[static_cast<std::size_t>(bi) * tps + bj];
+        if (all_inf(buf.data(), elems)) {
+          ++stats.inf_tiles;
+          continue;  // zero-length entry: the directory is the payload
+        }
+        const auto frame = z1_compress(buf.data(), elems * sizeof(dist_t));
+        e.offset = offset;
+        e.bytes = frame.size();
+        offset += frame.size();
+        h.payload_bytes += frame.size();
+        write_all(frame.data(), frame.size());
+      }
+    }
+    h.dir_checksum = fnv1a(dir.data(), dir.size() * sizeof(ZDirEntry));
+    stats.compressed_bytes = offset;
+    seek_to(file.f, 0, tmp);
+    write_all(&h, sizeof(h));
+    write_all(dir.data(), dir.size() * sizeof(ZDirEntry));
+    if (std::fflush(file.f) != 0) {
+      throw IoError("flush failed for " + tmp);
+    }
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+  const bool closed = std::fclose(file.release()) == 0;
+  if (!closed) {
+    std::remove(tmp.c_str());
+    throw IoError("close failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), out_path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError("cannot rename " + tmp + " to " + out_path);
+  }
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+StoreCompactionStats compact_store(const std::string& raw_path,
+                                   const std::string& out_path, vidx_t tile) {
+  if (is_compressed_store(raw_path)) {
+    throw IoError(raw_path + " is already a GAPSPZ1 compressed store");
+  }
+  const auto src = open_file_store(raw_path);
+  return write_compressed_store(*src, out_path, tile);
+}
+
+bool is_compressed_store(const std::string& path) {
+  File file(std::fopen(path.c_str(), "rb"));
+  if (file.f == nullptr) return false;
+  char magic[8] = {};
+  if (std::fread(magic, 1, sizeof(magic), file.f) != sizeof(magic)) {
+    return false;
+  }
+  return std::memcmp(magic, kZMagic, sizeof(kZMagic)) == 0;
+}
+
+CompressedStoreInfo compressed_store_info(const std::string& path) {
+  File file(std::fopen(path.c_str(), "rb"));
+  if (file.f == nullptr) {
+    throw IoError("cannot open dist store file " + path);
+  }
+  const ZIndex ix = read_index(file.f, path);
+  CompressedStoreInfo info;
+  info.n = static_cast<vidx_t>(ix.h.n);
+  info.tile = static_cast<vidx_t>(ix.h.tile);
+  info.tiles_per_side = static_cast<vidx_t>(ix.h.tiles_per_side);
+  info.file_bytes = ix.file_bytes;
+  info.raw_bytes = static_cast<std::uint64_t>(ix.h.n) *
+                   static_cast<std::uint64_t>(ix.h.n) * sizeof(dist_t);
+  info.tiles = static_cast<long long>(ix.dir.size());
+  for (const ZDirEntry& e : ix.dir) {
+    if (e.bytes == 0) ++info.inf_tiles;
+  }
+  return info;
+}
+
+std::unique_ptr<DistStore> open_compressed_store(const std::string& path) {
+  File file(std::fopen(path.c_str(), "rb"));
+  if (file.f == nullptr) {
+    throw IoError("cannot open dist store file " + path);
+  }
+  ZIndex ix = read_index(file.f, path);
+  return std::make_unique<CompressedStore>(std::move(ix), file.release(),
+                                           path);
+}
+
+std::unique_ptr<DistStore> open_store(const std::string& path) {
+  return is_compressed_store(path) ? open_compressed_store(path)
+                                   : open_file_store(path);
+}
+
+}  // namespace gapsp::core

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <limits>
 #include <map>
 #include <mutex>
 #include <vector>
 
+#include "core/checkpoint.h"  // fnv1a
 #include "core/dist_store.h"
 #include "core/ooc_fw.h"
 #include "core/ooc_johnson.h"
@@ -15,24 +18,32 @@
 
 namespace gapsp::core {
 
-double fw_transfer_model(vidx_t n, const sim::DeviceSpec& spec, bool overlap) {
+double fw_transfer_model(vidx_t n, const sim::DeviceSpec& spec, bool overlap,
+                         double out_bytes_per_element) {
   const vidx_t b = fw_block_size(spec, n, fw_resident_blocks(overlap));
   const double nd = std::ceil(static_cast<double>(n) / b);
+  // Working tiles (3b²) bounce over the device link at the raw element
+  // size; only the n² output stream lands in the (possibly compressed)
+  // store sink.
   const double bytes =
-      nd * sizeof(dist_t) *
-      (3.0 * static_cast<double>(b) * b + static_cast<double>(n) * n);
+      nd * (3.0 * sizeof(dist_t) * static_cast<double>(b) * b +
+            out_bytes_per_element * static_cast<double>(n) * n);
   return bytes / spec.link_bandwidth;
 }
 
-double johnson_transfer_model(vidx_t n, const sim::DeviceSpec& spec) {
-  return sizeof(dist_t) * static_cast<double>(n) * n / spec.link_bandwidth;
+double johnson_transfer_model(vidx_t n, const sim::DeviceSpec& spec,
+                              double out_bytes_per_element) {
+  return out_bytes_per_element * static_cast<double>(n) * n /
+         spec.link_bandwidth;
 }
 
 double boundary_transfer_model(const BoundaryPlan& plan, vidx_t n,
-                               const sim::DeviceSpec& spec) {
+                               const sim::DeviceSpec& spec,
+                               double out_bytes_per_element) {
   // Output volume is n² either way; batching turns it into ~k/N_row large
   // transfers. Model the transfer count from the staging capacity.
-  const double total_bytes = sizeof(dist_t) * static_cast<double>(n) * n;
+  const double total_bytes =
+      out_bytes_per_element * static_cast<double>(n) * n;
   double transfers = static_cast<double>(plan.k) * plan.k;  // naive fallback
   if (plan.staging_rows > 0) {
     transfers = std::ceil(static_cast<double>(n) / plan.staging_rows);
@@ -178,27 +189,169 @@ Calibration run_calibration(const ApspOptions& base) {
 
 }  // namespace
 
-const Calibration& calibrate(const ApspOptions& opts) {
+namespace {
+
+std::mutex& calibration_mutex() {
   static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, Calibration>& calibration_table() {
   static std::map<std::string, Calibration> cache;
+  return cache;
+}
+
+long long g_calibration_runs = 0;  // guarded by calibration_mutex()
+
+constexpr char kCalMagic[8] = {'G', 'A', 'P', 'S', 'C', 'A', 'L', '1'};
+
+}  // namespace
+
+std::string calibration_cache_key(const ApspOptions& opts) {
   // The probe runs execute real (simulated) solves, so every option that
   // changes their cost must be part of the key — keying on the device alone
   // would let two configs on the same device silently share stale
   // calibrations (e.g. overlap on/off changes block sizes and hidden
   // transfer time, the kernel variant changes measured kernel seconds).
-  const std::string key =
-      opts.device.name + "/" + std::to_string(opts.device.memory_bytes) +
-      "/ov" + std::to_string(opts.overlap_transfers ? 1 : 0) + "/bt" +
-      std::to_string(opts.batch_transfers ? 1 : 0) + "/kv" +
-      std::to_string(static_cast<int>(opts.kernel_variant)) + "/qf" +
-      std::to_string(opts.johnson_queue_factor) + "/ft" +
-      std::to_string(opts.fw_tile);
-  std::lock_guard<std::mutex> lk(mu);
+  return opts.device.name + "/" + std::to_string(opts.device.memory_bytes) +
+         "/ov" + std::to_string(opts.overlap_transfers ? 1 : 0) + "/bt" +
+         std::to_string(opts.batch_transfers ? 1 : 0) + "/kv" +
+         std::to_string(static_cast<int>(opts.kernel_variant)) + "/qf" +
+         std::to_string(opts.johnson_queue_factor) + "/ft" +
+         std::to_string(opts.fw_tile);
+}
+
+const Calibration& calibrate(const ApspOptions& opts) {
+  const std::string key = calibration_cache_key(opts);
+  std::lock_guard<std::mutex> lk(calibration_mutex());
+  auto& cache = calibration_table();
   auto it = cache.find(key);
   if (it == cache.end()) {
+    ++g_calibration_runs;
     it = cache.emplace(key, run_calibration(opts)).first;
   }
   return it->second;
+}
+
+bool save_calibration(const ApspOptions& opts, const std::string& path) {
+  const std::string key = calibration_cache_key(opts);
+  Calibration cal;
+  {
+    std::lock_guard<std::mutex> lk(calibration_mutex());
+    const auto it = calibration_table().find(key);
+    if (it == calibration_table().end()) return false;
+    cal = it->second;
+  }
+  // Same-machine binary sidecar, checksummed like GAPSPCK1: the table is a
+  // cache, so any doubt on read just means re-running the probes.
+  std::vector<std::uint8_t> buf;
+  const auto put = [&buf](const void* p, std::size_t bytes) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf.insert(buf.end(), b, b + bytes);
+  };
+  put(kCalMagic, sizeof(kCalMagic));
+  const std::uint64_t key_len = key.size();
+  put(&key_len, sizeof(key_len));
+  put(key.data(), key.size());
+  put(&cal.fw_t0, sizeof(cal.fw_t0));
+  const std::int64_t fw_n0 = cal.fw_n0;
+  put(&fw_n0, sizeof(fw_n0));
+  put(&cal.fw_exponent, sizeof(cal.fw_exponent));
+  put(&cal.bnd_t0, sizeof(cal.bnd_t0));
+  const std::int64_t bnd_n0 = cal.bnd_n0;
+  put(&bnd_n0, sizeof(bnd_n0));
+  put(&cal.bnd_exponent, sizeof(cal.bnd_exponent));
+  const std::uint64_t buckets = cal.c_unit.size();
+  put(&buckets, sizeof(buckets));
+  put(cal.c_unit.data(), cal.c_unit.size() * sizeof(double));
+  const std::uint64_t sum = fnv1a(buf.data(), buf.size());
+  put(&sum, sizeof(sum));
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw IoError("calibration: cannot open " + tmp + " for writing");
+  }
+  bool ok = std::fwrite(buf.data(), 1, buf.size(), f) == buf.size();
+  ok = ok && std::fflush(f) == 0;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError("calibration: short write to " + tmp);
+  }
+  return true;
+}
+
+bool load_calibration(const ApspOptions& opts, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;  // no sidecar: calibrate() will probe
+  std::vector<std::uint8_t> buf;
+  std::uint8_t chunk[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    buf.insert(buf.end(), chunk, chunk + got);
+  }
+  std::fclose(f);
+
+  std::size_t pos = 0;
+  const auto take = [&](void* p, std::size_t bytes) {
+    if (buf.size() - pos < bytes) return false;
+    std::memcpy(p, buf.data() + pos, bytes);
+    pos += bytes;
+    return true;
+  };
+  char magic[8];
+  if (buf.size() < sizeof(std::uint64_t) ||
+      !take(magic, sizeof(magic)) ||
+      std::memcmp(magic, kCalMagic, sizeof(kCalMagic)) != 0) {
+    return false;
+  }
+  const std::size_t body = buf.size() - sizeof(std::uint64_t);
+  std::uint64_t stored_sum = 0;
+  std::memcpy(&stored_sum, buf.data() + body, sizeof(stored_sum));
+  if (fnv1a(buf.data(), body) != stored_sum) return false;
+
+  std::uint64_t key_len = 0;
+  if (!take(&key_len, sizeof(key_len)) || key_len > body - pos) return false;
+  std::string key(reinterpret_cast<const char*>(buf.data() + pos),
+                  static_cast<std::size_t>(key_len));
+  pos += static_cast<std::size_t>(key_len);
+  if (key != calibration_cache_key(opts)) return false;  // other config
+
+  Calibration cal;
+  std::int64_t fw_n0 = 0, bnd_n0 = 0;
+  std::uint64_t buckets = 0;
+  if (!take(&cal.fw_t0, sizeof(cal.fw_t0)) ||
+      !take(&fw_n0, sizeof(fw_n0)) ||
+      !take(&cal.fw_exponent, sizeof(cal.fw_exponent)) ||
+      !take(&cal.bnd_t0, sizeof(cal.bnd_t0)) ||
+      !take(&bnd_n0, sizeof(bnd_n0)) ||
+      !take(&cal.bnd_exponent, sizeof(cal.bnd_exponent)) ||
+      !take(&buckets, sizeof(buckets)) ||
+      buckets > (body - pos) / sizeof(double)) {
+    return false;
+  }
+  cal.fw_n0 = static_cast<vidx_t>(fw_n0);
+  cal.bnd_n0 = static_cast<vidx_t>(bnd_n0);
+  cal.c_unit.resize(static_cast<std::size_t>(buckets));
+  if (!take(cal.c_unit.data(), cal.c_unit.size() * sizeof(double)) ||
+      pos != body) {
+    return false;
+  }
+
+  std::lock_guard<std::mutex> lk(calibration_mutex());
+  calibration_table()[key] = std::move(cal);
+  return true;
+}
+
+void clear_calibration_cache() {
+  std::lock_guard<std::mutex> lk(calibration_mutex());
+  calibration_table().clear();
+}
+
+long long calibration_runs() {
+  std::lock_guard<std::mutex> lk(calibration_mutex());
+  return g_calibration_runs;
 }
 
 CostBreakdown estimate_fw(const graph::CsrGraph& g, const ApspOptions& opts) {
@@ -208,7 +361,8 @@ CostBreakdown estimate_fw(const graph::CsrGraph& g, const ApspOptions& opts) {
   CostBreakdown cost;
   cost.compute_s = cal.fw_t0 * std::pow(scale, cal.fw_exponent);
   cost.transfer_s =
-      fw_transfer_model(g.num_vertices(), opts.device, opts.overlap_transfers);
+      fw_transfer_model(g.num_vertices(), opts.device, opts.overlap_transfers,
+                        opts.store_bytes_per_element);
   cost.overlapped = opts.overlap_transfers;
   return cost;
 }
@@ -257,7 +411,8 @@ CostBreakdown estimate_johnson(const graph::CsrGraph& g,
   CostBreakdown cost;
   cost.compute_s = sample.kernel_seconds * static_cast<double>(nb) /
                    static_cast<double>(std::max(1, sample.sampled));
-  cost.transfer_s = johnson_transfer_model(g.num_vertices(), opts.device);
+  cost.transfer_s = johnson_transfer_model(g.num_vertices(), opts.device,
+                                           opts.store_bytes_per_element);
   cost.overlapped = opts.overlap_transfers;
   return cost;
 }
@@ -296,7 +451,8 @@ CostBreakdown estimate_boundary(const graph::CsrGraph& g,
     }
     cost.compute_s = boundary_nop(n, plan.k, b) * cal.c_unit[bucket];
   }
-  cost.transfer_s = boundary_transfer_model(plan, n, opts.device);
+  cost.transfer_s = boundary_transfer_model(plan, n, opts.device,
+                                            opts.store_bytes_per_element);
   // Overlap only helps when the batched D2H path is actually in use.
   cost.overlapped = opts.overlap_transfers && opts.batch_transfers &&
                     plan.staging_rows > 0;

@@ -13,19 +13,28 @@
 namespace gapsp::core {
 
 // ---- Transfer models (Sec. IV-B1) ----
+//
+// Each model takes `out_bytes_per_element`, the effective per-element cost
+// of the n² output stream (ApspOptions::store_bytes_per_element): a
+// block-compressed sink at ratio R shrinks it to sizeof(dist_t)/R. Working
+// tiles that bounce to the device and back (FW's 3b² term) stay at the raw
+// element size — only the stream that lands in the store compresses.
 
-/// Floyd–Warshall: T = n_d · W · (3b² + n²) / TH. With `overlap` the block
+/// Floyd–Warshall: T = n_d · (W·3b² + w·n²) / TH. With `overlap` the block
 /// size comes from the five-resident-block pipelined schedule (smaller b,
 /// larger n_d — the volume cost of double buffering).
 double fw_transfer_model(vidx_t n, const sim::DeviceSpec& spec,
-                         bool overlap = false);
+                         bool overlap = false,
+                         double out_bytes_per_element = sizeof(dist_t));
 
-/// Johnson: T = W · n² / TH.
-double johnson_transfer_model(vidx_t n, const sim::DeviceSpec& spec);
+/// Johnson: T = w · n² / TH.
+double johnson_transfer_model(vidx_t n, const sim::DeviceSpec& spec,
+                              double out_bytes_per_element = sizeof(dist_t));
 
 /// Boundary: (k / N_row) transfers of S_rem bytes each.
 double boundary_transfer_model(const BoundaryPlan& plan, vidx_t n,
-                               const sim::DeviceSpec& spec);
+                               const sim::DeviceSpec& spec,
+                               double out_bytes_per_element = sizeof(dist_t));
 
 // ---- Compute models (Sec. IV-B2) ----
 
@@ -54,6 +63,28 @@ struct Calibration {
 /// Runs the calibration workloads (cached per device name+memory, so the
 /// cost is paid once per process per configuration).
 const Calibration& calibrate(const ApspOptions& opts);
+
+/// The in-process cache key for `opts`: every option that changes what the
+/// probe runs measure. Also the key a persisted table is matched against.
+std::string calibration_cache_key(const ApspOptions& opts);
+
+/// Serializes the cached calibration for `opts` to `path` (a "GAPSPCAL1"
+/// sidecar, atomic tmp+rename). Returns false without touching the file
+/// when calibrate() has not run for this configuration yet. The CLI drops
+/// one next to a kept store so a serving process skips the warm-up solves.
+bool save_calibration(const ApspOptions& opts, const std::string& path);
+
+/// Seeds the in-process cache from `path`. Returns false (cache untouched)
+/// when the file is missing, corrupt, or keyed for a different
+/// configuration; true means the next calibrate() is a cache hit.
+bool load_calibration(const ApspOptions& opts, const std::string& path);
+
+/// Drops every cached calibration (test hook for the persistence path).
+void clear_calibration_cache();
+
+/// Number of full calibration probe runs this process has executed; tests
+/// assert a load_calibration() really skips the probes.
+long long calibration_runs();
 
 /// Operation count of the boundary algorithm on a large-separator graph:
 /// N_op = n³/k² + (kB)³ + nkB² + n²B, B = average boundary nodes/component.

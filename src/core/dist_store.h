@@ -31,6 +31,19 @@ class DistStore {
   /// Single-element convenience (slow path, for queries and tests).
   dist_t at(vidx_t u, vidx_t v) const;
 
+  /// Native tile side of a tiled backend (the GAPSPZ1 compressed store), so
+  /// caches can align their grid to the stored tiling. 0 = untiled.
+  virtual vidx_t tile_size() const { return 0; }
+
+  /// True when the backend can prove, without reading data, that every
+  /// element of the block is kInf (the compressed store's directory marks
+  /// all-kInf tiles). False only means "unknown" — callers still scan.
+  virtual bool block_known_inf(vidx_t row0, vidx_t col0, vidx_t rows,
+                               vidx_t cols) const {
+    check_block(row0, col0, rows, cols);
+    return false;
+  }
+
  protected:
   explicit DistStore(vidx_t n) : n_(n) {
     GAPSP_CHECK(n >= 0, "negative matrix dimension");
@@ -58,5 +71,8 @@ std::unique_ptr<DistStore> make_file_store(vidx_t n, const std::string& path,
 /// write_block on the returned store throws IoError. The file is never
 /// removed on destruction.
 std::unique_ptr<DistStore> open_file_store(const std::string& path);
+
+// open_store(path) — the serving entry point that auto-detects a raw kept
+// file vs a GAPSPZ1 block-compressed store — lives in compressed_store.h.
 
 }  // namespace gapsp::core

@@ -5,18 +5,60 @@
 namespace gapsp::core {
 
 PathExtractor::PathExtractor(const graph::CsrGraph& g, const DistStore& store,
-                             const ApspResult& result)
-    : g_(g), reverse_(g.transpose()), store_(store), perm_(result.perm) {
+                             const ApspResult& result,
+                             std::size_t cache_bytes)
+    : g_(g),
+      reverse_(g.transpose()),
+      store_(store),
+      perm_(result.perm),
+      cache_(cache_bytes, /*shards=*/4) {
   GAPSP_CHECK(store.n() == g.num_vertices(), "store does not match graph");
   GAPSP_CHECK(perm_.empty() ||
                   perm_.size() == static_cast<std::size_t>(g.num_vertices()),
               "result permutation does not match graph");
+  // Same tiling policy as the query service: follow the store's native tile
+  // side when it has one so a miss never decompresses two tiles.
+  block_ = store.tile_size() > 0 ? store.tile_size() : 256;
+  block_ = std::min<vidx_t>(block_, std::max<vidx_t>(1, store.n()));
+  num_blocks_ =
+      store.n() == 0 ? 0 : (store.n() + block_ - 1) / block_;
+  inf_tile_ = std::make_shared<const std::vector<dist_t>>(
+      static_cast<std::size_t>(block_) * static_cast<std::size_t>(block_),
+      kInf);
+  cache_.set_negative_tile(inf_tile_);
+}
+
+BlockData PathExtractor::fetch(vidx_t block_row, vidx_t block_col) const {
+  return cache_.get_or_load(block_row, block_col, [&]() -> BlockData {
+    const vidx_t n = store_.n();
+    const vidx_t row0 = block_row * block_;
+    const vidx_t col0 = block_col * block_;
+    const vidx_t rows = std::min<vidx_t>(block_, n - row0);
+    const vidx_t cols = std::min<vidx_t>(block_, n - col0);
+    if (store_.block_known_inf(row0, col0, rows, cols)) return inf_tile_;
+    auto data = std::make_shared<std::vector<dist_t>>(
+        static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+    store_.read_block(row0, col0, rows, cols, data->data(),
+                      static_cast<std::size_t>(cols));
+    for (const dist_t d : *data) {
+      if (d != kInf) return data;
+    }
+    return inf_tile_;
+  });
 }
 
 dist_t PathExtractor::distance(vidx_t u, vidx_t v) const {
+  GAPSP_CHECK(u >= 0 && u < store_.n() && v >= 0 && v < store_.n(),
+              "vertex out of range");
   const vidx_t su = perm_.empty() ? u : perm_[u];
   const vidx_t sv = perm_.empty() ? v : perm_[v];
-  return store_.at(su, sv);
+  const vidx_t bi = su / block_;
+  const vidx_t bj = sv / block_;
+  const BlockData tile = fetch(bi, bj);
+  const vidx_t cols = std::min<vidx_t>(block_, store_.n() - bj * block_);
+  return (*tile)[static_cast<std::size_t>(su - bi * block_) *
+                     static_cast<std::size_t>(cols) +
+                 static_cast<std::size_t>(sv - bj * block_)];
 }
 
 std::vector<vidx_t> PathExtractor::path(vidx_t u, vidx_t v) const {

@@ -5,13 +5,17 @@
 // Instead, paths are reconstructed on demand by distance backtracking: a
 // vertex w is the predecessor of v on a shortest u→v path iff
 // dist(u,w) + weight(w,v) == dist(u,v). Each query costs
-// O(path_length · max_in_degree) distance-store lookups and needs only the
-// transposed graph — no extra device or store memory.
+// O(path_length · max_in_degree) distance lookups — served through a
+// BlockCache tile front (core/block_cache.h) rather than one
+// DistStore::at() seek+read per element, since backtracking hammers row u
+// of the store and, on a file-backed or compressed store, per-element
+// reads pay a seek (or a whole tile decompression) each.
 #pragma once
 
 #include <vector>
 
 #include "core/apsp_options.h"
+#include "core/block_cache.h"
 #include "core/dist_store.h"
 #include "graph/csr_graph.h"
 
@@ -20,9 +24,12 @@ namespace gapsp::core {
 class PathExtractor {
  public:
   /// `store`/`result` must come from a completed solve over `g`. The graph
-  /// is transposed once at construction.
+  /// is transposed once at construction. `cache_bytes` bounds the tile
+  /// cache; the tile side follows the store's native tiling when it has one
+  /// (GAPSPZ1), 256 otherwise.
   PathExtractor(const graph::CsrGraph& g, const DistStore& store,
-                const ApspResult& result);
+                const ApspResult& result,
+                std::size_t cache_bytes = 8u << 20);
 
   /// Shortest distance u → v (kInf when unreachable).
   dist_t distance(vidx_t u, vidx_t v) const;
@@ -36,10 +43,16 @@ class PathExtractor {
   dist_t walk_length(const std::vector<vidx_t>& path) const;
 
  private:
+  BlockData fetch(vidx_t block_row, vidx_t block_col) const;
+
   const graph::CsrGraph& g_;
   graph::CsrGraph reverse_;
   const DistStore& store_;
   std::vector<vidx_t> perm_;  // empty = identity
+  vidx_t block_ = 0;          // cache tile side
+  vidx_t num_blocks_ = 0;
+  BlockData inf_tile_;  // shared all-kInf tile (charges no cache bytes)
+  mutable BlockCache cache_;
 };
 
 }  // namespace gapsp::core

@@ -18,8 +18,19 @@ QueryEngine::QueryEngine(const core::DistStore& store, QueryEngineOptions opt,
   GAPSP_CHECK(perm_.empty() ||
                   perm_.size() == static_cast<std::size_t>(store_.n()),
               "permutation length does not match the store");
+  // A natively tiled store (GAPSPZ1) decompresses whole tiles on the miss
+  // path: align the cache grid to the stored tiling so one miss never
+  // touches two stored tiles.
+  if (store_.tile_size() > 0) opt_.block_size = store_.tile_size();
   opt_.block_size = std::min<vidx_t>(opt_.block_size, std::max<vidx_t>(1, n()));
   num_blocks_ = n() == 0 ? 0 : (n() + opt_.block_size - 1) / opt_.block_size;
+  // Edge tiles index at most rows×cols ≤ block_size² elements into this
+  // buffer, so one full-sized constant tile serves every negative block.
+  inf_tile_ = std::make_shared<const std::vector<dist_t>>(
+      static_cast<std::size_t>(opt_.block_size) *
+          static_cast<std::size_t>(opt_.block_size),
+      kInf);
+  cache_.set_negative_tile(inf_tile_);
 }
 
 BlockData QueryEngine::fetch(vidx_t block_row, vidx_t block_col) const {
@@ -29,12 +40,22 @@ BlockData QueryEngine::fetch(vidx_t block_row, vidx_t block_col) const {
     const vidx_t col0 = block_col * b;
     const vidx_t rows = std::min<vidx_t>(b, n() - row0);
     const vidx_t cols = std::min<vidx_t>(b, n() - col0);
+    // Directory-backed stores answer "all kInf" without any I/O; the shared
+    // tile is cached at zero byte cost.
+    if (store_.block_known_inf(row0, col0, rows, cols)) return inf_tile_;
     auto data = std::make_shared<std::vector<dist_t>>(
         static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
-    std::lock_guard<std::mutex> lk(store_mu_);
-    store_.read_block(row0, col0, rows, cols, data->data(),
-                      static_cast<std::size_t>(cols));
-    return data;
+    {
+      std::lock_guard<std::mutex> lk(store_mu_);
+      store_.read_block(row0, col0, rows, cols, data->data(),
+                        static_cast<std::size_t>(cols));
+    }
+    // Scan-on-load for raw stores: an all-kInf tile just read from disk
+    // collapses to the shared tile instead of occupying cache budget.
+    for (const dist_t d : *data) {
+      if (d != kInf) return data;
+    }
+    return inf_tile_;
   });
 }
 

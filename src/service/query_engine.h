@@ -13,10 +13,16 @@
 #include <span>
 #include <vector>
 
+#include "core/block_cache.h"
 #include "core/dist_store.h"
-#include "service/block_cache.h"
 
 namespace gapsp::service {
+
+// The cache moved to core (core/block_cache.h) so PathExtractor can share
+// it; these aliases keep service callers source-compatible.
+using core::BlockCache;
+using core::BlockData;
+using core::CacheStats;
 
 enum class QueryKind {
   kPoint,  ///< dist(u, v)
@@ -53,7 +59,9 @@ struct BatchReport {
 };
 
 struct QueryEngineOptions {
-  /// Cache tile side length in elements; edge tiles are smaller.
+  /// Cache tile side length in elements; edge tiles are smaller. Ignored
+  /// when the store is natively tiled (GAPSPZ1): the engine snaps to the
+  /// stored tile side so one cache miss never decompresses two tiles.
   vidx_t block_size = 256;
   std::size_t cache_bytes = 64u << 20;
   int cache_shards = 8;
@@ -106,6 +114,10 @@ class QueryEngine {
   QueryEngineOptions opt_;
   std::vector<vidx_t> perm_;
   vidx_t num_blocks_ = 0;  ///< tiles per side
+  /// The one shared all-kInf tile; loaders return it for tiles the store
+  /// directory marks empty or that scan as all-kInf, and the cache charges
+  /// it no bytes (core/block_cache.h).
+  BlockData inf_tile_;
   mutable BlockCache cache_;
   /// Miss-path reads are serialized: the file-backed store is one stateful
   /// FILE* stream (seek+read pairs must not interleave). Hits never touch

@@ -320,6 +320,58 @@ TEST(ChaosResume, BoundaryKillSweepResumesBitIdentical) {
   kill_resume_sweep(Algorithm::kBoundary, g, 2u << 20, 3, "boundary");
 }
 
+TEST(ChaosResume, KinfHeavySweepResumesThroughCompressedSidecars) {
+  // Disconnected graph → the boundary dist2/dist3 blobs (and the matrix
+  // itself) are dominated by kInf runs, so every sidecar this sweep writes
+  // stores its payload as a z1 frame (checkpoint.cpp compresses at the
+  // sink). The sweep proves resume from *compressed* checkpoints is
+  // bit-identical to the fault-free run across every interruption point.
+  const auto g = graph::make_erdos_renyi(110, 150, 512, /*connect=*/false);
+  kill_resume_sweep(Algorithm::kBoundary, g, 2u << 20, 3, "zck");
+}
+
+TEST(ChaosResume, RealRunSidecarStoresCompressedPayload) {
+  // Interrupt a kInf-heavy boundary run mid-flight and inspect the sidecar
+  // it left behind: once a checkpoint carries host-side intermediates, the
+  // file on disk must be smaller than the raw payload read_checkpoint
+  // hands back — i.e. the compression sink is live in the real pipeline,
+  // not just in the unit round-trip.
+  const auto g = graph::make_erdos_renyi(120, 160, 513, /*connect=*/false);
+  const std::string path = ck_path("zsize");
+  ApspOptions clean = chaos_opts(Algorithm::kBoundary, 2u << 20);
+  bool inspected = false;
+  for (long long kill = 1; !inspected; kill += 2) {
+    ASSERT_LT(kill, 1000000) << "no checkpoint with a payload ever appeared";
+    sim::FaultPlan plan;
+    plan.kill_device = 0;
+    plan.kill_at_op = kill;
+    ApspOptions faulty = clean;
+    faulty.faults = &plan;
+    faulty.checkpoint_path = path;
+    auto store = make_ram_store(g.num_vertices());
+    try {
+      solve_apsp(g, faulty, *store);
+      break;  // kill landed past the op stream; nothing more to inspect
+    } catch (const sim::FaultError&) {
+    }
+    Checkpoint ck;
+    if (file_exists(path) && read_checkpoint(path, &ck) &&
+        !ck.payload.empty()) {
+      std::FILE* f = std::fopen(path.c_str(), "rb");
+      ASSERT_NE(f, nullptr);
+      std::fseek(f, 0, SEEK_END);
+      const auto sidecar_bytes = static_cast<std::size_t>(std::ftell(f));
+      std::fclose(f);
+      EXPECT_LT(sidecar_bytes, ck.payload.size())
+          << "sidecar stored the payload raw despite kInf-run content";
+      inspected = true;
+    }
+    std::remove(path.c_str());
+  }
+  std::remove(path.c_str());
+  EXPECT_TRUE(inspected) << "sweep completed before any payload checkpoint";
+}
+
 TEST(ChaosResume, CrossProcessResumeViaDurableFileStore) {
   // Simulate a process death: the interrupted run's FileStore object is
   // destroyed (keep_file=true, so the raw matrix file survives) and the

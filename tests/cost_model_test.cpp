@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <limits>
+#include <string>
 
 #include "core/cost_model.h"
 #include "core/ooc_fw.h"
@@ -107,6 +109,94 @@ TEST(Calibration, KeyedOnCostRelevantOptions) {
   // Same cost-relevant options still share one entry.
   auto same = base;
   EXPECT_EQ(&calibrate(same), &a);
+}
+
+TEST(TransferModels, CompressedSinkScalesOnlyTheOutputTerm) {
+  // A store sink at ratio R shrinks the n² output stream R-fold but leaves
+  // the device-bound working tiles (FW's 3b² term) at the raw element size.
+  const auto spec = test::tiny_device(1u << 20);
+  const vidx_t n = 5000;
+  const double w = sizeof(dist_t) / 4.0;  // measured ratio 4
+  const vidx_t b = fw_block_size(spec, n);
+  const double nd = std::ceil(static_cast<double>(n) / b);
+  const double expect = nd *
+                        (3.0 * sizeof(dist_t) * b * b +
+                         w * static_cast<double>(n) * n) /
+                        spec.link_bandwidth;
+  EXPECT_NEAR(fw_transfer_model(n, spec, false, w), expect, expect * 1e-12);
+  // Johnson and boundary outputs are pure n² streams: exactly R× cheaper.
+  EXPECT_NEAR(johnson_transfer_model(n, spec, w),
+              johnson_transfer_model(n, spec) / 4.0, 1e-12);
+  const auto g = graph::make_road(16, 16, 81);
+  const auto opts = model_opts();
+  const auto plan = plan_boundary(g, opts);
+  EXPECT_LT(boundary_transfer_model(plan, g.num_vertices(), opts.device, w),
+            boundary_transfer_model(plan, g.num_vertices(), opts.device));
+  // End to end: a cheaper sink must lower the estimates' transfer share.
+  auto zopts = opts;
+  zopts.store_bytes_per_element = w;
+  EXPECT_LT(estimate_fw(g, zopts).transfer_s,
+            estimate_fw(g, opts).transfer_s);
+  EXPECT_LT(estimate_johnson(g, zopts).transfer_s,
+            estimate_johnson(g, opts).transfer_s);
+}
+
+TEST(Calibration, PersistsNextToTheStoreAndSkipsWarmup) {
+  const std::string path =
+      ::testing::TempDir() + "gapsp_cal_roundtrip.cal";
+  auto opts = model_opts();
+  // A device name no other test calibrates, so this entry is ours alone.
+  opts.device.name = "cal-persist-test";
+
+  // Nothing cached for this configuration yet: nothing to save.
+  EXPECT_FALSE(save_calibration(opts, path));
+
+  const Calibration before = calibrate(opts);  // pays the probe runs
+  ASSERT_TRUE(save_calibration(opts, path));
+
+  // Drop the in-process cache and reload from the sidecar: calibrate()
+  // must be a pure cache hit (no new probe runs) with identical numbers.
+  clear_calibration_cache();
+  const long long runs = calibration_runs();
+  ASSERT_TRUE(load_calibration(opts, path));
+  const Calibration& after = calibrate(opts);
+  EXPECT_EQ(calibration_runs(), runs);
+  EXPECT_EQ(after.fw_t0, before.fw_t0);
+  EXPECT_EQ(after.fw_n0, before.fw_n0);
+  EXPECT_EQ(after.fw_exponent, before.fw_exponent);
+  EXPECT_EQ(after.bnd_t0, before.bnd_t0);
+  EXPECT_EQ(after.bnd_n0, before.bnd_n0);
+  EXPECT_EQ(after.bnd_exponent, before.bnd_exponent);
+  EXPECT_EQ(after.c_unit, before.c_unit);
+  std::remove(path.c_str());
+}
+
+TEST(Calibration, SidecarForOtherConfigurationIsIgnored) {
+  const std::string path = ::testing::TempDir() + "gapsp_cal_mismatch.cal";
+  auto opts = model_opts();
+  opts.device.name = "cal-mismatch-test";
+  calibrate(opts);
+  ASSERT_TRUE(save_calibration(opts, path));
+
+  // Same sidecar, different cost-relevant option: keyed out, not reused —
+  // loading a table measured under another configuration would silently
+  // mis-rank the algorithms.
+  auto other = opts;
+  other.overlap_transfers = !opts.overlap_transfers;
+  EXPECT_FALSE(load_calibration(other, path));
+
+  // Damage the file: checksum rejects it, the cache stays untouched.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 24, SEEK_SET);
+    const char x = 0x5a;
+    std::fwrite(&x, 1, 1, f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(load_calibration(opts, path));
+  EXPECT_FALSE(load_calibration(opts, path + ".does_not_exist"));
+  std::remove(path.c_str());
 }
 
 TEST(JohnsonBatches, CountIsComputedIn64Bit) {

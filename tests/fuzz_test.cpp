@@ -5,11 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/apsp.h"
+#include "core/compressed_store.h"
 #include "graph/generators.h"
 #include "test_util.h"
 
@@ -181,6 +183,102 @@ TEST_P(FaultFuzz, RandomFaultScheduleRecoversOrFailsTyped) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzz, ::testing::Range(0, 24));
+
+// ---------------------------------------------------------------------------
+// z1 codec fuzzer (compressed_store.h). Two invariants: (a) any input —
+// random noise, adversarially repetitive, all-kInf, or mixed — round-trips
+// bit-exactly; (b) any damaged frame (truncation, byte flips, bit flips)
+// either round-trips to checksum-valid output or throws IoError. It must
+// never read or write out of bounds — the CI chaos job runs this suite
+// under ASan/UBSan, which turns an over-read into a hard failure.
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> random_z1_input(Rng& rng) {
+  const int shape = static_cast<int>(rng.next_below(5));
+  std::vector<std::uint8_t> buf(
+      static_cast<std::size_t>(rng.next_in(0, 20000)));
+  switch (shape) {
+    case 0:  // incompressible noise
+      for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next_u64());
+      break;
+    case 1: {  // all-kInf distance data, the dominant store pattern
+      const dist_t inf = kInf;
+      for (std::size_t i = 0; i < buf.size(); ++i) {
+        buf[i] = reinterpret_cast<const std::uint8_t*>(&inf)[i % sizeof(inf)];
+      }
+      break;
+    }
+    case 2: {  // short period just off the 4-byte fast path
+      const std::size_t period = static_cast<std::size_t>(rng.next_in(1, 9));
+      for (std::size_t i = 0; i < buf.size(); ++i) {
+        buf[i] = static_cast<std::uint8_t>(i % period);
+      }
+      break;
+    }
+    case 3: {  // adversarial: long runs broken by noise at random points
+      std::uint8_t fill = 0xff;
+      for (auto& b : buf) {
+        if (rng.next_bool(0.01)) fill = static_cast<std::uint8_t>(rng.next_u64());
+        b = rng.next_bool(0.02) ? static_cast<std::uint8_t>(rng.next_u64())
+                                : fill;
+      }
+      break;
+    }
+    default: {  // plausible distance matrix rows: small values + kInf gaps
+      std::vector<dist_t> d(buf.size() / sizeof(dist_t) + 1);
+      for (auto& v : d) {
+        v = rng.next_bool(0.6) ? kInf
+                               : static_cast<dist_t>(rng.next_below(1000));
+      }
+      std::memcpy(buf.data(), d.data(), buf.size());
+      break;
+    }
+  }
+  return buf;
+}
+
+class Z1Fuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(Z1Fuzz, RoundTripsExactlyAndRejectsDamageTyped) {
+  Rng rng(0x21F0 + static_cast<std::uint64_t>(GetParam()) * 6151);
+  const auto raw = random_z1_input(rng);
+  const auto frame = z1_compress(raw.data(), raw.size());
+
+  ASSERT_EQ(z1_raw_size(frame.data(), frame.size()), raw.size());
+  std::vector<std::uint8_t> back(raw.size());
+  z1_decompress(frame.data(), frame.size(), back.data(), back.size());
+  ASSERT_EQ(back, raw);
+
+  // Random truncations: always a typed error.
+  for (int i = 0; i < 16; ++i) {
+    const auto cut = static_cast<std::size_t>(rng.next_below(frame.size()));
+    EXPECT_THROW(
+        z1_decompress(frame.data(), cut, back.data(), back.size()), IoError)
+        << "cut " << cut;
+  }
+
+  // Random damage: flips in header, token stream, and literals. Decoding
+  // either throws IoError or — if the flip cancels out semantically —
+  // reproduces the exact input (the content checksum gates everything
+  // else). `raw_len` flips also hit the destination-size check.
+  for (int i = 0; i < 32; ++i) {
+    auto bad = frame;
+    const int edits = static_cast<int>(rng.next_in(1, 4));
+    for (int e = 0; e < edits; ++e) {
+      const auto at = static_cast<std::size_t>(rng.next_below(bad.size()));
+      bad[at] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    }
+    try {
+      std::vector<std::uint8_t> out(raw.size());
+      z1_decompress(bad.data(), bad.size(), out.data(), out.size());
+      EXPECT_EQ(out, raw) << "damaged frame decoded to different content";
+    } catch (const IoError&) {
+      // typed rejection is the expected outcome
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Z1Fuzz, ::testing::Range(0, 24));
 
 }  // namespace
 }  // namespace gapsp::core

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
 #include <vector>
 
+#include "core/compressed_store.h"
 #include "core/path_extract.h"
 #include "graph/generators.h"
 #include "test_util.h"
+#include "util/rng.h"
 
 namespace gapsp::core {
 namespace {
@@ -131,6 +135,66 @@ std::string sweep_name(const ::testing::TestParamInfo<int>& info) {
 
 INSTANTIATE_TEST_SUITE_P(Algorithms, PathExtractSweep, ::testing::Range(0, 3),
                          sweep_name);
+
+// ---------------------------------------------------------------------------
+// Regression against the store oracle: distance() now reads through a
+// BlockCache tile front instead of one DistStore::at() per element, and the
+// answers must not move — for permuted (boundary) results, under a cache too
+// small to hold the working set, and over a GAPSPZ1 compressed store.
+// ---------------------------------------------------------------------------
+
+TEST(PathExtract, CachedDistancesMatchElementwiseOracle) {
+  // Boundary permutes the store, so this also proves the tile arithmetic
+  // composes with ApspResult::perm exactly like the old at() path did.
+  auto s = solve(graph::make_road(12, 12, 99), Algorithm::kBoundary);
+  const vidx_t n = s.g.num_vertices();
+  // A one-tile cache budget forces constant eviction; answers must hold.
+  const PathExtractor px(s.g, *s.store, s.result,
+                         /*cache_bytes=*/256 * 256 * sizeof(dist_t));
+  for (vidx_t u = 0; u < n; u += 7) {
+    for (vidx_t v = 0; v < n; v += 5) {
+      const vidx_t su = s.result.perm.empty() ? u : s.result.perm[u];
+      const vidx_t sv = s.result.perm.empty() ? v : s.result.perm[v];
+      ASSERT_EQ(px.distance(u, v), s.store->at(su, sv))
+          << "(" << u << ", " << v << ")";
+    }
+  }
+}
+
+TEST(PathExtract, CompressedStoreServesIdenticalPaths) {
+  auto s = solve(graph::make_road(11, 13, 41), Algorithm::kJohnson);
+  const std::string zpath =
+      ::testing::TempDir() + "gapsp_path_extract_z.bin";
+  write_compressed_store(*s.store, zpath, /*tile=*/48);
+  const auto z = open_store(zpath);
+  ASSERT_EQ(z->tile_size(), 48);  // extractor snaps its grid to this
+  const PathExtractor raw(s.g, *s.store, s.result);
+  const PathExtractor zx(s.g, *z, s.result);
+  Rng rng(4242);
+  const vidx_t n = s.g.num_vertices();
+  for (int trial = 0; trial < 80; ++trial) {
+    const vidx_t u = static_cast<vidx_t>(rng.next_below(n));
+    const vidx_t v = static_cast<vidx_t>(rng.next_below(n));
+    ASSERT_EQ(zx.distance(u, v), raw.distance(u, v));
+    ASSERT_EQ(zx.path(u, v), raw.path(u, v));
+  }
+  std::remove(zpath.c_str());
+}
+
+TEST(PathExtract, DisconnectedPairsServeFromSharedInfTile) {
+  // Two components: cross-component tiles resolve to the shared all-kInf
+  // tile, so even a zero-byte cache budget serves them (negative entries
+  // charge nothing) and path() correctly returns empty.
+  auto s = solve(graph::CsrGraph::from_edges(
+                     6, {{0, 1, 2}, {1, 2, 2}, {3, 4, 1}, {4, 5, 1}}, true),
+                 Algorithm::kJohnson);
+  const PathExtractor px(s.g, *s.store, s.result, /*cache_bytes=*/0);
+  EXPECT_EQ(px.distance(0, 5), kInf);
+  EXPECT_EQ(px.distance(4, 2), kInf);
+  EXPECT_TRUE(px.path(0, 5).empty());
+  EXPECT_EQ(px.distance(0, 2), 4);
+  EXPECT_EQ(px.path(3, 5), (std::vector<vidx_t>{3, 4, 5}));
+}
 
 }  // namespace
 }  // namespace gapsp::core

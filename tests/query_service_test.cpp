@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/apsp.h"
+#include "core/compressed_store.h"
 #include "graph/generators.h"
 #include "service/query_engine.h"
 #include "test_util.h"
@@ -270,6 +271,94 @@ TEST(QueryService, OpenFileStoreRejectsMissingAndMisSized) {
   }
   EXPECT_THROW(core::open_file_store(path), IoError);
   std::remove(path.c_str());
+}
+
+TEST(BlockCache, NegativeTileEntriesChargeNoBytes) {
+  // Budget fits exactly one real 16-element block; the shared all-kInf
+  // tile is far larger, yet caching it must cost nothing and never evict.
+  BlockCache cache(16 * sizeof(dist_t), /*shards=*/1);
+  const auto inf = make_block(1024, kInf);
+  cache.set_negative_tile(inf);
+  int neg_loads = 0;
+  auto neg_loader = [&] {
+    ++neg_loads;
+    return inf;
+  };
+  const auto a = cache.get_or_load(0, 0, neg_loader);
+  EXPECT_EQ(a.get(), inf.get());
+  cache.get_or_load(0, 0, neg_loader);  // now a hit
+  EXPECT_EQ(neg_loads, 1);
+  cache.get_or_load(5, 5, [] { return make_block(16, 3); });
+  // A flood of negative tiles must not push the real block out.
+  for (vidx_t i = 1; i < 40; ++i) cache.get_or_load(i, 0, neg_loader);
+  int reloaded = 0;
+  cache.get_or_load(5, 5, [&] {
+    ++reloaded;
+    return make_block(16, 3);
+  });
+  EXPECT_EQ(reloaded, 0);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.negative_loads, 40);
+  EXPECT_EQ(s.bytes_cached, 16 * sizeof(dist_t));
+  EXPECT_EQ(s.evictions, 0);
+}
+
+TEST(QueryEngine, NegativeTilesServeDisconnectedRegionsAtZeroCost) {
+  // Two disjoint line components over a raw RAM store: the engine's
+  // scan-on-load path must collapse every cross-component tile to the
+  // shared all-kInf tile instead of spending cache budget on it.
+  std::vector<graph::Edge> edges;
+  const vidx_t half = 60;
+  for (vidx_t v = 0; v + 1 < half; ++v) {
+    edges.push_back({v, v + 1, 2});
+    edges.push_back({half + v, half + v + 1, 3});
+  }
+  const auto g = graph::CsrGraph::from_edges(2 * half, std::move(edges), true);
+  const auto s = solve(g, core::Algorithm::kJohnson);
+  QueryEngineOptions opt;
+  opt.block_size = 30;  // cross-component tiles are pure kInf
+  const QueryEngine engine(*s.store, opt, s.result.perm);
+  for (vidx_t u = 0; u < half; u += 11) {
+    for (vidx_t v = half; v < 2 * half; v += 13) {
+      ASSERT_EQ(engine.point(u, v), kInf);
+      ASSERT_EQ(engine.point(v, u), kInf);
+    }
+  }
+  const auto cs = engine.cache_stats();
+  EXPECT_GT(cs.negative_loads, 0);
+  EXPECT_EQ(cs.bytes_cached, 0u);  // only all-kInf tiles were touched
+}
+
+TEST(QueryEngine, CompressedStoreServesIdenticalAnswers) {
+  // Solve → compress → serve: the engine snaps its grid to the stored
+  // tiling and must answer exactly like the raw store, point and row.
+  const auto g = graph::make_road(13, 12, 507);
+  const auto s = solve(g, core::Algorithm::kBoundary);
+  const std::string zpath = ::testing::TempDir() + "gapsp_query_z.bin";
+  const auto cstats = core::write_compressed_store(*s.store, zpath,
+                                                   /*tile=*/40);
+  EXPECT_GT(cstats.ratio(), 1.0);
+  const auto z = core::open_store(zpath);
+  QueryEngineOptions opt;
+  opt.block_size = 64;  // deliberately misaligned: the engine must snap
+  const QueryEngine raw(*s.store, {}, s.result.perm);
+  const QueryEngine zq(*z, opt, s.result.perm);
+  std::vector<Query> qs;
+  Rng rng(16);
+  const vidx_t n = g.num_vertices();
+  for (int i = 0; i < 400; ++i) {
+    qs.push_back({QueryKind::kPoint, static_cast<vidx_t>(rng.next_below(n)),
+                  static_cast<vidx_t>(rng.next_below(n))});
+  }
+  qs.push_back({QueryKind::kRow, 9, 0});
+  const auto want = raw.run_batch(qs);
+  const auto got = zq.run_batch(qs);
+  ASSERT_EQ(got.results.size(), want.results.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    ASSERT_EQ(got.results[i].dist, want.results[i].dist) << "query " << i;
+    ASSERT_EQ(got.results[i].row, want.results[i].row) << "query " << i;
+  }
+  std::remove(zpath.c_str());
 }
 
 TEST(QueryService, ReadOnlyStoreRejectsWrites) {

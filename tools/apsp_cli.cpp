@@ -12,7 +12,7 @@
 // Flags:
 //   --input FILE            Matrix Market input
 //   --generate SPEC         road:RxC | mesh:N:DEG | rmat:SCALE:EDGES |
-//                           er:N:M | dense:N:PCT
+//                           er:N:M[:0 = leave disconnected] | dense:N:PCT
 //   --seed S                generator seed (default 1)
 //   --algorithm A           auto | fw | johnson | boundary   (default auto)
 //   --device D              v100 | k80                        (default v100)
@@ -25,7 +25,14 @@
 //   --dense-threshold P     selector dense density band, percent  (default 4)
 //   --store S               ram | file                        (default ram)
 //   --store-path P          file-store path (default ./apsp_dist.bin)
-//   --keep-store            keep the file store after exit
+//   --keep-store            keep the file store after exit; on completion it
+//                           is compacted into a GAPSPZ1 block-compressed
+//                           store (DESIGN.md §11) and a calibration sidecar
+//                           (<store-path>.cal) is saved next to it
+//   --no-compress-store     keep the raw file instead of compacting
+//   --store-ratio R         expected compression ratio of the store sink;
+//                           scales the n² output term of the cost models
+//                           (selector sees cheaper I/O)   (default 1 = raw)
 //   --sssp-kernel K         near-far | delta-stepping | bellman-ford
 //   --partitioner P         kway | rb (recursive bisection)
 //   --devices N             run the multi-GPU boundary algorithm on N devices
@@ -63,13 +70,19 @@
 //   apsp_cli --generate road:20x20 --algorithm fw --store file \
 //            --store-path d.bin --checkpoint fw.ck --resume
 //
-// Query service (see DESIGN.md §10): `apsp_cli query` opens a kept store
-// file from a previous solve and serves point/row/batch queries through the
-// block-cached query engine, printing cache and latency metrics:
+// Query service (see DESIGN.md §10): `apsp_cli query` opens a kept store —
+// raw or GAPSPZ1 compressed, auto-detected — from a previous solve and
+// serves point/row/batch queries through the block-cached query engine,
+// printing cache and latency metrics:
 //
 //   apsp_cli --generate road:24x24 --store file --store-path d.bin --keep-store
 //   apsp_cli query --store-path d.bin --point 0,100 --row 5
 //   apsp_cli query --store-path d.bin --batch queries.txt --cache-mb 32
+//
+// Store compaction (see DESIGN.md §11): `apsp_cli compact` converts a raw
+// kept store into a GAPSPZ1 block-compressed store (in place by default):
+//
+//   apsp_cli compact --store-path d.bin [--out d.z.bin] [--block 256]
 //
 // Query flags:
 //   --store-path P          kept store file from `--keep-store` (required)
@@ -93,6 +106,8 @@
 
 #include "core/apsp.h"
 #include "core/component_solver.h"
+#include "core/compressed_store.h"
+#include "core/cost_model.h"
 #include "core/dist_io.h"
 #include "core/multi_device.h"
 #include "core/path_extract.h"
@@ -144,7 +159,12 @@ graph::CsrGraph make_graph(const Args& args) {
   if (kind == "er") {
     const auto n = next_num(':');
     const auto m = next_num(':');
-    return graph::make_erdos_renyi(static_cast<vidx_t>(n), m, seed);
+    // Optional 4th field: er:N:M:0 skips the connecting spanning walk, so a
+    // sub-critical M leaves many components (a kInf-dominated store).
+    std::string tok;
+    const bool connect =
+        !std::getline(ss, tok, ':') || std::stoll(tok) != 0;
+    return graph::make_erdos_renyi(static_cast<vidx_t>(n), m, seed, connect);
   }
   if (kind == "dense") {
     const auto n = next_num(':');
@@ -178,7 +198,7 @@ std::string us(double seconds) {
 
 int run_query(const Args& args) {
   const std::string path = args.get_or("store-path", "apsp_dist.bin");
-  const auto store = core::open_file_store(path);
+  const auto store = core::open_store(path);  // raw or GAPSPZ1, auto-detected
 
   service::QueryEngineOptions qopt;
   qopt.cache_bytes =
@@ -190,8 +210,18 @@ int run_query(const Args& args) {
   std::cout << "store: " << path << " (n=" << store->n() << ", "
             << (static_cast<std::uint64_t>(store->n()) * store->n() *
                 sizeof(dist_t) >> 10)
-            << " KiB)\ncache: " << (qopt.cache_bytes >> 20) << " MiB in "
-            << qopt.cache_shards << " shards, " << qopt.block_size
+            << " KiB";
+  if (store->tile_size() > 0) {
+    const auto info = core::compressed_store_info(path);
+    std::cout << " raw; compressed to " << (info.file_bytes >> 10) << " KiB, "
+              << static_cast<double>(info.raw_bytes) /
+                     static_cast<double>(info.file_bytes)
+              << "x, " << info.inf_tiles << "/" << info.tiles
+              << " all-kInf tiles";
+  }
+  std::cout << ")\ncache: " << (qopt.cache_bytes >> 20) << " MiB in "
+            << qopt.cache_shards << " shards, "
+            << (store->tile_size() > 0 ? store->tile_size() : qopt.block_size)
             << "-wide blocks\n";
 
   std::vector<service::Query> queries;
@@ -284,8 +314,23 @@ int run_query(const Args& args) {
             << ", max " << us(report.latency.max_s) << "\n"
             << "cache: " << cs.hits << " hits, " << cs.misses << " misses ("
             << cs.hit_rate() * 100.0 << "% hit rate), " << cs.evictions
-            << " evictions, " << (cs.bytes_cached >> 10) << " KiB of "
-            << (cs.capacity_bytes >> 10) << " KiB used\n";
+            << " evictions, " << cs.negative_loads
+            << " all-kInf tiles at zero cost, " << (cs.bytes_cached >> 10)
+            << " KiB of " << (cs.capacity_bytes >> 10) << " KiB used\n";
+  return 0;
+}
+
+int run_compact(const Args& args) {
+  const std::string in = args.get_or("store-path", "apsp_dist.bin");
+  const std::string out = args.get_or("out", in);
+  const auto tile = static_cast<vidx_t>(args.get_int_or("block", 256));
+  const auto cs = core::compact_store(in, out, tile);
+  std::cout << "compacted: " << in << " -> " << out << "\n"
+            << "store compressed: " << (cs.raw_bytes >> 10) << " KiB -> "
+            << (cs.compressed_bytes >> 10) << " KiB (" << cs.ratio() << "x, "
+            << cs.inf_tiles << "/" << cs.tiles << " all-kInf tiles) in "
+            << cs.seconds * 1e3 << " ms\n"
+            << "serve it with: apsp_cli query --store-path " << out << "\n";
   return 0;
 }
 
@@ -370,6 +415,9 @@ int run(const Args& args) {
       static_cast<int>(args.get_int_or("kernel-threads", 0));
   opts.checkpoint_path = args.get_or("checkpoint", "");
   opts.resume = args.has("resume");
+  const double store_ratio = args.get_double_or("store-ratio", 1.0);
+  GAPSP_CHECK(store_ratio >= 1.0, "--store-ratio must be >= 1");
+  opts.store_bytes_per_element = sizeof(dist_t) / store_ratio;
 
   core::SelectorOptions sel;
   sel.sparse_percent = args.get_double_or("sparse-threshold", 0.8);
@@ -383,13 +431,19 @@ int run(const Args& args) {
                   args.get_or("store", "ram") == "file",
               "--checkpoint/--resume need a durable store: add "
               "--store file --store-path P (the file is kept across runs)");
+  const std::string store_path = args.get_or("store-path", "apsp_dist.bin");
   std::unique_ptr<core::DistStore> store;
   if (args.get_or("store", "ram") == "file") {
     // With a checkpoint in play the store must survive both the interrupted
     // run (exception unwinds this unique_ptr) and the resume run.
     const bool keep = args.has("keep-store") || !opts.checkpoint_path.empty();
-    store = core::make_file_store(
-        g.num_vertices(), args.get_or("store-path", "apsp_dist.bin"), keep);
+    store = core::make_file_store(g.num_vertices(), store_path, keep);
+    // A serving/resuming setup keeps state next to the store: reuse the
+    // calibration sidecar a previous run saved so the selector's warm-up
+    // solves are skipped.
+    if (core::load_calibration(opts, store_path + ".cal")) {
+      std::cout << "calibration: reused " << store_path << ".cal\n";
+    }
   } else {
     store = core::make_ram_store(g.num_vertices());
   }
@@ -523,7 +577,28 @@ int run(const Args& args) {
     std::cout << "distances: " << mib << " MiB -> " << *save << "\n";
   }
   if (args.has("keep-store") && args.get_or("store", "ram") == "file") {
-    std::cout << "store kept: " << args.get_or("store-path", "apsp_dist.bin")
+    if (core::save_calibration(opts, store_path + ".cal")) {
+      std::cout << "calibration: saved " << store_path << ".cal\n";
+    }
+    if (!args.has("no-compress-store")) {
+      // The solve loop always writes the raw store (blocked FW rewrites
+      // every tile O(n_d) times); compression happens here, at the sink,
+      // once the matrix is final. Close the raw store first so buffered
+      // writes are flushed before compaction re-reads the file.
+      store.reset();
+      const auto cs = core::compact_store(store_path, store_path);
+      r.metrics.store_raw_bytes = static_cast<std::size_t>(cs.raw_bytes);
+      r.metrics.store_compressed_bytes =
+          static_cast<std::size_t>(cs.compressed_bytes);
+      r.metrics.store_tiles = cs.tiles;
+      r.metrics.store_inf_tiles = cs.inf_tiles;
+      r.metrics.store_compact_seconds = cs.seconds;
+      std::cout << "store compressed: " << (cs.raw_bytes >> 10) << " KiB -> "
+                << (cs.compressed_bytes >> 10) << " KiB (" << cs.ratio()
+                << "x, " << cs.inf_tiles << "/" << cs.tiles
+                << " all-kInf tiles) in " << cs.seconds * 1e3 << " ms\n";
+    }
+    std::cout << "store kept: " << store_path
               << " (serve it with: apsp_cli query --store-path ...)\n";
   }
   if (const auto tpath = args.get("trace"); tpath.has_value()) {
@@ -553,15 +628,27 @@ int main(int argc, char** argv) {
       }
       return run_query(args);
     }
+    if (!args.positional().empty() &&
+        args.positional().front() == "compact") {
+      const auto unknown = args.unknown({"store-path", "out", "block"});
+      if (!unknown.empty()) {
+        std::cerr << "unknown compact flag(s):";
+        for (const auto& f : unknown) std::cerr << " --" << f;
+        std::cerr << "\n";
+        return 2;
+      }
+      return run_compact(args);
+    }
     const auto unknown = args.unknown(
         {"input", "generate", "seed", "algorithm", "device", "memory-mb",
          "components", "no-batching", "no-overlap", "no-dp",
          "sparse-threshold", "dense-threshold", "store", "store-path",
-         "keep-store", "query", "path", "trace", "stats", "sssp-kernel",
-         "partitioner", "devices", "per-component", "save", "verify",
-         "fault-seed", "fault-h2d", "fault-d2h", "fault-kernel",
-         "fault-alloc", "kill-device", "retries", "checkpoint", "resume",
-         "kernel-variant", "kernel-threads"});
+         "keep-store", "no-compress-store", "store-ratio", "query", "path",
+         "trace", "stats", "sssp-kernel", "partitioner", "devices",
+         "per-component", "save", "verify", "fault-seed", "fault-h2d",
+         "fault-d2h", "fault-kernel", "fault-alloc", "kill-device",
+         "retries", "checkpoint", "resume", "kernel-variant",
+         "kernel-threads"});
     if (!unknown.empty()) {
       std::cerr << "unknown flag(s):";
       for (const auto& f : unknown) std::cerr << " --" << f;
