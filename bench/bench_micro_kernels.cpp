@@ -6,9 +6,12 @@
 // Besides the google-benchmark suite, `--ablation` runs the kernel-engine
 // ablation (microkernel variant × grid-execution threads on the blocked-FW
 // path), prints the table behind EXPERIMENTS.md §"Microkernel ablation" and
-// writes BENCH_kernels.json. `--assert-min-speedup=R` additionally exits
-// non-zero unless best-tiled is at least R× naive-serial — the CI perf-smoke
-// guard against microkernel regressions.
+// writes BENCH_kernels.json. `--kernel-variant=a,b,...` restricts the
+// ablation to the named variants — unknown names are an error (exit 2), not
+// a silent skip. `--assert-min-speedup=R` additionally exits non-zero unless
+// best-tiled is at least R× naive-serial, and `--assert-simd-speedup=R`
+// requires the simd variant to beat tiled-reg by R× on serial blocked FW —
+// the CI perf-smoke guards against microkernel regressions.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -67,15 +70,15 @@ void BM_FwInplace(benchmark::State& state) {
 }
 BENCHMARK(BM_FwInplace)->Arg(64)->Arg(128)->Arg(256);
 
+constexpr core::KernelVariant kAllVariants[core::kNumKernelVariants] = {
+    core::KernelVariant::kNaive,    core::KernelVariant::kTiled,
+    core::KernelVariant::kTiledReg, core::KernelVariant::kSimd,
+    core::KernelVariant::kTensor};
+
 core::KernelVariant variant_of(int idx) {
-  switch (idx) {
-    case 0:
-      return core::KernelVariant::kNaive;
-    case 1:
-      return core::KernelVariant::kTiled;
-    default:
-      return core::KernelVariant::kTiledReg;
-  }
+  GAPSP_CHECK(idx >= 0 && idx < core::kNumKernelVariants,
+              "variant index out of range");
+  return kAllVariants[idx];
 }
 
 void BM_MinPlusVariant(benchmark::State& state) {
@@ -94,7 +97,7 @@ void BM_MinPlusVariant(benchmark::State& state) {
                           n * n);
 }
 BENCHMARK(BM_MinPlusVariant)
-    ->ArgsProduct({{0, 1, 2}, {64, 128, 256}});
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {64, 128, 256}});
 
 void BM_BlockedFwVariantThreads(benchmark::State& state) {
   // The full simulated blocked-FW path (diag / panels / update grid
@@ -125,7 +128,7 @@ void BM_BlockedFwVariantThreads(benchmark::State& state) {
   core::set_kernel_config(core::KernelConfig{});
 }
 BENCHMARK(BM_BlockedFwVariantThreads)
-    ->ArgsProduct({{0, 1, 2}, {1, 0}});
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {1, 0}});
 
 void BM_DijkstraRoad(benchmark::State& state) {
   const auto g = graph::make_road(40, 40, 5);
@@ -200,9 +203,10 @@ double best_of(int reps, const std::function<double()>& run) {
 }
 
 /// Kernel-engine ablation: microkernel alone (n=256) and the full blocked-FW
-/// launch path (n=512) for every variant × thread setting. Returns the rows
-/// and prints the table.
-std::vector<AblationRow> run_ablation() {
+/// launch path (n=512) for the selected variant × thread settings. Returns
+/// the rows and prints the table.
+std::vector<AblationRow> run_ablation(
+    const std::vector<core::KernelVariant>& variants) {
   using clock = std::chrono::steady_clock;
   std::vector<AblationRow> rows;
   const std::size_t pool = ThreadPool::global().size();
@@ -211,8 +215,7 @@ std::vector<AblationRow> run_ablation() {
   {
     const vidx_t n = 256;
     auto a = random_tile(n, 1), b = random_tile(n, 2), c0 = random_tile(n, 3);
-    for (int vi = 0; vi < 3; ++vi) {
-      const core::KernelVariant v = variant_of(vi);
+    for (const core::KernelVariant v : variants) {
       auto c = c0;
       const double s = best_of(5, [&] {
         c = c0;
@@ -230,9 +233,8 @@ std::vector<AblationRow> run_ablation() {
   {
     const vidx_t n = 512;
     const auto original = random_tile(n, 5);
-    for (int vi = 0; vi < 3; ++vi) {
+    for (const core::KernelVariant v : variants) {
       for (const int threads : {1, 0}) {
-        const core::KernelVariant v = variant_of(vi);
         core::KernelConfig cfg;
         cfg.variant = v;
         cfg.threads = threads;
@@ -256,14 +258,31 @@ std::vector<AblationRow> run_ablation() {
     core::set_kernel_config(core::KernelConfig{});
   }
 
-  std::cout << "kernel engine ablation (pool: " << pool << " threads)\n"
+  std::cout << "kernel engine ablation (pool: " << pool << " threads, "
+            << core::simd_lane_isa() << " lanes)\n"
             << "kernel       variant    threads       n      ms    GOP/s\n";
   for (const auto& r : rows) {
     std::printf("%-12s %-10s %7d %7d %7.2f %8.2f\n", r.kernel.c_str(),
                 r.variant.c_str(), r.threads, static_cast<int>(r.n),
                 r.seconds * 1e3, r.gops);
   }
+  const core::KernelVariant winner = core::autotune_kernel_variant();
+  std::cout << "autotuner winner: " << core::kernel_variant_name(winner)
+            << " (" << core::kernel_variant_rel_speed(winner)
+            << "x vs naive on the tuning shape)\n";
   return rows;
+}
+
+/// Best serial blocked-FW seconds of `variant` among the rows; 0 when the
+/// ablation did not run it.
+double serial_fw_seconds(const std::vector<AblationRow>& rows,
+                         const std::string& variant) {
+  for (const auto& r : rows) {
+    if (r.kernel == "blocked_fw" && r.variant == variant && r.threads == 1) {
+      return r.seconds;
+    }
+  }
+  return 0.0;
 }
 
 void write_json(const std::vector<AblationRow>& rows, const std::string& path) {
@@ -286,15 +305,47 @@ void write_json(const std::vector<AblationRow>& rows, const std::string& path) {
 int main(int argc, char** argv) {
   bool ablation = false;
   double min_speedup = 0.0;
+  double simd_speedup = 0.0;
+  // Default: every concrete variant (the ablation never skips one silently;
+  // narrowing the sweep takes an explicit, validated filter).
+  std::vector<core::KernelVariant> variants(kAllVariants,
+                                            kAllVariants +
+                                                core::kNumKernelVariants);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ablation") == 0) ablation = true;
     if (std::strncmp(argv[i], "--assert-min-speedup=", 21) == 0) {
       ablation = true;
       min_speedup = std::stod(argv[i] + 21);
     }
+    if (std::strncmp(argv[i], "--assert-simd-speedup=", 22) == 0) {
+      ablation = true;
+      simd_speedup = std::stod(argv[i] + 22);
+    }
+    if (std::strncmp(argv[i], "--kernel-variant=", 17) == 0) {
+      ablation = true;
+      variants.clear();
+      std::string list(argv[i] + 17);
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = std::min(list.find(',', pos), list.size());
+        const std::string name = list.substr(pos, comma - pos);
+        pos = comma + 1;
+        try {
+          const core::KernelVariant v = core::parse_kernel_variant(name);
+          if (v == core::KernelVariant::kAuto) {
+            throw Error("'auto' is not an explicit ablation variant");
+          }
+          variants.push_back(v);
+        } catch (const Error& e) {
+          std::cerr << "bench_micro_kernels: bad --kernel-variant: "
+                    << e.what() << "\n";
+          return 2;
+        }
+      }
+    }
   }
   if (ablation) {
-    const auto rows = run_ablation();
+    const auto rows = run_ablation(variants);
     write_json(rows, "BENCH_kernels.json");
     if (min_speedup > 0.0) {
       // Guard: the best tiled blocked-FW configuration must beat the naive
@@ -310,6 +361,24 @@ int main(int argc, char** argv) {
                 << "x (required >= " << min_speedup << "x)\n";
       if (speedup < min_speedup) {
         std::cerr << "FAILED: kernel engine speedup below threshold\n";
+        return 1;
+      }
+    }
+    if (simd_speedup > 0.0) {
+      // Guard: the vector microkernel must beat the scalar register-blocked
+      // one on the serial blocked-FW path (ISSUE 6 acceptance floor).
+      const double reg = serial_fw_seconds(rows, "tiled-reg");
+      const double simd = serial_fw_seconds(rows, "simd");
+      if (reg == 0.0 || simd == 0.0) {
+        std::cerr << "FAILED: --assert-simd-speedup needs both tiled-reg and "
+                     "simd in the ablation sweep\n";
+        return 1;
+      }
+      const double speedup = reg / simd;
+      std::cout << "speedup (simd vs tiled-reg, serial blocked FW): "
+                << speedup << "x (required >= " << simd_speedup << "x)\n";
+      if (speedup < simd_speedup) {
+        std::cerr << "FAILED: simd microkernel speedup below threshold\n";
         return 1;
       }
     }

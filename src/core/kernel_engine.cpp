@@ -8,6 +8,7 @@
 #include <mutex>
 #include <vector>
 
+#include "core/minplus.h"
 #include "util/rng.h"
 
 namespace gapsp::core {
@@ -27,12 +28,33 @@ std::atomic<KernelVariant> g_variant{KernelVariant::kAuto};
 std::atomic<int> g_threads{0};
 std::atomic<KernelVariant> g_autotuned{KernelVariant::kAuto};
 
-/// Naive triple loop over a sub-rectangle of rows × [c_lo, c_hi) — the
-/// remainder path of the register-blocked kernel.
-void scalar_block(dist_t* c, std::size_t ldc, const dist_t* a,
-                  std::size_t lda, const dist_t* b, std::size_t ldb,
-                  vidx_t r_lo, vidx_t r_hi, vidx_t nk, vidx_t c_lo,
-                  vidx_t c_hi) {
+// Per-variant host timings from the last autotune run, published under
+// g_table_mu (the autotuner measures into locals first, so this lock never
+// nests with g_tune_mu held by another thread's resolve path).
+std::mutex g_table_mu;
+KernelTuning g_tuning;
+
+/// True when the simd/tensor entry points may run the vector TU: either it
+/// was built without AVX2 codegen (NEON/autovec — always safe), or the CPU
+/// we actually landed on supports AVX2. Checked once, outside the AVX2 TU.
+bool simd_runtime_ok() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  static const bool ok =
+      !simd_kernels_built_avx2() || __builtin_cpu_supports("avx2");
+#else
+  static const bool ok = true;
+#endif
+  return ok;
+}
+
+}  // namespace
+
+namespace detail {
+
+void minplus_scalar_block(dist_t* c, std::size_t ldc, const dist_t* a,
+                          std::size_t lda, const dist_t* b, std::size_t ldb,
+                          vidx_t r_lo, vidx_t r_hi, vidx_t nk, vidx_t c_lo,
+                          vidx_t c_hi) {
   if (c_lo >= c_hi) return;
   for (vidx_t r = r_lo; r < r_hi; ++r) {
     dist_t* __restrict crow = c + static_cast<std::size_t>(r) * ldc;
@@ -48,7 +70,7 @@ void scalar_block(dist_t* c, std::size_t ldc, const dist_t* a,
   }
 }
 
-}  // namespace
+}  // namespace detail
 
 const char* kernel_variant_name(KernelVariant v) {
   switch (v) {
@@ -60,8 +82,30 @@ const char* kernel_variant_name(KernelVariant v) {
       return "tiled";
     case KernelVariant::kTiledReg:
       return "tiled-reg";
+    case KernelVariant::kSimd:
+      return "simd";
+    case KernelVariant::kTensor:
+      return "tensor";
   }
   return "?";
+}
+
+int kernel_variant_index(KernelVariant v) {
+  switch (v) {
+    case KernelVariant::kAuto:
+      return -1;
+    case KernelVariant::kNaive:
+      return 0;
+    case KernelVariant::kTiled:
+      return 1;
+    case KernelVariant::kTiledReg:
+      return 2;
+    case KernelVariant::kSimd:
+      return 3;
+    case KernelVariant::kTensor:
+      return 4;
+  }
+  return -1;
 }
 
 KernelVariant parse_kernel_variant(const std::string& name) {
@@ -69,8 +113,10 @@ KernelVariant parse_kernel_variant(const std::string& name) {
   if (name == "naive") return KernelVariant::kNaive;
   if (name == "tiled") return KernelVariant::kTiled;
   if (name == "tiled-reg") return KernelVariant::kTiledReg;
+  if (name == "simd") return KernelVariant::kSimd;
+  if (name == "tensor") return KernelVariant::kTensor;
   throw Error("unknown kernel variant: " + name +
-              " (want auto | naive | tiled | tiled-reg)");
+              " (want auto | naive | tiled | tiled-reg | simd | tensor)");
 }
 
 void set_kernel_config(const KernelConfig& cfg) {
@@ -104,7 +150,9 @@ KernelVariant autotune_kernel_variant() {
   // FW-shaped working set: 128³ is large enough to expose the cache/register
   // behaviour and small enough (~2 ms per candidate) to pay once per
   // process. All candidates produce identical distances, so a noisy winner
-  // costs performance only, never correctness.
+  // costs performance only, never correctness. Candidates run in enum order
+  // and ties keep the earlier (simpler) kernel, so the ordering below is
+  // also the tie-break policy (DESIGN.md §12).
   constexpr vidx_t n = 128;
   const std::size_t elems = static_cast<std::size_t>(n) * n;
   std::vector<dist_t> a(elems), b(elems), c0(elems), c(elems);
@@ -113,8 +161,11 @@ KernelVariant autotune_kernel_variant() {
   for (auto& x : b) x = static_cast<dist_t>(rng.next_in(1, 1000));
   for (auto& x : c0) x = static_cast<dist_t>(rng.next_in(500, 2000));
 
-  const std::array<KernelVariant, 3> candidates{
-      KernelVariant::kNaive, KernelVariant::kTiled, KernelVariant::kTiledReg};
+  const std::array<KernelVariant, kNumKernelVariants> candidates{
+      KernelVariant::kNaive, KernelVariant::kTiled, KernelVariant::kTiledReg,
+      KernelVariant::kSimd, KernelVariant::kTensor};
+  const double ops = minplus_ops(n, n, n);
+  KernelTuning tuning;
   KernelVariant best = KernelVariant::kTiledReg;
   double best_s = std::numeric_limits<double>::infinity();
   for (KernelVariant v : candidates) {
@@ -127,12 +178,43 @@ KernelVariant autotune_kernel_variant() {
       const auto t1 = std::chrono::steady_clock::now();
       v_best = std::min(v_best, std::chrono::duration<double>(t1 - t0).count());
     }
+    tuning.seconds_per_op[kernel_variant_index(v)] = v_best / ops;
     if (v_best < best_s) {
       best_s = v_best;
       best = v;
     }
   }
+  tuning.measured = true;
+  tuning.winner = best;
+  {
+    std::lock_guard<std::mutex> lk(g_table_mu);
+    g_tuning = tuning;
+  }
+  // Also warm the kAuto cache so a kernel_tuning() call (e.g. from the cost
+  // model) does not trigger a second measurement on the resolve path.
+  g_autotuned.store(best, std::memory_order_release);
   return best;
+}
+
+KernelTuning kernel_tuning() {
+  {
+    std::lock_guard<std::mutex> lk(g_table_mu);
+    if (g_tuning.measured) return g_tuning;
+  }
+  autotune_kernel_variant();
+  std::lock_guard<std::mutex> lk(g_table_mu);
+  return g_tuning;
+}
+
+double kernel_variant_rel_speed(KernelVariant v) {
+  const KernelTuning tuning = kernel_tuning();
+  if (v == KernelVariant::kAuto) v = tuning.winner;
+  const int idx = kernel_variant_index(v);
+  if (idx <= 0) return 1.0;  // kNaive is the reference (or unmapped)
+  const double naive = tuning.seconds_per_op[0];
+  const double mine = tuning.seconds_per_op[idx];
+  if (!(naive > 0.0) || !(mine > 0.0)) return 1.0;
+  return naive / mine;
 }
 
 void minplus_accum_naive(dist_t* c, std::size_t ldc, const dist_t* a,
@@ -220,12 +302,36 @@ void minplus_accum_tiled_reg(dist_t* c, std::size_t ldc, const dist_t* a,
         }
       }
       // Rows of this tile that do not fill a register block.
-      scalar_block(c, ldc, a, lda, b, ldb, r_main, r1, nk, cc,
-                   cc + kRegCols);
+      detail::minplus_scalar_block(c, ldc, a, lda, b, ldb, r_main, r1, nk,
+                                   cc, cc + kRegCols);
     }
     // Columns that do not fill a register block.
-    scalar_block(c, ldc, a, lda, b, ldb, r0, r1, nk, c_main, nc);
+    detail::minplus_scalar_block(c, ldc, a, lda, b, ldb, r0, r1, nk, c_main,
+                                 nc);
   }
+}
+
+void minplus_accum_simd(dist_t* c, std::size_t ldc, const dist_t* a,
+                        std::size_t lda, const dist_t* b, std::size_t ldb,
+                        vidx_t nr, vidx_t nk, vidx_t nc) {
+  // Bit-identical fallback when the binary's vector TU outruns this CPU:
+  // every variant computes the same entrywise min, so swapping kernels here
+  // changes host wall-clock only.
+  if (!simd_runtime_ok()) {
+    minplus_accum_tiled(c, ldc, a, lda, b, ldb, nr, nk, nc);
+    return;
+  }
+  detail::minplus_accum_simd_impl(c, ldc, a, lda, b, ldb, nr, nk, nc);
+}
+
+void minplus_accum_tensor(dist_t* c, std::size_t ldc, const dist_t* a,
+                          std::size_t lda, const dist_t* b, std::size_t ldb,
+                          vidx_t nr, vidx_t nk, vidx_t nc) {
+  if (!simd_runtime_ok()) {
+    minplus_accum_tiled(c, ldc, a, lda, b, ldb, nr, nk, nc);
+    return;
+  }
+  detail::minplus_accum_tensor_impl(c, ldc, a, lda, b, ldb, nr, nk, nc);
 }
 
 void minplus_accum_variant(KernelVariant v, dist_t* c, std::size_t ldc,
@@ -239,6 +345,12 @@ void minplus_accum_variant(KernelVariant v, dist_t* c, std::size_t ldc,
       return;
     case KernelVariant::kTiled:
       minplus_accum_tiled(c, ldc, a, lda, b, ldb, nr, nk, nc);
+      return;
+    case KernelVariant::kSimd:
+      minplus_accum_simd(c, ldc, a, lda, b, ldb, nr, nk, nc);
+      return;
+    case KernelVariant::kTensor:
+      minplus_accum_tensor(c, ldc, a, lda, b, ldb, nr, nk, nc);
       return;
     case KernelVariant::kAuto:
     case KernelVariant::kTiledReg:

@@ -1,10 +1,10 @@
-// Kernel engine: cache-blocked / register-blocked min-plus microkernel
-// variants with a process-wide configuration and a startup autotuner
-// (DESIGN.md §9). minplus_accum() dispatches through the engine, so every
-// dense kernel — OOC FW panels, boundary dist4 chains, the in-core
-// baseline — picks up the selected variant. All variants are bit-identical:
-// a cell's result is the min over the same candidate set, and integer min
-// is order-independent.
+// Kernel engine: cache-blocked / register-blocked / vectorized min-plus
+// microkernel variants with a process-wide configuration and a startup
+// autotuner (DESIGN.md §9, §12). minplus_accum() dispatches through the
+// engine, so every dense kernel — OOC FW panels, boundary dist4 chains, the
+// in-core baseline — picks up the selected variant. All variants are
+// bit-identical: a cell's result is the min over the same candidate set, and
+// integer min is order-independent.
 #pragma once
 
 #include <cstddef>
@@ -19,11 +19,24 @@ enum class KernelVariant {
   kNaive,     ///< scalar r-k-c triple loop (the pre-engine kernel)
   kTiled,     ///< k-tiled loops, kInf-row skip hoisted to tile granularity
   kTiledReg,  ///< kTiled + 4×16 register accumulator block
+  kSimd,      ///< 8×16 lane-vector register tile (AVX2/NEON/autovec)
+  kTensor,    ///< kSimd over a lane-major packed k-panel (fused tiles)
 };
+
+/// Number of concrete (non-kAuto) variants; the autotuner measures all of
+/// them, in enum order, and kernel_variant_index() maps into [0, this).
+inline constexpr int kNumKernelVariants = 5;
 
 const char* kernel_variant_name(KernelVariant v);
 
-/// Parses "auto" | "naive" | "tiled" | "tiled-reg"; throws on anything else.
+/// Dense index of a concrete variant (kNaive = 0 … kTensor = 4); -1 for
+/// kAuto. Used to address KernelTuning::seconds_per_op.
+int kernel_variant_index(KernelVariant v);
+
+/// Parses "auto" | "naive" | "tiled" | "tiled-reg" | "simd" | "tensor";
+/// throws on anything else. Both the CLI and the bench route their
+/// --kernel-variant values through here so an unknown name is an error
+/// everywhere, never a silent skip.
 KernelVariant parse_kernel_variant(const std::string& name);
 
 /// Process-wide kernel engine configuration. `threads` is the grid-parallel
@@ -46,7 +59,40 @@ KernelVariant resolved_kernel_variant();
 /// Micro-benchmarks the candidate variants on an FW-shaped working set and
 /// returns the fastest (never kAuto). Results of all candidates are
 /// bit-identical, so a timing-noise-dependent winner is still correct.
+/// Also refreshes the process-wide KernelTuning table as a side effect.
 KernelVariant autotune_kernel_variant();
+
+/// Host-measured per-variant timings from the autotune working set:
+/// seconds_per_op[kernel_variant_index(v)] is the best-of-reps host seconds
+/// divided by the minplus_ops() of the tuning shape — the per-element
+/// constant the cost model scales by (DESIGN.md §12). Purely host
+/// wall-clock; the simulated timeline never depends on it.
+struct KernelTuning {
+  bool measured = false;
+  KernelVariant winner = KernelVariant::kTiledReg;
+  double seconds_per_op[kNumKernelVariants] = {};
+};
+
+/// Returns the tuning table, measuring it first if this process has not yet
+/// (lazy, thread-safe; one measurement per process unless
+/// autotune_kernel_variant() is called again explicitly).
+KernelTuning kernel_tuning();
+
+/// Measured speed of `v` relative to kNaive on the tuning working set
+/// (e.g. 2.0 = half the host time per element). 1.0 for kNaive by
+/// definition; kAuto resolves to the tuned winner first.
+double kernel_variant_rel_speed(KernelVariant v);
+
+// ---- vector-lane backend introspection (simd_lane.h) ----
+
+/// ISA the simd/tensor kernels were compiled against ("avx2" | "neon" |
+/// "autovec") and its lane width in dist_t elements.
+const char* simd_lane_isa();
+int simd_lane_width();
+/// True when the simd/tensor TU was built with AVX2 code generation — the
+/// dispatcher then requires runtime AVX2 support (and falls back to the
+/// scalar tiled kernel, bit-identically, when the CPU lacks it).
+bool simd_kernels_built_avx2();
 
 // ---- variant-explicit kernels (all compute C = min(C, A ⊗ B)) ----
 
@@ -63,9 +109,44 @@ void minplus_accum_tiled_reg(dist_t* c, std::size_t ldc, const dist_t* a,
                              std::size_t ldb, vidx_t nr, vidx_t nk,
                              vidx_t nc);
 
+/// Vector register-tile kernel (simd_lane.h backend; requires operands in
+/// [0, kInf] — the invariant every distance matrix here satisfies).
+void minplus_accum_simd(dist_t* c, std::size_t ldc, const dist_t* a,
+                        std::size_t lda, const dist_t* b, std::size_t ldb,
+                        vidx_t nr, vidx_t nk, vidx_t nc);
+
+/// Fused-tile layout kernel: packs each k-panel of B into contiguous
+/// lane-major tiles and runs the batched vector min-plus over them.
+void minplus_accum_tensor(dist_t* c, std::size_t ldc, const dist_t* a,
+                          std::size_t lda, const dist_t* b, std::size_t ldb,
+                          vidx_t nr, vidx_t nk, vidx_t nc);
+
 /// Runs one explicit variant (kAuto resolves first).
 void minplus_accum_variant(KernelVariant v, dist_t* c, std::size_t ldc,
                            const dist_t* a, std::size_t lda, const dist_t* b,
                            std::size_t ldb, vidx_t nr, vidx_t nk, vidx_t nc);
+
+namespace detail {
+
+/// Naive triple loop over a sub-rectangle of rows × [c_lo, c_hi) — the
+/// shared remainder path of the register-blocked and vector kernels.
+void minplus_scalar_block(dist_t* c, std::size_t ldc, const dist_t* a,
+                          std::size_t lda, const dist_t* b, std::size_t ldb,
+                          vidx_t r_lo, vidx_t r_hi, vidx_t nk, vidx_t c_lo,
+                          vidx_t c_hi);
+
+/// Backend entry points defined in kernel_engine_simd.cpp (possibly built
+/// with AVX2 codegen). Call only through minplus_accum_simd/_tensor, which
+/// apply the runtime CPU gate.
+void minplus_accum_simd_impl(dist_t* c, std::size_t ldc, const dist_t* a,
+                             std::size_t lda, const dist_t* b,
+                             std::size_t ldb, vidx_t nr, vidx_t nk,
+                             vidx_t nc);
+void minplus_accum_tensor_impl(dist_t* c, std::size_t ldc, const dist_t* a,
+                               std::size_t lda, const dist_t* b,
+                               std::size_t ldb, vidx_t nr, vidx_t nk,
+                               vidx_t nc);
+
+}  // namespace detail
 
 }  // namespace gapsp::core

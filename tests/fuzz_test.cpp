@@ -12,6 +12,7 @@
 
 #include "core/apsp.h"
 #include "core/compressed_store.h"
+#include "core/kernel_engine.h"
 #include "graph/generators.h"
 #include "test_util.h"
 
@@ -279,6 +280,67 @@ TEST_P(Z1Fuzz, RoundTripsExactlyAndRejectsDamageTyped) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Z1Fuzz, ::testing::Range(0, 24));
+
+// ---------------------------------------------------------------------------
+// Vector microkernel fuzzer (kernel_engine.h kSimd/kTensor): random tile
+// shapes × random kInf density × random leading dimensions and base-pointer
+// offsets, checked elementwise against the scalar naive oracle. The shapes
+// deliberately straddle the 8×16 register tile, the lane width and the
+// 64-deep k tile so lane tails, strip-liveness edges and the branch-free
+// saturation path all get hit; the random offsets make the unaligned
+// load/store paths real (an aligned-only assumption would fault or corrupt
+// here). Comparing the *whole* padded buffer also proves the kernels never
+// write outside the logical nr×nc window.
+// ---------------------------------------------------------------------------
+
+class SimdFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimdFuzz, VectorKernelsMatchScalarOracleAtAnyAlignment) {
+  Rng rng(0x51D0 + static_cast<std::uint64_t>(GetParam()) * 9176);
+  auto fill = [&rng](std::vector<dist_t>& buf, double p_inf) {
+    for (auto& x : buf) {
+      x = rng.next_bool(p_inf) ? kInf
+                               : static_cast<dist_t>(rng.next_in(0, 1000));
+    }
+  };
+  for (int trial = 0; trial < 8; ++trial) {
+    const vidx_t nr = static_cast<vidx_t>(rng.next_in(1, 90));
+    const vidx_t nk = static_cast<vidx_t>(rng.next_in(1, 150));
+    const vidx_t nc = static_cast<vidx_t>(rng.next_in(1, 90));
+    const double p_inf = rng.next_double();
+    // Random pad past each logical row and a random base offset: every
+    // combination of leading dimension and pointer alignment mod the vector
+    // width shows up across the sweep.
+    const std::size_t lda = nk + rng.next_below(18);
+    const std::size_t ldb = nc + rng.next_below(18);
+    const std::size_t ldc = nc + rng.next_below(18);
+    const std::size_t offa = rng.next_below(8);
+    const std::size_t offb = rng.next_below(8);
+    const std::size_t offc = rng.next_below(8);
+    std::vector<dist_t> abuf(offa + static_cast<std::size_t>(nr) * lda);
+    std::vector<dist_t> bbuf(offb + static_cast<std::size_t>(nk) * ldb);
+    std::vector<dist_t> cbuf(offc + static_cast<std::size_t>(nr) * ldc);
+    fill(abuf, p_inf);
+    fill(bbuf, p_inf);
+    fill(cbuf, p_inf / 2);
+
+    auto want = cbuf;
+    minplus_accum_naive(want.data() + offc, ldc, abuf.data() + offa, lda,
+                        bbuf.data() + offb, ldb, nr, nk, nc);
+    for (const KernelVariant v :
+         {KernelVariant::kSimd, KernelVariant::kTensor}) {
+      auto got = cbuf;
+      minplus_accum_variant(v, got.data() + offc, ldc, abuf.data() + offa,
+                            lda, bbuf.data() + offb, ldb, nr, nk, nc);
+      ASSERT_EQ(got, want) << kernel_variant_name(v) << " diverges at " << nr
+                           << "x" << nk << "x" << nc << " ld=(" << lda << ","
+                           << ldb << "," << ldc << ") off=(" << offa << ","
+                           << offb << "," << offc << ") p_inf=" << p_inf;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimdFuzz, ::testing::Range(0, 24));
 
 }  // namespace
 }  // namespace gapsp::core

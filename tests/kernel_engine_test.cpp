@@ -53,10 +53,12 @@ std::vector<dist_t> random_matrix(vidx_t rows, vidx_t cols,
 TEST_F(KernelEngineTest, VariantNamesRoundTrip) {
   for (const KernelVariant v :
        {KernelVariant::kAuto, KernelVariant::kNaive, KernelVariant::kTiled,
-        KernelVariant::kTiledReg}) {
+        KernelVariant::kTiledReg, KernelVariant::kSimd,
+        KernelVariant::kTensor}) {
     EXPECT_EQ(parse_kernel_variant(kernel_variant_name(v)), v);
   }
-  EXPECT_THROW(parse_kernel_variant("simd"), Error);
+  EXPECT_THROW(parse_kernel_variant("simd8"), Error);
+  EXPECT_THROW(parse_kernel_variant("SIMD"), Error);
   EXPECT_THROW(parse_kernel_variant(""), Error);
 }
 
@@ -191,7 +193,8 @@ TEST_F(KernelEngineTest, DevMinplusIdenticalAcrossVariantsAndThreads) {
     const DevRun base = run_dev_minplus(KernelVariant::kNaive, 1, alias);
     for (const KernelVariant v :
          {KernelVariant::kNaive, KernelVariant::kTiled,
-          KernelVariant::kTiledReg}) {
+          KernelVariant::kTiledReg, KernelVariant::kSimd,
+          KernelVariant::kTensor}) {
       for (const int threads : {1, 2, 0}) {
         const DevRun r = run_dev_minplus(v, threads, alias);
         ASSERT_EQ(r.result, base.result)
@@ -228,7 +231,8 @@ TEST_F(KernelEngineTest, BlockedFwIdenticalAcrossVariantsAndThreads) {
   const DevRun base = run_blocked_fw(KernelVariant::kNaive, 1);
   for (const KernelVariant v :
        {KernelVariant::kNaive, KernelVariant::kTiled,
-        KernelVariant::kTiledReg}) {
+        KernelVariant::kTiledReg, KernelVariant::kSimd,
+        KernelVariant::kTensor}) {
     for (const int threads : {1, 2, 0}) {
       const DevRun r = run_blocked_fw(v, threads);
       ASSERT_EQ(r.result, base.result)

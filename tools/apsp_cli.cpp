@@ -45,8 +45,9 @@
 //   --stats                 print graph statistics and exit
 //
 // Kernel engine (see DESIGN.md §9):
-//   --kernel-variant V      auto | naive | tiled | tiled-reg min-plus
-//                           microkernel (auto benchmarks once and caches)
+//   --kernel-variant V      auto | naive | tiled | tiled-reg | simd | tensor
+//                           min-plus microkernel (auto benchmarks once and
+//                           caches; unknown names are an error)
 //   --kernel-threads N      host threads for grid-parallel kernel execution
 //                           (0 = whole pool, 1 = serial); never changes
 //                           results or simulated time, only wall-clock
@@ -101,10 +102,12 @@
 // (the boundary algorithm) should query through the API with ApspResult::
 // perm, or save via --save which records the permutation.
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 
 #include "core/apsp.h"
+#include "core/kernel_engine.h"
 #include "core/component_solver.h"
 #include "core/compressed_store.h"
 #include "core/cost_model.h"
@@ -507,7 +510,17 @@ int run(const Args& args) {
                             ? std::string("pooled")
                             : std::to_string(opts.kernel_threads) +
                                   "-thread")
-              << " grid execution\n";
+              << " grid execution";
+    const core::KernelTuning tuning = core::kernel_tuning();
+    if (tuning.measured) {
+      std::cout << " (" << core::simd_lane_isa() << " lanes, "
+                << std::fixed << std::setprecision(2)
+                << core::kernel_variant_rel_speed(
+                       core::parse_kernel_variant(r.metrics.kernel_variant))
+                << "x vs naive)";
+      std::cout.unsetf(std::ios::fixed);
+    }
+    std::cout << "\n";
   }
   if (r.metrics.johnson_batch_size > 0) {
     std::cout << "johnson: bat=" << r.metrics.johnson_batch_size << ", "
