@@ -1,5 +1,7 @@
 #include "core/block_cache.h"
 
+#include <string>
+
 namespace gapsp::core {
 
 BlockCache::BlockCache(std::size_t capacity_bytes, int shards)
@@ -15,38 +17,13 @@ BlockCache::Shard& BlockCache::shard_of(std::uint64_t key) {
   return shards_[static_cast<std::size_t>(h) % shards_.size()];
 }
 
-BlockData BlockCache::get_or_load(vidx_t row_block, vidx_t col_block,
-                                  const Loader& loader) {
-  const std::uint64_t key =
-      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(row_block))
-       << 32) |
-      static_cast<std::uint32_t>(col_block);
-  Shard& s = shard_of(key);
-  {
-    std::lock_guard<std::mutex> lk(s.mu);
-    const auto it = s.index.find(key);
-    if (it != s.index.end()) {
-      ++s.hits;
-      s.lru.splice(s.lru.begin(), s.lru, it->second);
-      return it->second->data;
-    }
-    ++s.misses;
-  }
+const BlockCache::Shard& BlockCache::shard_of(std::uint64_t key) const {
+  const std::uint64_t h = (key * 0x9e3779b97f4a7c15ULL) >> 32;
+  return shards_[static_cast<std::size_t>(h) % shards_.size()];
+}
 
-  BlockData data = loader();
-  GAPSP_CHECK(data != nullptr, "cache loader returned no block");
-  const bool negative = negative_ != nullptr && data == negative_;
-  const std::size_t size = negative ? 0 : data->size() * sizeof(dist_t);
-
-  std::lock_guard<std::mutex> lk(s.mu);
-  if (negative) ++s.negative_loads;
-  const auto it = s.index.find(key);
-  if (it != s.index.end()) {
-    // A racing thread loaded and published the same key first; serve its
-    // copy so every reader of one block shares one allocation.
-    s.lru.splice(s.lru.begin(), s.lru, it->second);
-    return it->second->data;
-  }
+BlockData BlockCache::insert_locked(Shard& s, std::uint64_t key,
+                                    BlockData data, std::size_t size) {
   s.lru.push_front(Entry{key, data, size});
   s.index.emplace(key, s.lru.begin());
   s.bytes += size;
@@ -60,6 +37,106 @@ BlockData BlockCache::get_or_load(vidx_t row_block, vidx_t col_block,
   return data;
 }
 
+BlockData BlockCache::get_or_load(vidx_t row_block, vidx_t col_block,
+                                  const Loader& loader) {
+  const std::uint64_t key = key_of(row_block, col_block);
+  Shard& s = shard_of(key);
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    const auto it = s.index.find(key);
+    if (it != s.index.end()) {
+      ++s.hits;
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+      return it->second->data;
+    }
+    ++s.misses;
+    if (s.quarantined.count(key) != 0) {
+      ++s.quarantine_hits;
+      throw TileError(TileFailure::kQuarantined, row_block, col_block,
+                      "tile (" + std::to_string(row_block) + "," +
+                          std::to_string(col_block) + ") is quarantined");
+    }
+  }
+
+  BlockData data;
+  try {
+    data = loader();
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    // A racing thread may have published a valid copy while our load was
+    // failing — serve it rather than poisoning the caller (and never
+    // quarantine a key the cache can demonstrably serve).
+    const auto it = s.index.find(key);
+    if (it != s.index.end()) {
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+      return it->second->data;
+    }
+    try {
+      throw;
+    } catch (const TileError& e) {
+      // Persistent damage (corrupt payload, retries exhausted): remember it
+      // so later misses skip the doomed read. Shed/quarantined kinds carry
+      // no new evidence about the bytes on disk and leave the mark alone.
+      if (e.kind() == TileFailure::kCorrupt ||
+          e.kind() == TileFailure::kTransient) {
+        s.quarantined.insert(key);
+      }
+      throw;
+    }
+  }
+  GAPSP_CHECK(data != nullptr, "cache loader returned no block");
+  const bool negative = negative_ != nullptr && data == negative_;
+  const std::size_t size = negative ? 0 : data->size() * sizeof(dist_t);
+
+  std::lock_guard<std::mutex> lk(s.mu);
+  const auto it = s.index.find(key);
+  if (it != s.index.end()) {
+    // A racing thread loaded and published the same key first; serve its
+    // copy so every reader of one block shares one allocation.
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return it->second->data;
+  }
+  if (negative) ++s.negative_loads;
+  // A successful load is fresh evidence the tile is readable again.
+  s.quarantined.erase(key);
+  return insert_locked(s, key, std::move(data), size);
+}
+
+void BlockCache::publish(vidx_t row_block, vidx_t col_block, BlockData data) {
+  GAPSP_CHECK(data != nullptr, "cannot publish a null block");
+  const std::uint64_t key = key_of(row_block, col_block);
+  Shard& s = shard_of(key);
+  const bool negative = negative_ != nullptr && data == negative_;
+  const std::size_t size = negative ? 0 : data->size() * sizeof(dist_t);
+
+  std::lock_guard<std::mutex> lk(s.mu);
+  s.quarantined.erase(key);
+  const auto it = s.index.find(key);
+  if (it != s.index.end()) {
+    s.bytes -= it->second->bytes;
+    s.lru.erase(it->second);
+    s.index.erase(it);
+  }
+  insert_locked(s, key, std::move(data), size);
+}
+
+bool BlockCache::is_quarantined(vidx_t row_block, vidx_t col_block) const {
+  const std::uint64_t key = key_of(row_block, col_block);
+  const Shard& s = shard_of(key);
+  std::lock_guard<std::mutex> lk(s.mu);
+  return s.quarantined.count(key) != 0;
+}
+
+long long BlockCache::clear_quarantine() {
+  long long cleared = 0;
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    cleared += static_cast<long long>(s.quarantined.size());
+    s.quarantined.clear();
+  }
+  return cleared;
+}
+
 CacheStats BlockCache::stats() const {
   CacheStats out;
   out.capacity_bytes = capacity_bytes_;
@@ -69,6 +146,8 @@ CacheStats BlockCache::stats() const {
     out.misses += s.misses;
     out.evictions += s.evictions;
     out.negative_loads += s.negative_loads;
+    out.quarantined_tiles += static_cast<long long>(s.quarantined.size());
+    out.quarantine_hits += s.quarantine_hits;
     out.bytes_cached += s.bytes;
   }
   return out;

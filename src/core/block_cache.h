@@ -27,8 +27,10 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "core/tile_error.h"
 #include "util/common.h"
 
 namespace gapsp::core {
@@ -41,6 +43,10 @@ struct CacheStats {
   /// Misses whose loader resolved to the shared all-kInf tile; those
   /// entries are cached at zero byte cost.
   long long negative_loads = 0;
+  /// Tiles currently quarantined (loader raised a persistent TileError).
+  long long quarantined_tiles = 0;
+  /// Misses answered by an existing quarantine mark without re-reading.
+  long long quarantine_hits = 0;
   std::size_t bytes_cached = 0;
   std::size_t capacity_bytes = 0;
 
@@ -76,12 +82,30 @@ class BlockCache {
   /// discarded. Eviction pops least-recently-used entries until the shard is
   /// back under budget, but always keeps the entry just inserted (a single
   /// over-budget block is served, not thrashed).
+  ///
+  /// Failure semantics: if the loader throws but a racing thread has
+  /// meanwhile published a valid copy of the same key, that copy is served
+  /// and the exception is swallowed (the data exists; the loser's read
+  /// outcome is irrelevant). Otherwise a TileError{kCorrupt,kTransient}
+  /// from the loader marks the key quarantined — later misses on it throw
+  /// TileError(kQuarantined) without re-reading the sick byte range — and
+  /// every loader exception (quarantining or not) propagates to the caller.
   BlockData get_or_load(vidx_t row_block, vidx_t col_block,
                         const Loader& loader);
 
+  /// Force-publishes a block (repair path): clears any quarantine mark for
+  /// the key and replaces whatever the cache holds for it.
+  void publish(vidx_t row_block, vidx_t col_block, BlockData data);
+
+  bool is_quarantined(vidx_t row_block, vidx_t col_block) const;
+
+  /// Drops every quarantine mark (e.g. after an offline scrub repaired the
+  /// store). Returns the number of marks cleared.
+  long long clear_quarantine();
+
   CacheStats stats() const;
 
-  /// Drops every entry; counters keep accumulating.
+  /// Drops every entry; counters and quarantine marks keep accumulating.
   void clear();
 
  private:
@@ -94,14 +118,26 @@ class BlockCache {
     mutable std::mutex mu;
     std::list<Entry> lru;  ///< front = most recently used
     std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+    std::unordered_set<std::uint64_t> quarantined;
     std::size_t bytes = 0;
     long long hits = 0;
     long long misses = 0;
     long long evictions = 0;
     long long negative_loads = 0;
+    long long quarantine_hits = 0;
   };
 
+  static std::uint64_t key_of(vidx_t row_block, vidx_t col_block) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(row_block))
+            << 32) |
+           static_cast<std::uint32_t>(col_block);
+  }
+
   Shard& shard_of(std::uint64_t key);
+  const Shard& shard_of(std::uint64_t key) const;
+  /// Inserts at LRU front and evicts over-budget entries. Caller holds s.mu.
+  BlockData insert_locked(Shard& s, std::uint64_t key, BlockData data,
+                          std::size_t size);
 
   std::size_t capacity_bytes_;
   std::size_t shard_capacity_;

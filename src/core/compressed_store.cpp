@@ -64,7 +64,9 @@ void emit_sequence(std::vector<std::uint8_t>& out, const std::uint8_t* lit,
 }
 
 [[noreturn]] void bad_frame(const char* what) {
-  throw IoError(std::string("z1 frame: ") + what);
+  // Typed CorruptError (not plain IoError): a malformed frame is persistent
+  // damage — the serving tier quarantines/repairs instead of retrying.
+  throw CorruptError(std::string("z1 frame: ") + what);
 }
 
 }  // namespace
@@ -264,7 +266,7 @@ ZIndex read_index(std::FILE* f, const std::string& path) {
   const std::int64_t tile = ix.h.tile;
   const std::int64_t tps = ix.h.tiles_per_side;
   if (n <= 0 || tile <= 0 || tile > n || tps != (n + tile - 1) / tile) {
-    throw IoError(path + ": corrupt GAPSPZ1 geometry");
+    throw CorruptError(path + ": corrupt GAPSPZ1 geometry");
   }
   const auto num_tiles =
       static_cast<std::uint64_t>(tps) * static_cast<std::uint64_t>(tps);
@@ -275,7 +277,7 @@ ZIndex read_index(std::FILE* f, const std::string& path) {
   }
   if (fnv1a(ix.dir.data(), ix.dir.size() * sizeof(ZDirEntry)) !=
       ix.h.dir_checksum) {
-    throw IoError(path + ": GAPSPZ1 directory checksum mismatch");
+    throw CorruptError(path + ": GAPSPZ1 directory checksum mismatch");
   }
   if (std::fseek(f, 0, SEEK_END) != 0) {
     throw IoError("seek failed in " + path);
@@ -290,12 +292,12 @@ ZIndex read_index(std::FILE* f, const std::string& path) {
     if (e.bytes == 0) continue;
     if (e.offset < data_start || e.offset + e.bytes < e.offset ||
         e.offset + e.bytes > ix.file_bytes) {
-      throw IoError(path + ": GAPSPZ1 directory entry out of bounds");
+      throw CorruptError(path + ": GAPSPZ1 directory entry out of bounds");
     }
     payload += e.bytes;
   }
   if (payload != ix.h.payload_bytes) {
-    throw IoError(path + ": GAPSPZ1 payload size mismatch");
+    throw CorruptError(path + ": GAPSPZ1 payload size mismatch");
   }
   return ix;
 }
@@ -391,7 +393,7 @@ class CompressedStore final : public DistStore {
     const std::size_t elems =
         static_cast<std::size_t>(trows) * static_cast<std::size_t>(tcols);
     if (z1_raw_size(comp_.data(), comp_.size()) != elems * sizeof(dist_t)) {
-      throw IoError(path_ + ": tile frame size does not match geometry");
+      throw CorruptError(path_ + ": tile frame size does not match geometry");
     }
     memo_.resize(elems);
     memo_tile_ = -1;  // invalid while the buffer is being overwritten

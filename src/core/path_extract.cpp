@@ -6,19 +6,24 @@ namespace gapsp::core {
 
 PathExtractor::PathExtractor(const graph::CsrGraph& g, const DistStore& store,
                              const ApspResult& result,
-                             std::size_t cache_bytes)
+                             std::size_t cache_bytes, StoreChecksums checksums,
+                             TileReaderOptions reader_opt)
     : g_(g),
       reverse_(g.transpose()),
       store_(store),
       perm_(result.perm),
-      cache_(cache_bytes, /*shards=*/4) {
+      cache_(cache_bytes, /*shards=*/4),
+      reader_(store, std::move(checksums), reader_opt) {
   GAPSP_CHECK(store.n() == g.num_vertices(), "store does not match graph");
   GAPSP_CHECK(perm_.empty() ||
                   perm_.size() == static_cast<std::size_t>(g.num_vertices()),
               "result permutation does not match graph");
   // Same tiling policy as the query service: follow the store's native tile
-  // side when it has one so a miss never decompresses two tiles.
-  block_ = store.tile_size() > 0 ? store.tile_size() : 256;
+  // side when it has one so a miss never decompresses two tiles; a sidecar
+  // grid likewise so every miss is a verifiable unit.
+  block_ = store.tile_size() > 0 ? store.tile_size()
+           : reader_.checksums().present() ? reader_.checksums().tile
+                                           : 256;
   block_ = std::min<vidx_t>(block_, std::max<vidx_t>(1, store.n()));
   num_blocks_ =
       store.n() == 0 ? 0 : (store.n() + block_ - 1) / block_;
@@ -38,8 +43,8 @@ BlockData PathExtractor::fetch(vidx_t block_row, vidx_t block_col) const {
     if (store_.block_known_inf(row0, col0, rows, cols)) return inf_tile_;
     auto data = std::make_shared<std::vector<dist_t>>(
         static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
-    store_.read_block(row0, col0, rows, cols, data->data(),
-                      static_cast<std::size_t>(cols));
+    reader_.read_tile(block_row, block_col, row0, col0, rows, cols,
+                      data->data());
     for (const dist_t d : *data) {
       if (d != kInf) return data;
     }

@@ -1,0 +1,241 @@
+#include "core/scrub.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "core/compressed_store.h"
+#include "core/dist_store.h"
+#include "core/store_integrity.h"
+#include "core/tile_reader.h"
+#include "graph/csr_graph.h"
+#include "sssp/dijkstra.h"
+
+namespace gapsp::core {
+
+namespace {
+
+constexpr std::size_t kMaxReportedTiles = 64;
+
+void note_damage(ScrubReport& report, vidx_t bi, vidx_t bj,
+                 const std::string& reason) {
+  ++report.corrupt;
+  if (report.damaged.size() < kMaxReportedTiles) {
+    report.damaged.push_back(DamagedTile{bi, bj, false, reason});
+  }
+}
+
+void mark_repaired(ScrubReport& report) {
+  report.repaired = report.corrupt;
+  for (DamagedTile& t : report.damaged) t.repaired = true;
+}
+
+/// Scans every tile of `store` through `reader`, recording damage.
+/// Returns the damaged tile keys (bi * tiles_per_side + bj).
+std::unordered_set<std::uint64_t> scan_tiles(CheckedTileReader& reader,
+                                             const DistStore& store,
+                                             vidx_t tile, ScrubReport& report) {
+  std::unordered_set<std::uint64_t> damaged;
+  const vidx_t n = store.n();
+  const vidx_t tps = (n + tile - 1) / tile;
+  std::vector<dist_t> buf(static_cast<std::size_t>(tile) * tile);
+  for (vidx_t bi = 0; bi < tps; ++bi) {
+    const vidx_t row0 = bi * tile;
+    const vidx_t rows = std::min<vidx_t>(tile, n - row0);
+    for (vidx_t bj = 0; bj < tps; ++bj) {
+      const vidx_t col0 = bj * tile;
+      const vidx_t cols = std::min<vidx_t>(tile, n - col0);
+      ++report.tiles;
+      try {
+        reader.read_tile(bi, bj, row0, col0, rows, cols, buf.data());
+      } catch (const TileError& e) {
+        note_damage(report, bi, bj, e.what());
+        damaged.insert(static_cast<std::uint64_t>(bi) * tps + bj);
+      }
+    }
+  }
+  return damaged;
+}
+
+/// Serves damaged tiles from the repair source and everything else from the
+/// underlying (partially corrupt) store. write_compressed_store walks the
+/// source in store-tile-aligned rectangles, so forwarding by tile key is
+/// exact.
+class PatchedSource final : public DistStore {
+ public:
+  PatchedSource(const DistStore& base, vidx_t tile,
+                std::unordered_set<std::uint64_t> damaged,
+                const TileRepairFn& repair)
+      : DistStore(base.n()), base_(base), tile_(tile),
+        damaged_(std::move(damaged)), repair_(repair) {}
+
+  void write_block(vidx_t, vidx_t, vidx_t, vidx_t, const dist_t*,
+                   std::size_t) override {
+    throw IoError("PatchedSource is read-only");
+  }
+
+  void read_block(vidx_t row0, vidx_t col0, vidx_t rows, vidx_t cols,
+                  dist_t* dst, std::size_t dst_ld) const override {
+    check_block(row0, col0, rows, cols);
+    GAPSP_CHECK(row0 % tile_ == 0 && col0 % tile_ == 0 && rows <= tile_ &&
+                    cols <= tile_,
+                "patched scrub source requires tile-aligned reads");
+    const vidx_t tps = (n() + tile_ - 1) / tile_;
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(row0 / tile_) * tps + col0 / tile_;
+    if (damaged_.count(key) == 0) {
+      base_.read_block(row0, col0, rows, cols, dst, dst_ld);
+      return;
+    }
+    const std::vector<dist_t> fixed = repair_(row0, col0, rows, cols);
+    GAPSP_CHECK(fixed.size() == static_cast<std::size_t>(rows) * cols,
+                "repair source returned a wrong-sized tile");
+    for (vidx_t r = 0; r < rows; ++r) {
+      std::copy_n(fixed.data() + static_cast<std::size_t>(r) * cols, cols,
+                  dst + static_cast<std::size_t>(r) * dst_ld);
+    }
+  }
+
+  vidx_t tile_size() const override { return tile_; }
+
+ private:
+  const DistStore& base_;
+  vidx_t tile_;
+  std::unordered_set<std::uint64_t> damaged_;
+  const TileRepairFn& repair_;
+};
+
+ScrubReport scrub_raw(const std::string& path, const ScrubOptions& opt) {
+  ScrubReport report;
+  StoreChecksums sums;
+  bool sidecar_corrupt = false;
+  try {
+    report.sums_present =
+        load_store_checksums(checksum_sidecar_path(path), sums);
+  } catch (const CorruptError&) {
+    // A rotten sidecar is itself damage: scan unverified, then rebuild it
+    // below when asked to.
+    sidecar_corrupt = true;
+  }
+
+  std::unordered_set<std::uint64_t> damaged;
+  vidx_t n = 0;
+  {
+    auto store = open_file_store(path);
+    n = store->n();
+    report.n = n;
+    report.tile = sums.present() ? sums.tile : opt.tile;
+    TileReaderOptions ropt;
+    ropt.retry = opt.retry;
+    ropt.faults = opt.faults;
+    CheckedTileReader reader(*store, sums, ropt);
+    damaged = scan_tiles(reader, *store, report.tile, report);
+  }
+
+  if (opt.repair && !damaged.empty()) {
+    GAPSP_CHECK(static_cast<bool>(opt.repair_fn),
+                "scrub repair requested without a repair source");
+    // Adopt the existing file read-write (same size, no truncation) and
+    // overwrite exactly the damaged tiles with recomputed truth.
+    auto store = make_file_store(n, path, /*keep_file=*/true);
+    const vidx_t tile = report.tile;
+    const vidx_t tps = (n + tile - 1) / tile;
+    for (const std::uint64_t key : damaged) {
+      const vidx_t bi = static_cast<vidx_t>(key / tps);
+      const vidx_t bj = static_cast<vidx_t>(key % tps);
+      const vidx_t row0 = bi * tile;
+      const vidx_t col0 = bj * tile;
+      const vidx_t rows = std::min<vidx_t>(tile, n - row0);
+      const vidx_t cols = std::min<vidx_t>(tile, n - col0);
+      const std::vector<dist_t> fixed = opt.repair_fn(row0, col0, rows, cols);
+      GAPSP_CHECK(fixed.size() == static_cast<std::size_t>(rows) * cols,
+                  "repair source returned a wrong-sized tile");
+      store->write_block(row0, col0, rows, cols, fixed.data(), cols);
+    }
+    mark_repaired(report);
+  }
+  report.unrepaired = report.corrupt - report.repaired;
+
+  // (Re)write the sidecar when asked, when repair touched the store, or
+  // when the old sidecar was itself corrupt — but never over damage we did
+  // not fix, which would launder corruption into "verified" data.
+  const bool want_sums =
+      opt.write_sums || sidecar_corrupt || report.repaired > 0;
+  if (want_sums && report.unrepaired == 0) {
+    auto store = open_file_store(path);
+    const StoreChecksums fresh =
+        compute_store_checksums(*store, report.tile);
+    write_store_checksums(fresh, checksum_sidecar_path(path));
+    report.sums_written = true;
+  }
+  return report;
+}
+
+ScrubReport scrub_z1(const std::string& path, const ScrubOptions& opt) {
+  ScrubReport report;
+  report.compressed = true;
+  // Store-level validation (header + directory) happens at open; damage
+  // there prevents the walk and propagates as CorruptError per contract.
+  const CompressedStoreInfo info = compressed_store_info(path);
+  report.n = info.n;
+  report.tile = info.tile;
+
+  auto store = open_compressed_store(path);
+  TileReaderOptions ropt;
+  ropt.retry = opt.retry;
+  ropt.faults = opt.faults;
+  // No sidecar: the z1 decoder verifies its own frame checksums.
+  CheckedTileReader reader(*store, StoreChecksums{}, ropt);
+  std::unordered_set<std::uint64_t> damaged =
+      scan_tiles(reader, *store, report.tile, report);
+
+  if (opt.repair && !damaged.empty()) {
+    GAPSP_CHECK(static_cast<bool>(opt.repair_fn),
+                "scrub repair requested without a repair source");
+    const PatchedSource patched(*store, report.tile, std::move(damaged),
+                                opt.repair_fn);
+    // Atomic: the rebuilt store replaces `path` only once fully written;
+    // our open handle keeps reading the old inode meanwhile.
+    write_compressed_store(patched, path, report.tile);
+    mark_repaired(report);
+  }
+  report.unrepaired = report.corrupt - report.repaired;
+  return report;
+}
+
+}  // namespace
+
+ScrubReport scrub_store(const std::string& path, const ScrubOptions& opt) {
+  GAPSP_CHECK(!opt.repair || static_cast<bool>(opt.repair_fn),
+              "scrub repair requested without a repair source");
+  return is_compressed_store(path) ? scrub_z1(path, opt)
+                                   : scrub_raw(path, opt);
+}
+
+TileRepairFn make_sssp_repair(const graph::CsrGraph& g,
+                              std::vector<vidx_t> perm) {
+  const vidx_t n = g.num_vertices();
+  GAPSP_CHECK(perm.empty() || static_cast<vidx_t>(perm.size()) == n,
+              "permutation size does not match the graph");
+  // stored index = perm[vertex]  ⇒  vertex = inv[stored index]
+  auto inv = std::make_shared<std::vector<vidx_t>>(n);
+  if (perm.empty()) {
+    for (vidx_t v = 0; v < n; ++v) (*inv)[v] = v;
+  } else {
+    for (vidx_t v = 0; v < n; ++v) (*inv)[perm[v]] = v;
+  }
+  return [&g, inv, n](vidx_t row0, vidx_t col0, vidx_t rows,
+                      vidx_t cols) -> std::vector<dist_t> {
+    std::vector<dist_t> out(static_cast<std::size_t>(rows) * cols);
+    std::vector<dist_t> dist(static_cast<std::size_t>(n));
+    for (vidx_t r = 0; r < rows; ++r) {
+      sssp::dijkstra_into(g, (*inv)[row0 + r], dist);
+      for (vidx_t c = 0; c < cols; ++c) {
+        out[static_cast<std::size_t>(r) * cols + c] = dist[(*inv)[col0 + c]];
+      }
+    }
+    return out;
+  };
+}
+
+}  // namespace gapsp::core

@@ -1,0 +1,129 @@
+#include "core/store_integrity.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/checkpoint.h"
+#include "core/dist_store.h"
+
+namespace gapsp::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'A', 'P', 'S', 'P', 'S', 'M', '1'};
+constexpr std::size_t kHeaderBytes = 64;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void put_i64(std::uint8_t* dst, std::int64_t v) {
+  for (int i = 0; i < 8; ++i)
+    dst[i] = static_cast<std::uint8_t>((static_cast<std::uint64_t>(v) >> (8 * i)) & 0xff);
+}
+
+std::int64_t get_i64(const std::uint8_t* src) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(src[i]) << (8 * i);
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
+
+std::uint64_t tile_checksum(const dist_t* data, std::size_t elems) {
+  return fnv1a(data, elems * sizeof(dist_t));
+}
+
+std::string checksum_sidecar_path(const std::string& store_path) {
+  return store_path + ".sum";
+}
+
+StoreChecksums compute_store_checksums(DistStore& store, vidx_t tile) {
+  GAPSP_CHECK(tile > 0, "checksum tile size must be positive");
+  StoreChecksums out;
+  out.n = store.n();
+  out.tile = tile;
+  out.tiles_per_side = (out.n + tile - 1) / tile;
+  out.sums.assign(static_cast<std::size_t>(out.tiles_per_side) *
+                      out.tiles_per_side,
+                  0);
+  std::vector<dist_t> buf(static_cast<std::size_t>(tile) * tile);
+  for (vidx_t bi = 0; bi < out.tiles_per_side; ++bi) {
+    const vidx_t row0 = bi * tile;
+    const vidx_t rows = std::min<vidx_t>(tile, out.n - row0);
+    for (vidx_t bj = 0; bj < out.tiles_per_side; ++bj) {
+      const vidx_t col0 = bj * tile;
+      const vidx_t cols = std::min<vidx_t>(tile, out.n - col0);
+      store.read_block(row0, col0, rows, cols, buf.data(), cols);
+      out.sums[static_cast<std::size_t>(bi) * out.tiles_per_side + bj] =
+          tile_checksum(buf.data(), static_cast<std::size_t>(rows) * cols);
+    }
+  }
+  return out;
+}
+
+void write_store_checksums(const StoreChecksums& sums,
+                           const std::string& path) {
+  GAPSP_CHECK(sums.present(), "cannot write an absent checksum sidecar");
+  const std::string tmp = path + ".tmp";
+  {
+    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    if (!f) throw IoError("cannot create checksum sidecar " + tmp);
+
+    std::uint8_t header[kHeaderBytes] = {};
+    std::memcpy(header, kMagic, sizeof(kMagic));
+    put_i64(header + 8, sums.n);
+    put_i64(header + 16, sums.tile);
+    put_i64(header + 24, sums.tiles_per_side);
+    put_i64(header + 32,
+            static_cast<std::int64_t>(fnv1a(
+                sums.sums.data(), sums.sums.size() * sizeof(std::uint64_t))));
+    if (std::fwrite(header, 1, kHeaderBytes, f.get()) != kHeaderBytes ||
+        std::fwrite(sums.sums.data(), sizeof(std::uint64_t), sums.sums.size(),
+                    f.get()) != sums.sums.size() ||
+        std::fflush(f.get()) != 0) {
+      std::remove(tmp.c_str());
+      throw IoError("short write to checksum sidecar " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError("cannot rename checksum sidecar into place: " + path);
+  }
+}
+
+bool load_store_checksums(const std::string& path, StoreChecksums& out) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;  // absent sidecar: verification is simply off
+
+  std::uint8_t header[kHeaderBytes];
+  if (std::fread(header, 1, kHeaderBytes, f.get()) != kHeaderBytes)
+    throw CorruptError("checksum sidecar too short: " + path);
+  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0)
+    throw CorruptError("bad checksum sidecar magic: " + path);
+
+  StoreChecksums s;
+  const std::int64_t n = get_i64(header + 8);
+  const std::int64_t tile = get_i64(header + 16);
+  const std::int64_t tps = get_i64(header + 24);
+  const std::uint64_t self_sum = static_cast<std::uint64_t>(get_i64(header + 32));
+  if (n < 0 || tile <= 0 || tps != (n + tile - 1) / tile)
+    throw CorruptError("inconsistent checksum sidecar geometry: " + path);
+  s.n = static_cast<vidx_t>(n);
+  s.tile = static_cast<vidx_t>(tile);
+  s.tiles_per_side = static_cast<vidx_t>(tps);
+  s.sums.resize(static_cast<std::size_t>(tps) * tps);
+  if (std::fread(s.sums.data(), sizeof(std::uint64_t), s.sums.size(),
+                 f.get()) != s.sums.size())
+    throw IoError("short read from checksum sidecar " + path);
+  if (fnv1a(s.sums.data(), s.sums.size() * sizeof(std::uint64_t)) != self_sum)
+    throw CorruptError("checksum sidecar failed its self-check: " + path);
+
+  out = std::move(s);
+  return true;
+}
+
+}  // namespace gapsp::core

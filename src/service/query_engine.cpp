@@ -2,26 +2,49 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace gapsp::service {
 
+const char* query_status_name(QueryStatus s) {
+  switch (s) {
+    case QueryStatus::kOk:
+      return "ok";
+    case QueryStatus::kQuarantined:
+      return "quarantined";
+    case QueryStatus::kShed:
+      return "shed";
+    case QueryStatus::kError:
+      return "error";
+  }
+  return "?";
+}
+
 QueryEngine::QueryEngine(const core::DistStore& store, QueryEngineOptions opt,
                          std::vector<vidx_t> perm)
     : store_(store),
-      opt_(opt),
+      opt_(std::move(opt)),
       perm_(std::move(perm)),
-      cache_(opt.cache_bytes, opt.cache_shards) {
+      cache_(opt_.cache_bytes, opt_.cache_shards),
+      reader_(store, std::move(opt_.checksums),
+              core::TileReaderOptions{opt_.retry, opt_.verify_checksums,
+                                      opt_.faults}) {
   GAPSP_CHECK(opt_.block_size > 0, "cache block size must be positive");
   GAPSP_CHECK(perm_.empty() ||
                   perm_.size() == static_cast<std::size_t>(store_.n()),
               "permutation length does not match the store");
   // A natively tiled store (GAPSPZ1) decompresses whole tiles on the miss
   // path: align the cache grid to the stored tiling so one miss never
-  // touches two stored tiles.
-  if (store_.tile_size() > 0) opt_.block_size = store_.tile_size();
+  // touches two stored tiles. A raw store with a checksum sidecar likewise
+  // snaps to the sidecar's tile grid so every miss is a verifiable unit.
+  if (store_.tile_size() > 0) {
+    opt_.block_size = store_.tile_size();
+  } else if (reader_.checksums().present()) {
+    opt_.block_size = reader_.checksums().tile;
+  }
   opt_.block_size = std::min<vidx_t>(opt_.block_size, std::max<vidx_t>(1, n()));
   num_blocks_ = n() == 0 ? 0 : (n() + opt_.block_size - 1) / opt_.block_size;
   // Edge tiles index at most rows×cols ≤ block_size² elements into this
@@ -33,30 +56,72 @@ QueryEngine::QueryEngine(const core::DistStore& store, QueryEngineOptions opt,
   cache_.set_negative_tile(inf_tile_);
 }
 
+ServiceStats QueryEngine::service_stats() const {
+  ServiceStats out;
+  out.served = served_.load(std::memory_order_relaxed);
+  out.degraded = degraded_.load(std::memory_order_relaxed);
+  out.shed = shed_.load(std::memory_order_relaxed);
+  out.repaired = repaired_.load(std::memory_order_relaxed);
+  const core::TileReaderStats r = reader_.stats();
+  out.retries = r.retries;
+  out.transient_failures = r.transient_failures;
+  out.corrupt_tiles = r.corrupt_tiles;
+  return out;
+}
+
+BlockData QueryEngine::collapse_inf(
+    std::shared_ptr<std::vector<dist_t>> data) const {
+  // Scan-on-load for raw stores: an all-kInf tile just read from disk
+  // collapses to the shared tile instead of occupying cache budget.
+  for (const dist_t d : *data) {
+    if (d != kInf) return data;
+  }
+  return inf_tile_;
+}
+
+BlockData QueryEngine::repair_tile(vidx_t block_row, vidx_t block_col) const {
+  const vidx_t b = opt_.block_size;
+  const vidx_t row0 = block_row * b;
+  const vidx_t col0 = block_col * b;
+  const vidx_t rows = std::min<vidx_t>(b, n() - row0);
+  const vidx_t cols = std::min<vidx_t>(b, n() - col0);
+  auto data = std::make_shared<std::vector<dist_t>>(
+      opt_.repair(row0, col0, rows, cols));
+  GAPSP_CHECK(data->size() == static_cast<std::size_t>(rows) * cols,
+              "repair source returned a wrong-sized tile");
+  BlockData fixed = collapse_inf(std::move(data));
+  // Republish: clears the quarantine mark, so the whole service heals —
+  // later queries for this tile are plain cache hits.
+  cache_.publish(block_row, block_col, fixed);
+  repaired_.fetch_add(1, std::memory_order_relaxed);
+  return fixed;
+}
+
 BlockData QueryEngine::fetch(vidx_t block_row, vidx_t block_col) const {
-  return cache_.get_or_load(block_row, block_col, [&]() -> BlockData {
-    const vidx_t b = opt_.block_size;
-    const vidx_t row0 = block_row * b;
-    const vidx_t col0 = block_col * b;
-    const vidx_t rows = std::min<vidx_t>(b, n() - row0);
-    const vidx_t cols = std::min<vidx_t>(b, n() - col0);
-    // Directory-backed stores answer "all kInf" without any I/O; the shared
-    // tile is cached at zero byte cost.
-    if (store_.block_known_inf(row0, col0, rows, cols)) return inf_tile_;
-    auto data = std::make_shared<std::vector<dist_t>>(
-        static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
-    {
-      std::lock_guard<std::mutex> lk(store_mu_);
-      store_.read_block(row0, col0, rows, cols, data->data(),
-                        static_cast<std::size_t>(cols));
-    }
-    // Scan-on-load for raw stores: an all-kInf tile just read from disk
-    // collapses to the shared tile instead of occupying cache budget.
-    for (const dist_t d : *data) {
-      if (d != kInf) return data;
-    }
-    return inf_tile_;
-  });
+  try {
+    return cache_.get_or_load(block_row, block_col, [&]() -> BlockData {
+      const vidx_t b = opt_.block_size;
+      const vidx_t row0 = block_row * b;
+      const vidx_t col0 = block_col * b;
+      const vidx_t rows = std::min<vidx_t>(b, n() - row0);
+      const vidx_t cols = std::min<vidx_t>(b, n() - col0);
+      // Directory-backed stores answer "all kInf" without any I/O; the
+      // shared tile is cached at zero byte cost.
+      if (store_.block_known_inf(row0, col0, rows, cols)) return inf_tile_;
+      auto data = std::make_shared<std::vector<dist_t>>(
+          static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+      reader_.read_tile(block_row, block_col, row0, col0, rows, cols,
+                        data->data());
+      return collapse_inf(std::move(data));
+    });
+  } catch (const core::TileError&) {
+    // The cache has quarantined the tile (or it already was). With a
+    // repair source the engine recomputes it on demand and the query is
+    // served; without one the typed error propagates for the caller to
+    // turn into a degraded per-query status.
+    if (opt_.repair) return repair_tile(block_row, block_col);
+    throw;
+  }
 }
 
 dist_t QueryEngine::point(vidx_t u, vidx_t v) const {
@@ -145,41 +210,73 @@ BatchReport QueryEngine::run_batch(std::span<const Query> queries) const {
   const auto fanout = static_cast<std::size_t>(std::max(0, opt_.max_threads));
   const auto tiles = static_cast<std::size_t>(num_blocks_) *
                      static_cast<std::size_t>(num_blocks_);
+
+  // Admission control: the batch IS the queue. Everything past max_queue
+  // is shed up front with a typed status — bounded work per batch, and the
+  // caller can resubmit or spill to another replica.
+  std::size_t admitted = queries.size();
+  if (opt_.max_queue > 0 && queries.size() > opt_.max_queue) {
+    admitted = opt_.max_queue;
+    for (std::size_t i = admitted; i < queries.size(); ++i) {
+      QueryResult& r = report.results[i];
+      r.query = queries[i];
+      r.status = QueryStatus::kShed;
+      r.error = "shed: batch exceeds admission queue of " +
+                std::to_string(opt_.max_queue);
+    }
+    shed_.fetch_add(static_cast<long long>(queries.size() - admitted),
+                    std::memory_order_relaxed);
+  }
+
+  // Workers run on ThreadPool::global(), where an escaping exception is
+  // fatal (util/thread_pool.h): every failure must become a per-query
+  // status here, never a throw.
+  const auto run_one = [&](std::size_t i) {
+    const Query& q = queries[i];
+    QueryResult& r = report.results[i];
+    r.query = q;
+    Timer t;
+    try {
+      switch (q.kind) {
+        case QueryKind::kPoint:
+          r.dist = point(q.u, q.v);
+          break;
+        case QueryKind::kRow:
+          r.row = row(q.u);
+          break;
+      }
+    } catch (const core::TileError& e) {
+      r.status = QueryStatus::kQuarantined;
+      r.error = e.what();
+      r.row.clear();
+      r.dist = kInf;
+    } catch (const std::exception& e) {
+      r.status = QueryStatus::kError;
+      r.error = e.what();
+      r.row.clear();
+      r.dist = kInf;
+    }
+    r.latency_s = t.seconds();
+  };
+
   // Point queries are grouped by tile so each tile goes through the cache
   // once per batch; the rest of a bucket is answered by direct array reads.
   // A batch much smaller than the tile grid would pay more for the counting
   // pass than it saves — those (and empty stores) take the per-query path.
   const bool grouped =
-      tiles > 0 && tiles <= std::max<std::size_t>(1024, 8 * queries.size());
+      tiles > 0 && tiles <= std::max<std::size_t>(1024, 8 * admitted);
   Timer wall;
   if (!grouped) {
-    ThreadPool::global().parallel_for(
-        queries.size(),
-        [&](std::size_t i) {
-          const Query& q = queries[i];
-          QueryResult& r = report.results[i];
-          r.query = q;
-          Timer t;
-          switch (q.kind) {
-            case QueryKind::kPoint:
-              r.dist = point(q.u, q.v);
-              break;
-            case QueryKind::kRow:
-              r.row = row(q.u);
-              break;
-          }
-          r.latency_s = t.seconds();
-        },
-        /*grain=*/1, fanout);
+    ThreadPool::global().parallel_for(admitted, run_one, /*grain=*/1, fanout);
   } else {
     const vidx_t b = opt_.block_size;
     // Counting sort of point-query indices by tile (validated up front, on
-    // the calling thread, so workers never throw).
-    std::vector<std::uint32_t> tile_of(queries.size());
+    // the calling thread, so workers never throw for bad arguments).
+    std::vector<std::uint32_t> tile_of(admitted);
     std::vector<std::uint32_t> count(tiles, 0);
     std::vector<std::uint32_t> row_queries;
     std::size_t num_points = 0;
-    for (std::size_t i = 0; i < queries.size(); ++i) {
+    for (std::size_t i = 0; i < admitted; ++i) {
       const Query& q = queries[i];
       GAPSP_CHECK(q.u >= 0 && q.u < n(), "query vertex out of range");
       if (q.kind == QueryKind::kRow) {
@@ -203,7 +300,7 @@ BatchReport QueryEngine::run_batch(std::span<const Query> queries) const {
     std::vector<std::uint32_t> order(num_points);
     {
       std::vector<std::uint32_t> cursor(start.begin(), start.end() - 1);
-      for (std::size_t i = 0; i < queries.size(); ++i) {
+      for (std::size_t i = 0; i < admitted; ++i) {
         if (queries[i].kind == QueryKind::kPoint) {
           order[cursor[tile_of[i]]++] = static_cast<std::uint32_t>(i);
         }
@@ -211,17 +308,13 @@ BatchReport QueryEngine::run_batch(std::span<const Query> queries) const {
     }
     // One work item per non-empty bucket, plus one per row query. The first
     // query of a bucket pays the (timed) cache resolution; the rest read the
-    // pinned tile directly.
+    // pinned tile directly. A tile failure degrades exactly its bucket —
+    // the typed error is copied to each query that needed the tile.
     ThreadPool::global().parallel_for(
         bucket_tiles.size() + row_queries.size(),
         [&](std::size_t w) {
           if (w >= bucket_tiles.size()) {
-            const std::uint32_t i = row_queries[w - bucket_tiles.size()];
-            QueryResult& r = report.results[i];
-            r.query = queries[i];
-            Timer t;
-            r.row = row(queries[i].u);
-            r.latency_s = t.seconds();
+            run_one(row_queries[w - bucket_tiles.size()]);
             return;
           }
           const std::uint32_t tl = bucket_tiles[w];
@@ -229,7 +322,28 @@ BatchReport QueryEngine::run_batch(std::span<const Query> queries) const {
           const auto bj = static_cast<vidx_t>(tl % static_cast<std::uint32_t>(num_blocks_));
           const vidx_t cols = std::min<vidx_t>(b, n() - bj * b);
           Timer t_fetch;
-          const BlockData tile = fetch(bi, bj);
+          BlockData tile;
+          try {
+            tile = fetch(bi, bj);
+          } catch (const core::TileError& e) {
+            for (std::uint32_t p = start[tl]; p < start[tl + 1]; ++p) {
+              QueryResult& r = report.results[order[p]];
+              r.query = queries[order[p]];
+              r.status = QueryStatus::kQuarantined;
+              r.error = e.what();
+              r.latency_s = p == start[tl] ? t_fetch.seconds() : 0.0;
+            }
+            return;
+          } catch (const std::exception& e) {
+            for (std::uint32_t p = start[tl]; p < start[tl + 1]; ++p) {
+              QueryResult& r = report.results[order[p]];
+              r.query = queries[order[p]];
+              r.status = QueryStatus::kError;
+              r.error = e.what();
+              r.latency_s = p == start[tl] ? t_fetch.seconds() : 0.0;
+            }
+            return;
+          }
           const double fetch_s = t_fetch.seconds();
           // Per-query latency is amortized over the bucket (timing each
           // ~100ns array read individually would cost more than the read);
@@ -258,13 +372,19 @@ BatchReport QueryEngine::run_batch(std::span<const Query> queries) const {
                    ? static_cast<double>(queries.size()) / report.wall_seconds
                    : 0.0;
 
+  long long ok = 0;
+  long long bad = 0;
   std::vector<double> lat;
-  lat.reserve(queries.size());
+  lat.reserve(admitted);
   double sum = 0.0;
-  for (const QueryResult& r : report.results) {
+  for (std::size_t i = 0; i < admitted; ++i) {
+    const QueryResult& r = report.results[i];
+    (r.status == QueryStatus::kOk ? ok : bad) += 1;
     lat.push_back(r.latency_s);
     sum += r.latency_s;
   }
+  served_.fetch_add(ok, std::memory_order_relaxed);
+  degraded_.fetch_add(bad, std::memory_order_relaxed);
   std::sort(lat.begin(), lat.end());
   report.latency.count = lat.size();
   report.latency.mean_s = lat.empty() ? 0.0 : sum / static_cast<double>(lat.size());
@@ -272,6 +392,7 @@ BatchReport QueryEngine::run_batch(std::span<const Query> queries) const {
   report.latency.p95_s = percentile(lat, 0.95);
   report.latency.max_s = lat.empty() ? 0.0 : lat.back();
   report.cache = cache_.stats();
+  report.service = service_stats();
   return report;
 }
 

@@ -7,14 +7,28 @@
 // granular LRU cache (block_cache.h) absorbs the file-backed store's
 // per-element seek cost, and batches fan out across ThreadPool::global()
 // with a latency sample per query.
+//
+// Fault tolerance (DESIGN.md §13): every miss-path read goes through a
+// CheckedTileReader — checksum-verified against the GAPSPSM1 sidecar for
+// raw stores, retried under a RetryPolicy on transient I/O faults. Tiles
+// that stay unreadable are quarantined in the cache; queries touching them
+// come back with a typed per-query status instead of an exception (batch)
+// and never poison sibling queries. With a repair source configured the
+// engine recomputes a damaged tile on demand and republishes it. Batches
+// admit at most `max_queue` queries; the overflow is shed with
+// QueryStatus::kShed so overload degrades predictably instead of queueing
+// without bound.
 #pragma once
 
-#include <mutex>
+#include <atomic>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/block_cache.h"
 #include "core/dist_store.h"
+#include "core/store_integrity.h"
+#include "core/tile_reader.h"
 
 namespace gapsp::service {
 
@@ -35,11 +49,25 @@ struct Query {
   vidx_t v = 0;  ///< unused for row queries
 };
 
+/// Per-query outcome. Anything other than kOk leaves dist/row unspecified
+/// and `error` set; the batch as a whole always completes.
+enum class QueryStatus {
+  kOk,
+  kQuarantined,  ///< a tile this query needs is unserveable (corrupt or
+                 ///< persistently unreadable) and no repair source is set
+  kShed,         ///< rejected by admission control before any read
+  kError,        ///< unexpected failure (bug surface, not a data fault)
+};
+
+const char* query_status_name(QueryStatus s);
+
 struct QueryResult {
   Query query;
+  QueryStatus status = QueryStatus::kOk;
   dist_t dist = kInf;       ///< point queries
   std::vector<dist_t> row;  ///< row queries, indexed by original vertex id
   double latency_s = 0.0;
+  std::string error;  ///< empty when status == kOk
 };
 
 struct LatencyStats {
@@ -50,24 +78,55 @@ struct LatencyStats {
   double max_s = 0.0;
 };
 
+/// Engine-cumulative serving counters (atomically maintained across
+/// batches and threads; reader stats come from the CheckedTileReader).
+struct ServiceStats {
+  long long served = 0;    ///< queries answered with kOk
+  long long degraded = 0;  ///< queries failed kQuarantined/kError
+  long long shed = 0;      ///< queries rejected by admission control
+  long long repaired = 0;  ///< tiles recomputed and republished on demand
+  long long retries = 0;   ///< physical re-reads after transient faults
+  long long transient_failures = 0;  ///< reads that exhausted the budget
+  long long corrupt_tiles = 0;       ///< reads that hit persistent damage
+};
+
 struct BatchReport {
   std::vector<QueryResult> results;  ///< same order as the input span
   double wall_seconds = 0.0;
   double qps = 0.0;
   LatencyStats latency;
-  CacheStats cache;  ///< snapshot after the batch (cumulative counters)
+  CacheStats cache;      ///< snapshot after the batch (cumulative counters)
+  ServiceStats service;  ///< snapshot after the batch (cumulative counters)
 };
 
 struct QueryEngineOptions {
   /// Cache tile side length in elements; edge tiles are smaller. Ignored
-  /// when the store is natively tiled (GAPSPZ1): the engine snaps to the
-  /// stored tile side so one cache miss never decompresses two tiles.
+  /// when the store is natively tiled (GAPSPZ1) or a checksum sidecar is
+  /// present: the engine snaps to that tiling so one cache miss never
+  /// spans two verifiable units.
   vidx_t block_size = 256;
   std::size_t cache_bytes = 64u << 20;
   int cache_shards = 8;
   /// Batch fan-out width over ThreadPool::global(): 0 = the whole pool,
   /// 1 = serial.
   int max_threads = 0;
+
+  // ---- fault tolerance ----
+  /// Backoff-retry budget for transient miss-path I/O failures.
+  util::RetryPolicy retry;
+  /// Verify raw-store tiles against `checksums` when present.
+  bool verify_checksums = true;
+  /// GAPSPSM1 sidecar contents (core/store_integrity.h). Default = absent:
+  /// no verification, the pre-fault-tolerance behaviour.
+  core::StoreChecksums checksums;
+  /// Optional chaos hook applied to every physical store read.
+  sim::FaultInjector* faults = nullptr;
+  /// Admission bound for run_batch: at most this many queries per batch
+  /// are admitted, the rest are shed with QueryStatus::kShed. 0 = no bound.
+  std::size_t max_queue = 0;
+  /// Optional on-demand repair source (core/scrub.h::make_sssp_repair):
+  /// a quarantined tile is recomputed, republished, and the query served.
+  core::TileRepairFn repair;
 };
 
 class QueryEngine {
@@ -83,6 +142,9 @@ class QueryEngine {
 
   vidx_t n() const { return store_.n(); }
 
+  /// point/row/block throw core::TileError when a needed tile is
+  /// unserveable and unrepaired; run_batch converts that into per-query
+  /// statuses instead.
   dist_t point(vidx_t u, vidx_t v) const;
 
   /// Row of `u` with result[v] = dist(u, v) for original vertex ids v.
@@ -99,16 +161,24 @@ class QueryEngine {
   /// Results come back in input order. Point queries are grouped by cache
   /// tile: each tile is resolved once per batch (the first query of the
   /// bucket pays it) and the rest of the bucket reads the pinned tile
-  /// directly, so cache counters move per *tile*, not per query.
+  /// directly, so cache counters move per *tile*, not per query. Never
+  /// throws for data faults: a query touching an unserveable tile comes
+  /// back kQuarantined, overflow beyond max_queue comes back kShed, and
+  /// sibling queries are unaffected either way.
   BatchReport run_batch(std::span<const Query> queries) const;
 
   CacheStats cache_stats() const { return cache_.stats(); }
+  ServiceStats service_stats() const;
 
  private:
   vidx_t stored_id(vidx_t v) const {
     return perm_.empty() ? v : perm_[static_cast<std::size_t>(v)];
   }
   BlockData fetch(vidx_t block_row, vidx_t block_col) const;
+  /// Recomputes tile (bi, bj) from opt_.repair and republishes it.
+  BlockData repair_tile(vidx_t block_row, vidx_t block_col) const;
+  /// Collapses an all-kInf tile to the shared negative tile.
+  BlockData collapse_inf(std::shared_ptr<std::vector<dist_t>> data) const;
 
   const core::DistStore& store_;
   QueryEngineOptions opt_;
@@ -119,10 +189,14 @@ class QueryEngine {
   /// it no bytes (core/block_cache.h).
   BlockData inf_tile_;
   mutable BlockCache cache_;
-  /// Miss-path reads are serialized: the file-backed store is one stateful
-  /// FILE* stream (seek+read pairs must not interleave). Hits never touch
-  /// this mutex.
-  mutable std::mutex store_mu_;
+  /// All miss-path reads funnel through the checked reader: it serializes
+  /// access to the one stateful store stream, injects chaos faults,
+  /// retries transients, and verifies checksums. Hits never touch it.
+  mutable core::CheckedTileReader reader_;
+  mutable std::atomic<long long> served_{0};
+  mutable std::atomic<long long> degraded_{0};
+  mutable std::atomic<long long> shed_{0};
+  mutable std::atomic<long long> repaired_{0};
 };
 
 }  // namespace gapsp::service

@@ -12,6 +12,8 @@ const char* fault_op_name(FaultOp op) {
       return "kernel";
     case FaultOp::kAlloc:
       return "alloc";
+    case FaultOp::kStoreRead:
+      return "store-read";
     case FaultOp::kDeviceLost:
       return "device-lost";
   }
@@ -36,6 +38,8 @@ double FaultInjector::probability(FaultOp op) const {
       return plan_.p_kernel;
     case FaultOp::kAlloc:
       return plan_.p_alloc;
+    case FaultOp::kStoreRead:
+      return plan_.p_store_read;
     case FaultOp::kDeviceLost:
       break;
   }

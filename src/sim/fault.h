@@ -15,16 +15,21 @@
 #include <vector>
 
 #include "util/common.h"
+#include "util/retry.h"
 #include "util/rng.h"
 
 namespace gapsp::sim {
 
-/// Operation classes the injector can fail.
+/// Operation classes the injector can fail. kStoreRead models the serving
+/// tier's host-side tile reads (DistStore miss path under BlockCache), so
+/// chaos sweeps can drive the retry/quarantine ladder with the same seeded
+/// determinism as the device-op faults.
 enum class FaultOp {
   kH2D,
   kD2H,
   kKernel,
   kAlloc,
+  kStoreRead,
   kDeviceLost,
 };
 
@@ -47,14 +52,12 @@ class FaultError : public Error {
   bool transient_;
 };
 
-/// Bounded exponential backoff for transient faults. The backoff is charged
-/// to the issuing stream's timeline, so retries show up honestly in the
-/// simulated makespan and the Chrome trace.
-struct RetryPolicy {
-  int max_retries = 3;
-  double backoff_s = 100e-6;      ///< first retry waits this long
-  double backoff_multiplier = 2.0;
-};
+/// Bounded exponential backoff for transient faults. The policy type now
+/// lives in util/retry.h so the serving tier (core/tile_reader.h) shares the
+/// exact semantics; in the simulator the backoff is charged to the issuing
+/// stream's timeline, so retries show up honestly in the simulated makespan
+/// and the Chrome trace.
+using RetryPolicy = util::RetryPolicy;
 
 /// Seeded fault schedule. Deterministic: the same plan against the same
 /// operation sequence injects the same faults (retries consume additional
@@ -62,12 +65,14 @@ struct RetryPolicy {
 struct FaultPlan {
   std::uint64_t seed = 1;
 
-  /// Per-operation fault probabilities (0 disables that class). Transfer
-  /// and kernel faults are transient; alloc faults model OOM and are not.
+  /// Per-operation fault probabilities (0 disables that class). Transfer,
+  /// kernel, and store-read faults are transient; alloc faults model OOM
+  /// and are not.
   double p_h2d = 0.0;
   double p_d2h = 0.0;
   double p_kernel = 0.0;
   double p_alloc = 0.0;
+  double p_store_read = 0.0;
 
   /// Scripted one-shot faults: fail the nth (1-based) operation of `op` on
   /// `device` (-1 = any device). Consumed once each.
@@ -112,7 +117,7 @@ class FaultInjector {
   FaultPlan plan_;  // scripted entries are consumed from this copy
   Rng rng_;
   int device_ = 0;
-  long long op_count_[4] = {0, 0, 0, 0};  ///< per-kind, indexed by FaultOp
+  long long op_count_[5] = {0, 0, 0, 0, 0};  ///< per-kind, indexed by FaultOp
   long long total_ops_ = 0;
   long long injected_ = 0;
   bool killed_ = false;

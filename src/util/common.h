@@ -50,6 +50,16 @@ class IoError : public Error {
   explicit IoError(const std::string& what) : Error(what) {}
 };
 
+/// Data failed an integrity check: a checksum mismatch, a malformed
+/// compressed frame, a directory that contradicts itself. Unlike a plain
+/// IoError (which may be a transient hiccup worth retrying), corruption is
+/// persistent — the fault-tolerant serving tier quarantines or repairs the
+/// damaged tile instead of retrying it (core/tile_reader.h).
+class CorruptError : public IoError {
+ public:
+  explicit CorruptError(const std::string& what) : IoError(what) {}
+};
+
 namespace detail {
 [[noreturn]] void fail_check(const char* expr, const std::string& msg,
                              const std::source_location& loc);

@@ -1,0 +1,27 @@
+// Bounded exponential backoff policy shared by every retry site in the
+// system: the device simulator retries transient transfer/kernel faults with
+// the backoff charged to the stream timeline (sim/device.cpp), and the
+// serving tier retries transient tile-read failures with the backoff paid in
+// real wall time (core/tile_reader.h). One policy type means one CLI flag
+// (--retries) and one tested semantics for "how hard do we try before we
+// give up" across the solve and serve paths.
+#pragma once
+
+namespace gapsp::util {
+
+/// Bounded exponential backoff for transient faults.
+struct RetryPolicy {
+  int max_retries = 3;
+  double backoff_s = 100e-6;  ///< first retry waits this long
+  double backoff_multiplier = 2.0;
+};
+
+/// Backoff before the `attempt`-th retry (1-based):
+/// backoff_s · multiplier^(attempt-1).
+inline double retry_backoff_s(const RetryPolicy& p, int attempt) {
+  double b = p.backoff_s;
+  for (int i = 1; i < attempt; ++i) b *= p.backoff_multiplier;
+  return b;
+}
+
+}  // namespace gapsp::util

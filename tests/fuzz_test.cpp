@@ -13,7 +13,9 @@
 #include "core/apsp.h"
 #include "core/compressed_store.h"
 #include "core/kernel_engine.h"
+#include "core/store_integrity.h"
 #include "graph/generators.h"
+#include "service/query_engine.h"
 #include "test_util.h"
 
 namespace gapsp::core {
@@ -341,6 +343,108 @@ TEST_P(SimdFuzz, VectorKernelsMatchScalarOracleAtAnyAlignment) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SimdFuzz, ::testing::Range(0, 24));
+
+// ---------------------------------------------------------------------------
+// Raw kept-store damage fuzzer (DESIGN.md §13): random truncations of the
+// kept file are rejected typed at open (the size is no longer n²·4), and
+// random bit flips under a GAPSPSM1 sidecar make the serving tier answer
+// every query either exactly right or with a typed per-query status — no
+// crash, no silently wrong distance.
+// ---------------------------------------------------------------------------
+
+class RawStoreFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(RawStoreFuzz, DamageIsTypedOrExact) {
+  Rng rng(0x4A57 + static_cast<std::uint64_t>(GetParam()) * 7877);
+  const auto g = random_graph(rng);
+  const vidx_t n = g.num_vertices();
+  const std::string path = ::testing::TempDir() + "gapsp_rawfuzz_" +
+                           std::to_string(GetParam()) + ".bin";
+
+  ApspOptions o;
+  o.device = sim::DeviceSpec::v100_scaled(2u << 20);
+  o.algorithm = Algorithm::kJohnson;  // identity layout
+  {
+    auto store = make_file_store(n, path, /*keep_file=*/true);
+    solve_apsp(g, o, *store);
+  }
+  const vidx_t tile = static_cast<vidx_t>(rng.next_in(16, 96));
+  StoreChecksums sums;
+  std::vector<std::uint8_t> pristine;
+  {
+    auto ro = open_file_store(path);
+    sums = compute_store_checksums(*ro, tile);
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    pristine.resize(static_cast<std::size_t>(std::ftell(f)));
+    std::fseek(f, 0, SEEK_SET);
+    ASSERT_EQ(std::fread(pristine.data(), 1, pristine.size(), f),
+              pristine.size());
+    std::fclose(f);
+  }
+  const auto rewrite = [&](const std::vector<std::uint8_t>& bytes) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+  };
+
+  // Truncations: unless the cut happens to stay a perfect square matrix
+  // size, open is a typed rejection, not a crash or a short-read garbage
+  // serve.
+  for (int i = 0; i < 4; ++i) {
+    auto bytes = pristine;
+    bytes.resize(static_cast<std::size_t>(rng.next_below(bytes.size())));
+    rewrite(bytes);
+    try {
+      const auto store = open_file_store(path);
+      EXPECT_LT(store->n(), n);  // a smaller square matrix: legal but small
+    } catch (const IoError&) {
+      // typed rejection is the expected outcome
+    }
+  }
+
+  // Bit flips under the sidecar: every point query comes back exact or
+  // typed.
+  for (int round = 0; round < 4; ++round) {
+    auto bytes = pristine;
+    const int flips = static_cast<int>(rng.next_in(1, 5));
+    for (int e = 0; e < flips; ++e) {
+      const auto at = static_cast<std::size_t>(rng.next_below(bytes.size()));
+      bytes[at] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    }
+    rewrite(bytes);
+
+    const auto store = open_file_store(path);
+    service::QueryEngineOptions qopt;
+    qopt.retry.max_retries = 1;
+    qopt.retry.backoff_s = 1e-6;
+    qopt.checksums = sums;
+    const service::QueryEngine engine(*store, qopt);
+    std::vector<service::Query> queries;
+    for (int i = 0; i < 32; ++i) {
+      queries.push_back({service::QueryKind::kPoint,
+                         static_cast<vidx_t>(rng.next_below(n)),
+                         static_cast<vidx_t>(rng.next_below(n))});
+    }
+    const auto report = engine.run_batch(queries);
+    for (const auto& r : report.results) {
+      if (r.status == service::QueryStatus::kOk) {
+        const auto ref = test::ref_row(g, r.query.u);
+        ASSERT_EQ(r.dist, ref[r.query.v])
+            << "round " << round << ": damaged store served a wrong distance"
+            << " for (" << r.query.u << ", " << r.query.v << ")";
+      } else {
+        EXPECT_EQ(r.status, service::QueryStatus::kQuarantined);
+        EXPECT_FALSE(r.error.empty());
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RawStoreFuzz, ::testing::Range(0, 12));
 
 }  // namespace
 }  // namespace gapsp::core

@@ -98,9 +98,36 @@
 //   --repeat N              run the batch N times (N >= 2 shows the
 //                           warm-cache steady state; metrics per run)
 //
+// Serving-tier fault tolerance (see DESIGN.md §13): raw kept stores carry a
+// GAPSPSM1 checksum sidecar (<store>.sum, written at --keep-store/scrub
+// time) and every cache-miss read is verified against it; GAPSPZ1 stores
+// verify their own frame checksums. Transient read faults retry with
+// backoff; persistent damage quarantines the tile and degrades exactly the
+// queries that touch it (typed per-query status) — or, with
+// --repair recompute, the tile is re-derived from the graph on the spot.
+//
+//   --retries N             retry budget per transient read fault (default 3)
+//   --max-queue N           admission bound per batch; overflow is shed with
+//                           a typed status (0 = unbounded)
+//   --no-verify-sums        skip sidecar verification on reads
+//   --repair recompute      re-derive damaged tiles by SSSP over the input
+//                           graph (give the same --generate/--input/--seed
+//                           as the solve; identity-permutation solves only)
+//   --fault-store-read P    inject transient store-read faults (chaos)
+//   --fault-seed S          fault schedule seed (default 1)
+//
+// Scrub & repair (offline): `apsp_cli scrub` walks every tile of a kept
+// store, reports corruption, optionally repairs it in place, and exits 3
+// when unrepaired damage remains:
+//
+//   apsp_cli scrub --store-path d.bin
+//   apsp_cli scrub --store-path d.bin --repair recompute --generate road:24x24
+//   apsp_cli scrub --store-path d.bin --write-sums    (create/refresh sidecar)
+//
 // Query-mode vertex ids address the store's own layout; solves that permute
 // (the boundary algorithm) should query through the API with ApspResult::
 // perm, or save via --save which records the permutation.
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -114,6 +141,8 @@
 #include "core/dist_io.h"
 #include "core/multi_device.h"
 #include "core/path_extract.h"
+#include "core/scrub.h"
+#include "core/store_integrity.h"
 #include "core/verify.h"
 #include "graph/generators.h"
 #include "graph/graph_stats.h"
@@ -199,6 +228,24 @@ std::string us(double seconds) {
   return os.str();
 }
 
+/// Builds the SSSP repair source for --repair recompute: the same graph the
+/// solve ran on, re-made from --generate/--input/--seed. Identity
+/// permutation only (fw/johnson solves); the kept graph outlives the fn via
+/// the shared_ptr capture.
+core::TileRepairFn make_repair_source(const Args& args) {
+  const std::string mode = args.get_or("repair", "off");
+  if (mode == "off") return {};
+  GAPSP_CHECK(mode == "recompute", "unknown --repair mode: " + mode);
+  GAPSP_CHECK(args.has("generate") || args.has("input"),
+              "--repair recompute re-derives tiles from the input graph: "
+              "pass the solve's --generate/--input (and --seed)");
+  auto g = std::make_shared<graph::CsrGraph>(make_graph(args));
+  core::TileRepairFn fn = core::make_sssp_repair(*g);
+  return [g, fn](vidx_t row0, vidx_t col0, vidx_t rows, vidx_t cols) {
+    return fn(row0, col0, rows, cols);
+  };
+}
+
 int run_query(const Args& args) {
   const std::string path = args.get_or("store-path", "apsp_dist.bin");
   const auto store = core::open_store(path);  // raw or GAPSPZ1, auto-detected
@@ -209,6 +256,25 @@ int run_query(const Args& args) {
   qopt.block_size = static_cast<vidx_t>(args.get_int_or("block", 256));
   qopt.cache_shards = static_cast<int>(args.get_int_or("shards", 8));
   qopt.max_threads = static_cast<int>(args.get_int_or("threads", 0));
+  qopt.retry.max_retries = static_cast<int>(args.get_int_or("retries", 3));
+  qopt.max_queue =
+      static_cast<std::size_t>(args.get_int_or("max-queue", 0));
+  qopt.verify_checksums = !args.has("no-verify-sums");
+  // Raw stores verify against the GAPSPSM1 sidecar when one sits next to
+  // the store; GAPSPZ1 frames are self-checksummed.
+  if (store->tile_size() == 0) {
+    core::load_store_checksums(core::checksum_sidecar_path(path),
+                               qopt.checksums);
+  }
+  qopt.repair = make_repair_source(args);
+
+  sim::FaultPlan chaos;
+  chaos.seed = static_cast<std::uint64_t>(args.get_int_or("fault-seed", 1));
+  chaos.p_store_read = args.get_double_or("fault-store-read", 0.0);
+  sim::FaultInjector chaos_injector(chaos);
+  if (chaos.p_store_read > 0.0) qopt.faults = &chaos_injector;
+
+  const bool verified = qopt.verify_checksums && qopt.checksums.present();
   const service::QueryEngine engine(*store, qopt);
   std::cout << "store: " << path << " (n=" << store->n() << ", "
             << (static_cast<std::uint64_t>(store->n()) * store->n() *
@@ -225,7 +291,18 @@ int run_query(const Args& args) {
   std::cout << ")\ncache: " << (qopt.cache_bytes >> 20) << " MiB in "
             << qopt.cache_shards << " shards, "
             << (store->tile_size() > 0 ? store->tile_size() : qopt.block_size)
-            << "-wide blocks\n";
+            << "-wide blocks\n"
+            << "integrity: "
+            << (store->tile_size() > 0 ? "GAPSPZ1 frame checksums"
+                : verified             ? "GAPSPSM1 sidecar verification"
+                                       : "off (no sidecar)")
+            << ", " << qopt.retry.max_retries << " retries"
+            << (qopt.repair ? ", repair=recompute" : "");
+  if (qopt.max_queue > 0) std::cout << ", max-queue " << qopt.max_queue;
+  if (chaos.p_store_read > 0.0) {
+    std::cout << ", injecting store-read faults p=" << chaos.p_store_read;
+  }
+  std::cout << "\n";
 
   std::vector<service::Query> queries;
   std::size_t inline_queries = 0;  // from --point/--row: echo each result
@@ -287,6 +364,15 @@ int run_query(const Args& args) {
   }
   for (std::size_t i = 0; i < inline_queries; ++i) {
     const auto& r = report.results[i];
+    if (r.status != service::QueryStatus::kOk) {
+      std::cout << (r.query.kind == service::QueryKind::kPoint
+                        ? "dist(" + std::to_string(r.query.u) + ", " +
+                              std::to_string(r.query.v) + ")"
+                        : "row " + std::to_string(r.query.u))
+                << " = <" << service::query_status_name(r.status) << ": "
+                << r.error << ">\n";
+      continue;
+    }
     if (r.query.kind == service::QueryKind::kPoint) {
       std::cout << "dist(" << r.query.u << ", " << r.query.v << ") = ";
       if (r.dist >= kInf) {
@@ -320,7 +406,58 @@ int run_query(const Args& args) {
             << " evictions, " << cs.negative_loads
             << " all-kInf tiles at zero cost, " << (cs.bytes_cached >> 10)
             << " KiB of " << (cs.capacity_bytes >> 10) << " KiB used\n";
+  const auto& sv = report.service;
+  std::cout << "service: " << sv.served << " served, " << sv.degraded
+            << " degraded, " << sv.shed << " shed, " << sv.repaired
+            << " repaired; " << sv.retries << " retried, "
+            << sv.transient_failures << " transient-failed, "
+            << sv.corrupt_tiles << " corrupt, " << cs.quarantined_tiles
+            << " quarantined\n";
+  // Degradation is visible but non-fatal: every query got a typed answer.
   return 0;
+}
+
+int run_scrub(const Args& args) {
+  const std::string path = args.get_or("store-path", "apsp_dist.bin");
+  core::ScrubOptions sopt;
+  sopt.retry.max_retries = static_cast<int>(args.get_int_or("retries", 3));
+  sopt.write_sums = args.has("write-sums");
+  sopt.tile = static_cast<vidx_t>(args.get_int_or("block", 256));
+  sopt.repair_fn = make_repair_source(args);
+  sopt.repair = static_cast<bool>(sopt.repair_fn);
+
+  sim::FaultPlan chaos;
+  chaos.seed = static_cast<std::uint64_t>(args.get_int_or("fault-seed", 1));
+  chaos.p_store_read = args.get_double_or("fault-store-read", 0.0);
+  sim::FaultInjector chaos_injector(chaos);
+  if (chaos.p_store_read > 0.0) sopt.faults = &chaos_injector;
+
+  const auto report = core::scrub_store(path, sopt);
+  std::cout << "scrub: " << path << " ("
+            << (report.compressed ? "GAPSPZ1" : "raw") << ", n=" << report.n
+            << ", tile=" << report.tile << ", " << report.tiles
+            << " tiles)\n";
+  if (!report.compressed) {
+    std::cout << "sidecar: "
+              << (report.sums_written   ? "written"
+                  : report.sums_present ? "present"
+                                        : "absent (checks limited to "
+                                          "readability; --write-sums to add)")
+              << "\n";
+  }
+  std::cout << "damage: " << report.corrupt << " corrupt, " << report.repaired
+            << " repaired, " << report.unrepaired << " unrepaired\n";
+  for (const auto& t : report.damaged) {
+    std::cout << "  tile (" << t.row_block << "," << t.col_block << ") "
+              << (t.repaired ? "[repaired] " : "") << t.reason << "\n";
+  }
+  if (report.ok()) {
+    std::cout << "result: " << (report.clean() ? "CLEAN" : "REPAIRED") << "\n";
+    return 0;
+  }
+  std::cout << "result: DAMAGED (serve at your own risk, or repair with "
+               "--repair recompute --generate/--input ...)\n";
+  return 3;
 }
 
 int run_compact(const Args& args) {
@@ -328,6 +465,8 @@ int run_compact(const Args& args) {
   const std::string out = args.get_or("out", in);
   const auto tile = static_cast<vidx_t>(args.get_int_or("block", 256));
   const auto cs = core::compact_store(in, out, tile);
+  // GAPSPZ1 frames are self-checksummed; a raw-era sidecar would go stale.
+  std::remove(core::checksum_sidecar_path(out).c_str());
   std::cout << "compacted: " << in << " -> " << out << "\n"
             << "store compressed: " << (cs.raw_bytes >> 10) << " KiB -> "
             << (cs.compressed_bytes >> 10) << " KiB (" << cs.ratio() << "x, "
@@ -600,6 +739,7 @@ int run(const Args& args) {
       // writes are flushed before compaction re-reads the file.
       store.reset();
       const auto cs = core::compact_store(store_path, store_path);
+      std::remove(core::checksum_sidecar_path(store_path).c_str());
       r.metrics.store_raw_bytes = static_cast<std::size_t>(cs.raw_bytes);
       r.metrics.store_compressed_bytes =
           static_cast<std::size_t>(cs.compressed_bytes);
@@ -610,6 +750,17 @@ int run(const Args& args) {
                 << (cs.compressed_bytes >> 10) << " KiB (" << cs.ratio()
                 << "x, " << cs.inf_tiles << "/" << cs.tiles
                 << " all-kInf tiles) in " << cs.seconds * 1e3 << " ms\n";
+    } else {
+      // The raw kept store has no framing to catch bit rot: write the
+      // GAPSPSM1 checksum sidecar so the serving tier can verify every
+      // cache-miss read (DESIGN.md §13). Close first to flush writes.
+      store.reset();
+      const auto ro = core::open_file_store(store_path);
+      const auto sums = core::compute_store_checksums(*ro);
+      core::write_store_checksums(sums,
+                                  core::checksum_sidecar_path(store_path));
+      std::cout << "store checksums: " << sums.sums.size() << " tile sums -> "
+                << core::checksum_sidecar_path(store_path) << "\n";
     }
     std::cout << "store kept: " << store_path
               << " (serve it with: apsp_cli query --store-path ...)\n";
@@ -632,7 +783,9 @@ int main(int argc, char** argv) {
     if (!args.positional().empty() && args.positional().front() == "query") {
       const auto unknown = args.unknown(
           {"store-path", "point", "row", "batch", "cache-mb", "block",
-           "shards", "threads", "repeat"});
+           "shards", "threads", "repeat", "retries", "max-queue",
+           "no-verify-sums", "repair", "generate", "input", "seed",
+           "fault-store-read", "fault-seed"});
       if (!unknown.empty()) {
         std::cerr << "unknown query flag(s):";
         for (const auto& f : unknown) std::cerr << " --" << f;
@@ -640,6 +793,18 @@ int main(int argc, char** argv) {
         return 2;
       }
       return run_query(args);
+    }
+    if (!args.positional().empty() && args.positional().front() == "scrub") {
+      const auto unknown = args.unknown(
+          {"store-path", "repair", "generate", "input", "seed", "retries",
+           "write-sums", "block", "fault-store-read", "fault-seed"});
+      if (!unknown.empty()) {
+        std::cerr << "unknown scrub flag(s):";
+        for (const auto& f : unknown) std::cerr << " --" << f;
+        std::cerr << "\n";
+        return 2;
+      }
+      return run_scrub(args);
     }
     if (!args.positional().empty() &&
         args.positional().front() == "compact") {
@@ -669,6 +834,19 @@ int main(int argc, char** argv) {
       return 2;
     }
     return run(args);
+  } catch (const gapsp::CorruptError& e) {
+    // Data failed an integrity check — retrying is useless; scrub instead.
+    std::cerr << "corrupt store: " << e.what()
+              << " (run `apsp_cli scrub --store-path ...` to locate and "
+                 "repair the damage)\n";
+    return 4;
+  } catch (const gapsp::IoError& e) {
+    // Host I/O failure (missing/truncated file, sick disk) — distinct exit
+    // code so serving wrappers can tell an infrastructure fault from a
+    // usage error.
+    std::cerr << "io error: " << e.what()
+              << " (check --store-path and that the file is readable)\n";
+    return 4;
   } catch (const gapsp::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
