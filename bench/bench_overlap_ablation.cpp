@@ -6,11 +6,17 @@
 // the boundary algorithm only) to blocked FW and Johnson, and shows the
 // volume tax of double buffering: the pipelined FW keeps five resident
 // blocks, so on sizes where that bumps n_d the overlap can lose.
+// `--transfer-compression=auto|on|off` (default off here, so the table
+// keeps measuring the PR-1 overlap engine in isolation) runs the whole
+// ablation with the compressed wire path in that mode; unknown values exit 2.
+#include <cstring>
+
 #include "bench_common.h"
 
 #include "core/ooc_boundary.h"
 #include "core/ooc_fw.h"
 #include "core/ooc_johnson.h"
+#include "core/transfer_codec.h"
 #include "graph/generators.h"
 
 namespace {
@@ -43,10 +49,31 @@ void add(Table& t, const Row& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto wire_mode = core::TransferCompression::kOff;
+  for (int i = 1; i < argc; ++i) {
+    const char* val = nullptr;
+    if (std::strncmp(argv[i], "--transfer-compression=", 23) == 0) {
+      val = argv[i] + 23;
+    } else if (std::strcmp(argv[i], "--transfer-compression") == 0 &&
+               i + 1 < argc) {
+      val = argv[++i];
+    }
+    if (val != nullptr) {
+      try {
+        wire_mode = core::parse_transfer_compression(val);
+      } catch (const Error& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+      }
+    }
+  }
+
   print_header(
       "Overlap ablation — StreamPipeline on/off per algorithm",
       "Sec. IV / Fig. 8 (overlap +12.7%-29.1% on the boundary algorithm)");
+  std::cout << "transfer compression: "
+            << core::transfer_compression_name(wire_mode) << "\n";
 
   Table t({"algorithm", "workload", "serial (ms)", "overlap (ms)", "gain %",
            "hidden (ms)", "exposed (ms)", "hidden %"});
@@ -54,6 +81,7 @@ int main() {
   // Transfer-bound device: the paper's PCIe link against a scaled part.
   auto tb = bench_options(bench_v100());
   tb.device.link_bandwidth /= 20.0;
+  tb.transfer_compression = wire_mode;
 
   // --- blocked FW: equal-n_d size (overlap wins) and n_d-bump size
   // (volume tax; overlap can lose) ---
@@ -77,8 +105,10 @@ int main() {
   // --- Johnson: compute-bound mesh (D2H hides fully) and transfer-bound ---
   {
     const auto g = graph::make_mesh(1500, 10, 4243);
+    auto cb = bench_options(bench_v100());
+    cb.transfer_compression = wire_mode;
     for (const auto& [opts, label] :
-         {std::pair<core::ApspOptions, const char*>{bench_options(bench_v100()),
+         {std::pair<core::ApspOptions, const char*>{cb,
                                                     "mesh (compute-bound)"},
           {tb, "mesh (transfer-bound)"}}) {
       auto on = opts;
@@ -98,6 +128,7 @@ int main() {
   // --- boundary: the small-separator zoo (paper's Fig. 8 setting) ---
   for (const auto& e : graph::small_separator_zoo()) {
     auto on = bench_options(sim::DeviceSpec::v100_scaled(6u << 20));
+    on.transfer_compression = wire_mode;
     auto off = on;
     off.overlap_transfers = false;
     auto s1 = core::make_ram_store(e.graph.num_vertices());

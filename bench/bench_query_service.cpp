@@ -17,6 +17,8 @@
 // not a guess. `--assert-max-overhead=PCT` exits non-zero when the
 // checksum-verified clean path costs more than PCT% of best-of-warm pooled
 // throughput vs the unverified engine (ISSUE 7 requires ≤ 2%).
+// `--transfer-compression=auto|on|off` sets the solve phase's wire-path
+// mode (serving numbers are mode-invariant); unknown values exit 2.
 #include <algorithm>
 #include <cstring>
 #include <fstream>
@@ -26,6 +28,7 @@
 
 #include "core/apsp.h"
 #include "core/store_integrity.h"
+#include "core/transfer_codec.h"
 #include "graph/generators.h"
 #include "service/query_engine.h"
 #include "sim/fault.h"
@@ -66,11 +69,22 @@ void write_json(const std::vector<Row>& rows, const std::string& path) {
 int main(int argc, char** argv) {
   double min_speedup = 0.0;
   double max_overhead_pct = -1.0;
+  auto wire_mode = core::TransferCompression::kAuto;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--assert-min-speedup=", 21) == 0) {
       min_speedup = std::stod(argv[i] + 21);
     } else if (std::strncmp(argv[i], "--assert-max-overhead=", 22) == 0) {
       max_overhead_pct = std::stod(argv[i] + 22);
+    } else if (std::strncmp(argv[i], "--transfer-compression=", 23) == 0 ||
+               (std::strcmp(argv[i], "--transfer-compression") == 0 &&
+                i + 1 < argc)) {
+      const char* val = argv[i][22] == '=' ? argv[i] + 23 : argv[++i];
+      try {
+        wire_mode = core::parse_transfer_compression(val);
+      } catch (const Error& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+      }
     }
   }
 
@@ -81,6 +95,7 @@ int main(int argc, char** argv) {
   core::ApspOptions opts;
   opts.device = sim::DeviceSpec::v100_scaled();
   opts.algorithm = core::Algorithm::kJohnson;
+  opts.transfer_compression = wire_mode;  // solve phase's wire path
   const std::string store_path = "bench_query_dist.bin";
   auto store = core::make_file_store(n, store_path, /*keep_file=*/false);
   const auto solved = core::solve_apsp(g, opts, *store);

@@ -25,6 +25,9 @@
 //   --assert-min-speedup S  io_speedup on the kInf-heavy family must be
 //                           ≥ S, and warm query throughput on every
 //                           family within 10% of raw (≥ 0.9×)
+// `--transfer-compression=auto|on|off` sets the wire-path mode of the solve
+// phase (the at-rest numbers are mode-invariant — stores are bit-identical
+// either way); unknown values exit 2.
 // All flags accept `--flag=V` and `--flag V`.
 #include <cstring>
 #include <fstream>
@@ -35,6 +38,7 @@
 
 #include "core/apsp.h"
 #include "core/compressed_store.h"
+#include "core/transfer_codec.h"
 #include "graph/generators.h"
 #include "service/query_engine.h"
 #include "util/rng.h"
@@ -172,7 +176,7 @@ double warm_batch_qps(const core::DistStore& store,
 }
 
 Row run_family(const std::string& family, const graph::CsrGraph& g,
-               double disk_mbps) {
+               double disk_mbps, core::TransferCompression wire_mode) {
   Row row;
   row.family = family;
   row.n = g.num_vertices();
@@ -180,6 +184,7 @@ Row run_family(const std::string& family, const graph::CsrGraph& g,
   core::ApspOptions opts;
   opts.device = sim::DeviceSpec::v100_scaled();
   opts.algorithm = core::Algorithm::kJohnson;
+  opts.transfer_compression = wire_mode;
   const std::string raw_path = "bench_zstore_" + family + ".bin";
   const std::string z_path = raw_path + ".z";
   core::ApspResult solved;
@@ -249,15 +254,33 @@ double flag_value(int argc, char** argv, int& i, const char* name) {
   return -1.0;
 }
 
+const char* flag_string(int argc, char** argv, int& i, const char* name) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(argv[i], name, len) != 0) return nullptr;
+  if (argv[i][len] == '=') return argv[i] + len + 1;
+  if (argv[i][len] == '\0' && i + 1 < argc) return argv[++i];
+  return nullptr;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double min_ratio = 0.0;
   double min_speedup = 0.0;
   double disk_mbps = 200.0;
+  auto wire_mode = core::TransferCompression::kAuto;
   for (int i = 1; i < argc; ++i) {
     double v;
-    if ((v = flag_value(argc, argv, i, "--assert-min-ratio")) >= 0.0) {
+    const char* s;
+    if ((s = flag_string(argc, argv, i, "--transfer-compression")) !=
+        nullptr) {
+      try {
+        wire_mode = core::parse_transfer_compression(s);
+      } catch (const Error& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+      }
+    } else if ((v = flag_value(argc, argv, i, "--assert-min-ratio")) >= 0.0) {
       min_ratio = v;
     } else if ((v = flag_value(argc, argv, i, "--assert-min-speedup")) >=
                0.0) {
@@ -268,16 +291,17 @@ int main(int argc, char** argv) {
   }
 
   std::vector<Row> rows;
-  rows.push_back(run_family("road", graph::make_road(40, 40, 11), disk_mbps));
-  // Eight disjoint 15×15 grids: n = 1800, 7/8 of all pairs at kInf.
   rows.push_back(
-      run_family("road_kinf", disjoint_grids(8, 15, 13), disk_mbps));
+      run_family("road", graph::make_road(40, 40, 11), disk_mbps, wire_mode));
+  // Eight disjoint 15×15 grids: n = 1800, 7/8 of all pairs at kInf.
+  rows.push_back(run_family("road_kinf", disjoint_grids(8, 15, 13), disk_mbps,
+                            wire_mode));
   // R-MAT without forced connectivity (Graph500-style): the natural
   // isolated-vertex tail leaves a large unreachable fraction.
   rows.push_back(run_family(
       "rmat", graph::make_rmat(11, 6000, 17, 0.57, 0.19, 0.19,
                                /*connect=*/false),
-      disk_mbps));
+      disk_mbps, wire_mode));
   write_json(rows, "BENCH_store_compression.json");
 
   bool ok = true;

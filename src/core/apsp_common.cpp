@@ -55,6 +55,12 @@ ApspMetrics metrics_from_device(const sim::Device& dev, double wall_seconds) {
   m.bytes_d2h = dm.bytes_d2h;
   m.transfers_h2d = dm.transfers_h2d;
   m.transfers_d2h = dm.transfers_d2h;
+  m.bytes_h2d_raw = dm.bytes_h2d_raw;
+  m.bytes_h2d_wire = dm.bytes_h2d_wire;
+  m.bytes_d2h_raw = dm.bytes_d2h_raw;
+  m.bytes_d2h_wire = dm.bytes_d2h_wire;
+  m.decode_seconds = dm.decode_seconds;
+  m.decodes = dm.decodes;
   m.kernels = dm.kernels;
   m.child_kernels = dm.child_kernels;
   m.total_ops = dm.total_ops;
@@ -63,6 +69,7 @@ ApspMetrics metrics_from_device(const sim::Device& dev, double wall_seconds) {
   m.faults_injected = dm.faults_injected;
   m.transfer_retries = dm.transfer_retries;
   m.kernel_retries = dm.kernel_retries;
+  m.decode_retries = dm.decode_retries;
   m.retry_backoff_seconds = dm.retry_backoff_seconds;
   m.kernel_variant = dm.kernel_variant;
   return m;

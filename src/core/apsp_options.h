@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/kernel_engine.h"
+#include "core/transfer_codec.h"
 #include "partition/kway.h"
 #include "sim/device_spec.h"
 #include "sim/fault.h"
@@ -91,6 +92,13 @@ struct ApspOptions {
   /// each pair (FW blocks shrink, Johnson's bat shrinks accordingly).
   bool overlap_transfers = true;
 
+  /// Compressed host↔device transfer path (DESIGN.md §14): staged tiles are
+  /// z1-encoded into the pinned lanes and materialized by a modeled
+  /// on-device decode at DeviceSpec::decode_gbps, with per-tile raw
+  /// fallback. kAuto engages when the device's decode rate beats its host
+  /// link. Results are bit-identical in every mode.
+  TransferCompression transfer_compression = TransferCompression::kAuto;
+
   // ---- kernel engine (DESIGN.md §9) ----
   /// Min-plus microkernel variant run inside the simulated kernels. kAuto
   /// micro-benchmarks the candidates once per process and caches the winner.
@@ -141,6 +149,16 @@ struct ApspMetrics {
   std::size_t bytes_d2h = 0;
   long long transfers_h2d = 0;
   long long transfers_d2h = 0;
+  /// Compressed transfer path, per lane: logical payload bytes routed
+  /// through the TransferCodec (raw) vs bytes charged on the link (wire);
+  /// raw-fallback tiles count equally on both sides, so raw/wire is the
+  /// honest end-to-end wire ratio. All zero when the path is off.
+  std::size_t bytes_h2d_raw = 0;
+  std::size_t bytes_h2d_wire = 0;
+  std::size_t bytes_d2h_raw = 0;
+  std::size_t bytes_d2h_wire = 0;
+  double decode_seconds = 0.0;  ///< modeled on-device z1 decode/encode busy
+  long long decodes = 0;
   long long kernels = 0;
   long long child_kernels = 0;
   double total_ops = 0.0;
@@ -163,6 +181,7 @@ struct ApspMetrics {
   long long faults_injected = 0;
   long long transfer_retries = 0;
   long long kernel_retries = 0;
+  long long decode_retries = 0;
   double retry_backoff_seconds = 0.0;
   /// Times solve_apsp degraded the plan (disabled overlap / shrank memory)
   /// after a device OOM and re-ran.

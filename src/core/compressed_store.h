@@ -19,15 +19,8 @@
 //   payload: concatenated z1 frames, one per non-empty tile
 //
 // Codec ("z1"): a hand-rolled LZ4-style byte stream — no new dependencies.
-//   frame := u64 raw_len | u64 fnv1a(raw) | sequences
-//   sequence := token (hi nibble literal count, lo nibble match length − 4,
-//               15 = extended by 255-continuation bytes) | literal-length
-//               extension | literals | u16 LE offset | match-length extension
-// The final sequence is literals only: the stream ends immediately after
-// them. Matches are greedy hash-probed with a fast path for 4-byte-periodic
-// runs (kInf blocks match themselves at offset 4 without hashing every
-// position). Decoding is strictly bounds-checked: truncated or corrupt
-// frames throw IoError and never read or write out of bounds.
+// The codec itself lives in core/z1_codec.h (shared with the compressed
+// host↔device transfer path); this header re-exports it for existing users.
 #pragma once
 
 #include <cstdint>
@@ -36,25 +29,10 @@
 #include <vector>
 
 #include "core/dist_store.h"
+#include "core/z1_codec.h"
 #include "util/common.h"
 
 namespace gapsp::core {
-
-// ---- z1 codec ----
-
-/// Compresses `len` bytes at `src` into a self-describing z1 frame.
-std::vector<std::uint8_t> z1_compress(const void* src, std::size_t len);
-
-/// Decompressed size recorded in a frame header. Throws IoError when the
-/// frame is too short to carry a header.
-std::uint64_t z1_raw_size(const std::uint8_t* frame, std::size_t frame_len);
-
-/// Decompresses a frame into `dst` (`dst_len` must equal z1_raw_size).
-/// Throws IoError on truncation, malformed sequences, or a content checksum
-/// mismatch — never reads past `frame + frame_len` or writes past
-/// `dst + dst_len`.
-void z1_decompress(const std::uint8_t* frame, std::size_t frame_len,
-                   void* dst, std::size_t dst_len);
 
 // ---- GAPSPZ1 store ----
 

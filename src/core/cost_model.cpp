@@ -9,9 +9,11 @@
 #include <mutex>
 #include <vector>
 
-#include "core/checkpoint.h"  // fnv1a
+#include "core/apsp_common.h"  // weight_block
+#include "core/checkpoint.h"   // fnv1a
 #include "core/dist_store.h"
 #include "core/kernel_engine.h"
+#include "core/z1_codec.h"
 #include "core/minplus.h"
 #include "core/ooc_fw.h"
 #include "core/ooc_johnson.h"
@@ -20,8 +22,60 @@
 
 namespace gapsp::core {
 
+double compressed_link_bandwidth(const sim::DeviceSpec& spec,
+                                 double wire_ratio) {
+  const double decode_rate = spec.decode_gbps * 1e9;
+  if (wire_ratio <= 1.0 || decode_rate <= 0.0) return spec.link_bandwidth;
+  // Per raw byte: 1/R of it crosses the link, all of it passes the decode
+  // kernel — the effective rate is the harmonic combination.
+  return 1.0 /
+         (1.0 / (wire_ratio * spec.link_bandwidth) + 1.0 / decode_rate);
+}
+
+double estimate_transfer_ratio(const graph::CsrGraph& g,
+                               const ApspOptions& opts) {
+  const sim::DeviceSpec& spec = opts.device;
+  const double decode_rate = spec.decode_gbps * 1e9;
+  switch (opts.transfer_compression) {
+    case TransferCompression::kOff:
+      return 1.0;
+    case TransferCompression::kOn:
+      if (decode_rate <= 0.0) return 1.0;
+      break;
+    case TransferCompression::kAuto:
+      if (decode_rate <= spec.link_bandwidth) return 1.0;
+      break;
+  }
+  // Probe the same tiles the drivers stage: weight blocks, compressed under
+  // the codec's own per-tile fallback threshold. A handful of sampled
+  // block-rows is representative because the z1 ratio is driven by the kInf
+  // density, which is uniform across an adjacency-structured matrix.
+  const double max_wire_frac =
+      std::max(0.0, 1.0 - spec.link_bandwidth / decode_rate);
+  const vidx_t n = g.num_vertices();
+  const vidx_t rows = std::min<vidx_t>(n, 64);
+  const int blocks = n > rows ? 4 : 1;
+  std::vector<dist_t> tile(static_cast<std::size_t>(rows) * n);
+  std::vector<std::uint8_t> frame;
+  double raw_total = 0.0, wire_total = 0.0;
+  for (int i = 0; i < blocks; ++i) {
+    const vidx_t row0 = static_cast<vidx_t>(
+        static_cast<std::int64_t>(i) * (n - rows) / std::max(1, blocks - 1));
+    weight_block(g, row0, 0, rows, n, tile.data(),
+                 static_cast<std::size_t>(n));
+    const std::size_t raw = tile.size() * sizeof(dist_t);
+    z1_compress(tile.data(), raw, frame);
+    raw_total += static_cast<double>(raw);
+    wire_total += (static_cast<double>(frame.size()) <
+                   max_wire_frac * static_cast<double>(raw))
+                      ? static_cast<double>(frame.size())
+                      : static_cast<double>(raw);
+  }
+  return wire_total > 0.0 ? raw_total / wire_total : 1.0;
+}
+
 double fw_transfer_model(vidx_t n, const sim::DeviceSpec& spec, bool overlap,
-                         double out_bytes_per_element) {
+                         double out_bytes_per_element, double wire_ratio) {
   const vidx_t b = fw_block_size(spec, n, fw_resident_blocks(overlap));
   const double nd = std::ceil(static_cast<double>(n) / b);
   // Working tiles (3b²) bounce over the device link at the raw element
@@ -30,18 +84,20 @@ double fw_transfer_model(vidx_t n, const sim::DeviceSpec& spec, bool overlap,
   const double bytes =
       nd * (3.0 * sizeof(dist_t) * static_cast<double>(b) * b +
             out_bytes_per_element * static_cast<double>(n) * n);
-  return bytes / spec.link_bandwidth;
+  return bytes / compressed_link_bandwidth(spec, wire_ratio);
 }
 
 double johnson_transfer_model(vidx_t n, const sim::DeviceSpec& spec,
-                              double out_bytes_per_element) {
+                              double out_bytes_per_element,
+                              double wire_ratio) {
   return out_bytes_per_element * static_cast<double>(n) * n /
-         spec.link_bandwidth;
+         compressed_link_bandwidth(spec, wire_ratio);
 }
 
 double boundary_transfer_model(const BoundaryPlan& plan, vidx_t n,
                                const sim::DeviceSpec& spec,
-                               double out_bytes_per_element) {
+                               double out_bytes_per_element,
+                               double wire_ratio) {
   // Output volume is n² either way; batching turns it into ~k/N_row large
   // transfers. Model the transfer count from the staging capacity.
   const double total_bytes =
@@ -51,7 +107,7 @@ double boundary_transfer_model(const BoundaryPlan& plan, vidx_t n,
     transfers = std::ceil(static_cast<double>(n) / plan.staging_rows);
   }
   return transfers * spec.transfer_latency_s +
-         total_bytes / spec.link_bandwidth;
+         total_bytes / compressed_link_bandwidth(spec, wire_ratio);
 }
 
 double boundary_nop(vidx_t n, int k, double avg_boundary) {
@@ -220,7 +276,8 @@ std::string calibration_cache_key(const ApspOptions& opts) {
          std::to_string(opts.batch_transfers ? 1 : 0) + "/kv" +
          std::to_string(static_cast<int>(opts.kernel_variant)) + "/qf" +
          std::to_string(opts.johnson_queue_factor) + "/ft" +
-         std::to_string(opts.fw_tile);
+         std::to_string(opts.fw_tile) + "/tc" +
+         std::to_string(static_cast<int>(opts.transfer_compression));
 }
 
 const Calibration& calibrate(const ApspOptions& opts) {
@@ -383,7 +440,8 @@ CostBreakdown estimate_fw(const graph::CsrGraph& g, const ApspOptions& opts) {
   cost.compute_s = cal.fw_t0 * std::pow(scale, cal.fw_exponent);
   cost.transfer_s =
       fw_transfer_model(g.num_vertices(), opts.device, opts.overlap_transfers,
-                        opts.store_bytes_per_element);
+                        opts.store_bytes_per_element,
+                        estimate_transfer_ratio(g, opts));
   cost.overlapped = opts.overlap_transfers;
   // FW relaxes every (i, k, j) triple once: n³ inner elements.
   const vidx_t n = g.num_vertices();
@@ -436,7 +494,8 @@ CostBreakdown estimate_johnson(const graph::CsrGraph& g,
   cost.compute_s = sample.kernel_seconds * static_cast<double>(nb) /
                    static_cast<double>(std::max(1, sample.sampled));
   cost.transfer_s = johnson_transfer_model(g.num_vertices(), opts.device,
-                                           opts.store_bytes_per_element);
+                                           opts.store_bytes_per_element,
+                                           estimate_transfer_ratio(g, opts));
   cost.overlapped = opts.overlap_transfers;
   // Johnson is SSSP-bound, not min-plus-bound: no dense-kernel host term,
   // but report the resolved variant's relative speed for symmetry.
@@ -479,7 +538,8 @@ CostBreakdown estimate_boundary(const graph::CsrGraph& g,
     cost.compute_s = boundary_nop(n, plan.k, b) * cal.c_unit[bucket];
   }
   cost.transfer_s = boundary_transfer_model(plan, n, opts.device,
-                                            opts.store_bytes_per_element);
+                                            opts.store_bytes_per_element,
+                                            estimate_transfer_ratio(g, opts));
   // Overlap only helps when the batched D2H path is actually in use.
   cost.overlapped = opts.overlap_transfers && opts.batch_transfers &&
                     plan.staging_rows > 0;

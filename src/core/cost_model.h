@@ -19,22 +19,45 @@ namespace gapsp::core {
 // block-compressed sink at ratio R shrinks it to sizeof(dist_t)/R. Working
 // tiles that bounce to the device and back (FW's 3b² term) stay at the raw
 // element size — only the stream that lands in the store compresses.
+//
+// `wire_ratio` extends the equations to the compressed transfer path
+// (DESIGN.md §14): every byte volume is charged at the effective link
+// bandwidth of a tile that shrinks `wire_ratio`× on the wire and pays the
+// on-device decode. 1.0 (the default) is the legacy raw link.
+
+/// Effective host-link bandwidth of the compressed transfer path: a raw
+/// byte costs 1/(R·TH) on the wire plus 1/decode_rate in the modeled decode
+/// kernel, so TH_eff = 1 / (1/(R·TH) + 1/decode). Degenerates to the raw
+/// link when the ratio is ≤ 1 or the device has no decode rate.
+double compressed_link_bandwidth(const sim::DeviceSpec& spec,
+                                 double wire_ratio);
+
+/// Expected wire ratio (raw/wire) of `g`'s weight tiles through the
+/// TransferCodec under `opts`: z1-compresses sampled weight blocks and
+/// applies the codec's own per-tile fallback threshold. Returns 1.0 when
+/// the codec would not engage (mode off, or auto on a device whose decode
+/// cannot beat the link).
+double estimate_transfer_ratio(const graph::CsrGraph& g,
+                               const ApspOptions& opts);
 
 /// Floyd–Warshall: T = n_d · (W·3b² + w·n²) / TH. With `overlap` the block
 /// size comes from the five-resident-block pipelined schedule (smaller b,
 /// larger n_d — the volume cost of double buffering).
 double fw_transfer_model(vidx_t n, const sim::DeviceSpec& spec,
                          bool overlap = false,
-                         double out_bytes_per_element = sizeof(dist_t));
+                         double out_bytes_per_element = sizeof(dist_t),
+                         double wire_ratio = 1.0);
 
 /// Johnson: T = w · n² / TH.
 double johnson_transfer_model(vidx_t n, const sim::DeviceSpec& spec,
-                              double out_bytes_per_element = sizeof(dist_t));
+                              double out_bytes_per_element = sizeof(dist_t),
+                              double wire_ratio = 1.0);
 
 /// Boundary: (k / N_row) transfers of S_rem bytes each.
 double boundary_transfer_model(const BoundaryPlan& plan, vidx_t n,
                                const sim::DeviceSpec& spec,
-                               double out_bytes_per_element = sizeof(dist_t));
+                               double out_bytes_per_element = sizeof(dist_t),
+                               double wire_ratio = 1.0);
 
 // ---- Compute models (Sec. IV-B2) ----
 

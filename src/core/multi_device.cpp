@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/device_kernels.h"
+#include "core/transfer_codec.h"
 #include "util/timer.h"
 
 namespace gapsp::core {
@@ -77,6 +78,7 @@ MultiApspResult ooc_boundary_multi(const graph::CsrGraph& g,
   struct DeviceState {
     std::unique_ptr<sim::Device> dev;
     std::unique_ptr<sim::FaultInjector> injector;
+    std::unique_ptr<TransferCodec> codec;
     sim::DeviceBuffer<dist_t> diag;
     sim::DeviceBuffer<dist_t> bound;
     sim::DeviceBuffer<dist_t> c2b;
@@ -105,6 +107,8 @@ MultiApspResult ooc_boundary_multi(const graph::CsrGraph& g,
     st.dev = std::make_unique<sim::Device>(opts.device);
     st.dev->set_trace(opts.trace);
     configure_kernels(*st.dev, opts);
+    st.codec = std::make_unique<TransferCodec>(*st.dev,
+                                               opts.transfer_compression);
     st.diag = st.dev->alloc<dist_t>(static_cast<std::size_t>(dmax) * dmax,
                                     "diagonal block");
     st.bound = st.dev->alloc<dist_t>(static_cast<std::size_t>(nb) * nb,
@@ -194,12 +198,13 @@ MultiApspResult ooc_boundary_multi(const graph::CsrGraph& g,
         const vidx_t off = layout.comp_offset[i];
         const vidx_t ni = layout.comp_size(i);
         weight_block(gp, off, off, ni, ni, hbuf.data(), ni);
-        st.dev->memcpy_h2d(s0, st.diag.data(), hbuf.data(),
-                           static_cast<std::size_t>(ni) * ni * sizeof(dist_t));
+        st.codec->h2d(s0, st.diag.data(), hbuf.data(),
+                      static_cast<std::size_t>(ni) * ni * sizeof(dist_t),
+                      /*pinned=*/false);
         dev_blocked_fw(*st.dev, s0, st.diag.data(), ni, ni, opts.fw_tile);
         dist2[i].resize(static_cast<std::size_t>(ni) * ni);
-        st.dev->memcpy_d2h(s0, dist2[i].data(), st.diag.data(),
-                           dist2[i].size() * sizeof(dist_t));
+        st.codec->d2h(s0, dist2[i].data(), st.diag.data(),
+                      dist2[i].size() * sizeof(dist_t), /*pinned=*/false);
         s2_done[i] = 1;
         if (reassigned[i]) {
           failover_cost += st.dev->record_event(s0).time - t0;
@@ -267,12 +272,12 @@ MultiApspResult ooc_boundary_multi(const graph::CsrGraph& g,
     }
     DeviceState& st = devs[survivors.front()];
     try {
-      st.dev->memcpy_h2d(s0, st.bound.data(), hbound.data(),
-                         hbound.size() * sizeof(dist_t));
+      st.codec->h2d(s0, st.bound.data(), hbound.data(),
+                    hbound.size() * sizeof(dist_t), /*pinned=*/false);
       dev_blocked_fw(*st.dev, s0, st.bound.data(), nb, nb, opts.fw_tile);
       // Ship dist3 back so it can be broadcast to the other devices.
-      st.dev->memcpy_d2h(s0, hbound.data(), st.bound.data(),
-                         hbound.size() * sizeof(dist_t));
+      st.codec->d2h(s0, hbound.data(), st.bound.data(),
+                    hbound.size() * sizeof(dist_t), /*pinned=*/false);
       st.dev->synchronize();
       step3_dev = survivors.front();
       barrier3 = st.dev->now();
@@ -291,8 +296,8 @@ MultiApspResult ooc_boundary_multi(const graph::CsrGraph& g,
   for (int d = 0; d < num_devices; ++d) {
     if (!devs[d].alive || d == step3_dev) continue;
     try {
-      devs[d].dev->memcpy_h2d(s0, devs[d].bound.data(), hbound.data(),
-                              hbound.size() * sizeof(dist_t));
+      devs[d].codec->h2d(s0, devs[d].bound.data(), hbound.data(),
+                         hbound.size() * sizeof(dist_t), /*pinned=*/false);
     } catch (const sim::FaultError& e) {
       if (e.op() != sim::FaultOp::kDeviceLost) throw;
       handle_death(e, s2_done);
@@ -306,8 +311,9 @@ MultiApspResult ooc_boundary_multi(const graph::CsrGraph& g,
         const vidx_t bj = layout.comp_boundary[j];
         const vidx_t nj = layout.comp_size(j);
         if (bj == 0) continue;
-        st.dev->memcpy_h2d(s0, st.b2c.data() + b2c_off[j], dist2[j].data(),
-                           static_cast<std::size_t>(bj) * nj * sizeof(dist_t));
+        st.codec->h2d(s0, st.b2c.data() + b2c_off[j], dist2[j].data(),
+                      static_cast<std::size_t>(bj) * nj * sizeof(dist_t),
+                      /*pinned=*/false);
       }
     } catch (const sim::FaultError& e) {
       if (e.op() != sim::FaultOp::kDeviceLost) throw;
@@ -321,8 +327,8 @@ MultiApspResult ooc_boundary_multi(const graph::CsrGraph& g,
     if (st.staged_rows == 0) return;
     const std::size_t bytes =
         static_cast<std::size_t>(st.staged_rows) * n * sizeof(dist_t);
-    st.dev->memcpy_d2h(s0, st.host_staging.data(), st.staging.data(), bytes,
-                       /*async=*/false, /*pinned=*/true);
+    st.codec->d2h(s0, st.host_staging.data(), st.staging.data(), bytes,
+                  /*pinned=*/true);
     store.write_block(st.staged_row0, 0, st.staged_rows, n,
                       st.host_staging.data(), static_cast<std::size_t>(n));
     st.staged_rows = 0;
@@ -479,12 +485,19 @@ MultiApspResult ooc_boundary_multi(const graph::CsrGraph& g,
     agg.bytes_d2h += m.bytes_d2h;
     agg.transfers_h2d += m.transfers_h2d;
     agg.transfers_d2h += m.transfers_d2h;
+    agg.bytes_h2d_raw += m.bytes_h2d_raw;
+    agg.bytes_h2d_wire += m.bytes_h2d_wire;
+    agg.bytes_d2h_raw += m.bytes_d2h_raw;
+    agg.bytes_d2h_wire += m.bytes_d2h_wire;
+    agg.decode_seconds += m.decode_seconds;
+    agg.decodes += m.decodes;
     agg.kernels += m.kernels;
     agg.child_kernels += m.child_kernels;
     agg.total_ops += m.total_ops;
     agg.faults_injected += m.faults_injected;
     agg.transfer_retries += m.transfer_retries;
     agg.kernel_retries += m.kernel_retries;
+    agg.decode_retries += m.decode_retries;
     agg.retry_backoff_seconds += m.retry_backoff_seconds;
     if (!m.kernel_variant.empty()) agg.kernel_variant = m.kernel_variant;
     agg.device_peak_bytes = std::max(agg.device_peak_bytes, m.device_peak_bytes);

@@ -9,6 +9,7 @@
 
 #include "core/checkpoint.h"
 #include "core/device_kernels.h"
+#include "core/transfer_codec.h"
 #include "sim/stream_pipeline.h"
 #include "util/timer.h"
 
@@ -133,6 +134,7 @@ ApspResult ooc_boundary(const graph::CsrGraph& g, const ApspOptions& opts,
   configure_kernels(dev, opts);
   FaultScope faults(dev, opts);
   sim::StreamPipeline pipe(dev, opts.overlap_transfers);
+  TransferCodec codec(dev, opts.transfer_compression);
   const sim::StreamId compute = pipe.compute_stream();
 
   // Step-level checkpointing. Unlike FW/Johnson the store is not the whole
@@ -251,12 +253,13 @@ ApspResult ooc_boundary(const graph::CsrGraph& g, const ApspOptions& opts,
           static_cast<std::size_t>(ni) * ni * sizeof(dist_t);
       const int s = comp_pp.acquire(pipe.in_stream());
       weight_block(gp, off, off, ni, ni, comp_pp.host_ptr(s), ni);
-      comp_pp.set_ready(s, pipe.stage_in(comp_pp.device_ptr(s),
-                                         comp_pp.host_ptr(s), bytes));
+      comp_pp.set_ready(s, codec.stage_in(pipe, comp_pp.device_ptr(s),
+                                          comp_pp.host_ptr(s), bytes));
       pipe.consume(comp_pp.ready(s));
       dev_blocked_fw(dev, compute, comp_pp.device_ptr(s), ni, ni, opts.fw_tile);
-      const sim::Event drained = pipe.stage_out(
-          comp_pp.host_ptr(s), comp_pp.device_ptr(s), bytes, pipe.computed());
+      const sim::Event drained =
+          codec.stage_out(pipe, comp_pp.host_ptr(s), comp_pp.device_ptr(s),
+                          bytes, pipe.computed());
       dist2[i].assign(comp_pp.host_ptr(s),
                       comp_pp.host_ptr(s) + static_cast<std::size_t>(ni) * ni);
       comp_pp.release(s, drained);
@@ -337,9 +340,9 @@ ApspResult ooc_boundary(const graph::CsrGraph& g, const ApspOptions& opts,
                               sizeof(dist_t);
     // The D2H lane waits for the kernels that filled this slot; the slot's
     // next acquire (on compute) waits until the drain finished.
-    const sim::Event drained = pipe.stage_out(
-        staging->host_ptr(active), staging->device_ptr(active), bytes,
-        pipe.computed());
+    const sim::Event drained =
+        codec.stage_out(pipe, staging->host_ptr(active),
+                        staging->device_ptr(active), bytes, pipe.computed());
     store.write_block(staged_row0, 0, staged_rows, n,
                       staging->host_ptr(active), static_cast<std::size_t>(n));
     staging->release(active, drained);

@@ -6,6 +6,7 @@
 
 #include "core/checkpoint.h"
 #include "core/device_kernels.h"
+#include "core/transfer_codec.h"
 #include "sim/stream_pipeline.h"
 #include "util/timer.h"
 
@@ -70,6 +71,7 @@ ApspResult ooc_floyd_warshall(const graph::CsrGraph& g,
   if (start_k == 0) init_weight_matrix(g, store);
 
   sim::StreamPipeline pipe(dev, overlap);
+  TransferCodec codec(dev, opts.transfer_compression);
   const std::size_t elems = static_cast<std::size_t>(b) * b;
   // col holds A(i,k) for a whole row of stage-3 updates (and A(k,k) through
   // stages 1–2), so it never ping-pongs; row and tile double up when the
@@ -85,17 +87,17 @@ ApspResult ooc_floyd_warshall(const graph::CsrGraph& g,
     const int s = pp.acquire(pipe.in_stream());
     const vidx_t rows = bdim(ti), cols = bdim(tj);
     store.read_block(ti * b, tj * b, rows, cols, pp.host_ptr(s), cols);
-    pp.set_ready(s, pipe.stage_in(pp.device_ptr(s), pp.host_ptr(s),
-                                  static_cast<std::size_t>(rows) * cols *
-                                      sizeof(dist_t)));
+    pp.set_ready(s, codec.stage_in(pipe, pp.device_ptr(s), pp.host_ptr(s),
+                                   static_cast<std::size_t>(rows) * cols *
+                                       sizeof(dist_t)));
     return s;
   };
   // Drain slot `s` of `pp` to the store on the D2H lane, after everything
   // issued on compute so far, then free the slot for the next prefetch.
   auto save = [&](sim::PingPong<dist_t>& pp, int s, vidx_t ti, vidx_t tj) {
     const vidx_t rows = bdim(ti), cols = bdim(tj);
-    const sim::Event drained = pipe.stage_out(
-        pp.host_ptr(s), pp.device_ptr(s),
+    const sim::Event drained = codec.stage_out(
+        pipe, pp.host_ptr(s), pp.device_ptr(s),
         static_cast<std::size_t>(rows) * cols * sizeof(dist_t),
         pipe.computed());
     store.write_block(ti * b, tj * b, rows, cols, pp.host_ptr(s), cols);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/checkpoint.h"
+#include "core/transfer_codec.h"
 #include "sim/stream_pipeline.h"
 #include "sssp/bellman_ford.h"
 #include "sssp/delta_stepping.h"
@@ -31,7 +32,8 @@ class JohnsonRunner {
  public:
   JohnsonRunner(const graph::CsrGraph& g, const ApspOptions& opts)
       : g_(g), opts_(opts), dev_(opts.device), faults_(dev_, opts),
-        pipe_(dev_, opts.overlap_transfers) {
+        pipe_(dev_, opts.overlap_transfers),
+        codec_(dev_, opts.transfer_compression) {
     dev_.set_trace(opts.trace);
     configure_kernels(dev_, opts);
     bat_ = johnson_batch_size(dev_.spec(), g, opts.johnson_queue_factor,
@@ -179,14 +181,20 @@ class JohnsonRunner {
     const std::size_t bytes =
         static_cast<std::size_t>(cnt) * static_cast<std::size_t>(n) *
         sizeof(dist_t);
-    const sim::Event drained = pipe_.stage_out(
-        rows_->host_ptr(slot), dist_rows, bytes, pipe_.computed());
+    const sim::Event drained = codec_.stage_out(
+        pipe_, rows_->host_ptr(slot), dist_rows, bytes, pipe_.computed());
     if (store != nullptr) {
       store->write_block(s0, 0, cnt, n, rows_->host_ptr(slot),
                          static_cast<std::size_t>(n));
     }
     rows_->release(slot, drained);
-    return BatchTimes{kernel_s, dev_.transfer_time(bytes, /*pinned=*/true)};
+    // Report what the timeline was actually charged: the wire bytes of the
+    // frame plus the on-device encode when the batch compressed, so sampled
+    // estimates see the compressed regime (DESIGN.md §14).
+    double transfer_s =
+        dev_.transfer_time(codec_.last_wire_bytes(), /*pinned=*/true);
+    if (codec_.last_wire_bytes() != bytes) transfer_s += dev_.decode_time(bytes);
+    return BatchTimes{kernel_s, transfer_s};
   }
 
  private:
@@ -197,6 +205,7 @@ class JohnsonRunner {
   // subject to the fault schedule.
   FaultScope faults_;
   sim::StreamPipeline pipe_;
+  TransferCodec codec_;
   DeviceGraph dg_;
   // Deferred because its size depends on bat_, computed in the ctor body.
   std::optional<sim::PingPong<dist_t>> rows_;

@@ -1,0 +1,140 @@
+#include "core/transfer_codec.h"
+
+#include <algorithm>
+
+#include "core/z1_codec.h"
+#include "util/common.h"
+
+namespace gapsp::core {
+
+const char* transfer_compression_name(TransferCompression mode) {
+  switch (mode) {
+    case TransferCompression::kAuto:
+      return "auto";
+    case TransferCompression::kOn:
+      return "on";
+    case TransferCompression::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+TransferCompression parse_transfer_compression(const std::string& name) {
+  if (name == "auto") return TransferCompression::kAuto;
+  if (name == "on") return TransferCompression::kOn;
+  if (name == "off") return TransferCompression::kOff;
+  throw Error("unknown --transfer-compression '" + name +
+              "' (expected auto|on|off)");
+}
+
+TransferCodec::TransferCodec(sim::Device& dev, TransferCompression mode)
+    : dev_(&dev) {
+  const sim::DeviceSpec& spec = dev.spec();
+  const double decode_rate = spec.decode_gbps * 1e9;
+  switch (mode) {
+    case TransferCompression::kOff:
+      enabled_ = false;
+      break;
+    case TransferCompression::kOn:
+      enabled_ = decode_rate > 0.0;
+      break;
+    case TransferCompression::kAuto:
+      // Worth trying only when the decode kernel outruns the host link —
+      // otherwise even a free frame loses to the raw transfer.
+      enabled_ = decode_rate > spec.link_bandwidth;
+      break;
+  }
+  // Autotuned per-tile fallback threshold, from the attached device's own
+  // rates: compressed wins iff wire/link + raw/decode < raw/link, i.e.
+  // wire < raw · (1 − link/decode). Forcing the path on a device whose
+  // decode cannot beat the link degenerates to always-fallback (frac 0).
+  if (enabled_) {
+    max_wire_frac_ =
+        std::max(0.0, 1.0 - spec.link_bandwidth / decode_rate);
+  }
+}
+
+TransferCodec::~TransferCodec() {
+  if (pinned_noted_ > 0) dev_->note_pinned_release(pinned_noted_);
+}
+
+void TransferCodec::note_wire_capacity() {
+  // The wire buffer models a pinned staging area (frames are DMA'd from
+  // it), so its growth is accounted like the ping-pong buffers.
+  if (frame_.capacity() > pinned_noted_) {
+    dev_->note_pinned_alloc(frame_.capacity() - pinned_noted_);
+    pinned_noted_ = frame_.capacity();
+  }
+}
+
+bool TransferCodec::encode_wins(const void* src, std::size_t bytes) {
+  last_wire_bytes_ = bytes;
+  if (!enabled_ || bytes == 0) return false;
+  // Sampled-entropy early-out: incompressible tiles skip the greedy match
+  // entirely and take the raw path at probe cost.
+  if (!z1_probe_compressible(src, bytes)) return false;
+  z1_compress(src, bytes, frame_);
+  note_wire_capacity();
+  if (static_cast<double>(frame_.size()) >=
+      max_wire_frac_ * static_cast<double>(bytes)) {
+    return false;
+  }
+  last_wire_bytes_ = frame_.size();
+  return true;
+}
+
+sim::Event TransferCodec::stage_in(sim::StreamPipeline& pipe, void* dst,
+                                   const void* src, std::size_t bytes) {
+  if (!encode_wins(src, bytes)) {
+    if (enabled_) dev_->note_z1_fallback(/*to_device=*/true, bytes);
+    return pipe.stage_in(dst, src, bytes);
+  }
+  // The frame is the real carrier: the device buffer is produced by decoding
+  // it, so a codec defect surfaces as wrong distances, not silent drift.
+  return pipe.stage_in_z1(frame_.size(), bytes, [this, dst, bytes] {
+    z1_decompress(frame_.data(), frame_.size(), dst, bytes);
+  });
+}
+
+sim::Event TransferCodec::stage_out(sim::StreamPipeline& pipe, void* dst,
+                                    const void* src, std::size_t bytes,
+                                    sim::Event after) {
+  if (!encode_wins(src, bytes)) {
+    if (enabled_) dev_->note_z1_fallback(/*to_device=*/false, bytes);
+    return pipe.stage_out(dst, src, bytes, after);
+  }
+  return pipe.stage_out_z1(
+      frame_.size(), bytes,
+      [this, dst, bytes] {
+        z1_decompress(frame_.data(), frame_.size(), dst, bytes);
+      },
+      after);
+}
+
+void TransferCodec::h2d(sim::StreamId s, void* dst, const void* src,
+                        std::size_t bytes, bool pinned) {
+  if (!encode_wins(src, bytes)) {
+    if (enabled_) dev_->note_z1_fallback(/*to_device=*/true, bytes);
+    dev_->memcpy_h2d(s, dst, src, bytes, /*async=*/false, pinned);
+    return;
+  }
+  dev_->copy_z1(s, /*to_device=*/true, frame_.size(), bytes,
+                [this, dst, bytes] {
+                  z1_decompress(frame_.data(), frame_.size(), dst, bytes);
+                });
+}
+
+void TransferCodec::d2h(sim::StreamId s, void* dst, const void* src,
+                        std::size_t bytes, bool pinned) {
+  if (!encode_wins(src, bytes)) {
+    if (enabled_) dev_->note_z1_fallback(/*to_device=*/false, bytes);
+    dev_->memcpy_d2h(s, dst, src, bytes, /*async=*/false, pinned);
+    return;
+  }
+  dev_->copy_z1(s, /*to_device=*/false, frame_.size(), bytes,
+                [this, dst, bytes] {
+                  z1_decompress(frame_.data(), frame_.size(), dst, bytes);
+                });
+}
+
+}  // namespace gapsp::core

@@ -1,0 +1,99 @@
+// Compressed host↔device transfer path: z1 tiles through the pinned
+// staging lanes with decompress-on-device.
+//
+// The out-of-core drivers are transfer-bound — the O(n_d·n²) movement term
+// is what the PR-1 overlap engine can only hide, never shrink — while the
+// tiles they ship raw every round compress 11.3×/3.0× at rest (GAPSPZ1).
+// This layer moves the compression onto the wire: each staged tile is
+// z1-encoded on the host into a pinned wire buffer, charged on the link at
+// its *wire* size, and materialized on device by a modeled decode kernel
+// running at DeviceSpec::decode_gbps (Device::copy_z1). D2H returns encode
+// on device and decode on the host side of the staging buffer. Transfer
+// time becomes a function of tile entropy instead of n².
+//
+// Raw fallback: a tile only rides the compressed path when the encoded
+// frame beats the raw transfer under the device's own rates — the threshold
+// wire < raw · (1 − link_bandwidth / decode_rate) is derived ("autotuned")
+// from the attached DeviceSpec at construction, and the sampled-entropy
+// probe in the z1 encoder rejects incompressible tiles before the full
+// greedy match. Fallback tiles go through the ordinary pinned lanes and are
+// counted on both sides of the per-lane raw/wire byte split in
+// DeviceMetrics, so the reported wire ratio is end-to-end honest.
+//
+// Failure semantics: the frame is the real carrier (the device buffer is
+// produced by actually decoding it), and Device::copy_z1 runs its fault
+// gates before materializing — a mid-decode fault retries the whole tile
+// and never publishes a partial decode. See DESIGN.md §14.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/stream_pipeline.h"
+
+namespace gapsp::core {
+
+enum class TransferCompression {
+  kAuto,  ///< on when the device's decode rate beats its host link
+  kOn,    ///< force the compressed path (per-tile raw fallback still applies)
+  kOff,   ///< legacy raw transfers only
+};
+
+const char* transfer_compression_name(TransferCompression mode);
+
+/// Parses "auto" | "on" | "off". Unknown names are hard errors (throws
+/// gapsp::Error), matching the --kernel-variant convention.
+TransferCompression parse_transfer_compression(const std::string& name);
+
+class TransferCodec {
+ public:
+  TransferCodec(sim::Device& dev, TransferCompression mode);
+  ~TransferCodec();
+  TransferCodec(const TransferCodec&) = delete;
+  TransferCodec& operator=(const TransferCodec&) = delete;
+
+  /// True when tiles are considered for the compressed path at all.
+  bool enabled() const { return enabled_; }
+
+  /// Bytes charged on the link by the most recent transfer through this
+  /// codec (the frame size when it compressed, the raw size on fallback).
+  /// Lets samplers report the compressed rate to the cost estimators.
+  std::size_t last_wire_bytes() const { return last_wire_bytes_; }
+
+  // ---- staged (async pinned-lane) transfers ----
+
+  /// Stage `bytes` of pinned host `src` into device `dst` through `pipe`'s
+  /// H2D lane, compressed when the frame wins. Drop-in replacement for
+  /// StreamPipeline::stage_in.
+  sim::Event stage_in(sim::StreamPipeline& pipe, void* dst, const void* src,
+                      std::size_t bytes);
+
+  /// Stage `bytes` of device `src` into pinned host `dst` through `pipe`'s
+  /// D2H lane (encode-on-device when the frame wins), ordered after `after`.
+  /// Drop-in replacement for StreamPipeline::stage_out.
+  sim::Event stage_out(sim::StreamPipeline& pipe, void* dst, const void* src,
+                       std::size_t bytes, sim::Event after);
+
+  // ---- synchronous transfers (multi-device path) ----
+
+  void h2d(sim::StreamId s, void* dst, const void* src, std::size_t bytes,
+           bool pinned);
+  void d2h(sim::StreamId s, void* dst, const void* src, std::size_t bytes,
+           bool pinned);
+
+ private:
+  /// Probes + encodes `src` into the wire buffer; true when the frame beats
+  /// the raw transfer under the autotuned threshold.
+  bool encode_wins(const void* src, std::size_t bytes);
+  void note_wire_capacity();
+
+  sim::Device* dev_;
+  bool enabled_ = false;
+  double max_wire_frac_ = 0.0;  ///< autotuned fallback threshold
+  std::vector<std::uint8_t> frame_;  ///< pinned wire staging (accounted)
+  std::size_t pinned_noted_ = 0;
+  std::size_t last_wire_bytes_ = 0;
+};
+
+}  // namespace gapsp::core

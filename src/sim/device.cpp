@@ -39,6 +39,8 @@ void Device::fault_gate(FaultOp op, StreamId s, const char* what) {
       metrics_.retry_backoff_seconds += backoff;
       if (op == FaultOp::kKernel) {
         ++metrics_.kernel_retries;
+      } else if (op == FaultOp::kDecode) {
+        ++metrics_.decode_retries;
       } else {
         ++metrics_.transfer_retries;
       }
@@ -151,6 +153,84 @@ void Device::memcpy_h2d(StreamId s, void* dst, const void* src,
 void Device::memcpy_d2h(StreamId s, void* dst, const void* src,
                         std::size_t bytes, bool async, bool pinned) {
   do_copy(s, dst, src, bytes, async, pinned, /*to_device=*/false);
+}
+
+double Device::decode_time(std::size_t raw_bytes) const {
+  GAPSP_CHECK(spec_.decode_gbps > 0.0,
+              "compressed transfer on a device without a decode rate");
+  return static_cast<double>(raw_bytes) / (spec_.decode_gbps * 1e9);
+}
+
+void Device::note_z1_fallback(bool to_device, std::size_t bytes) {
+  if (to_device) {
+    metrics_.bytes_h2d_raw += bytes;
+    metrics_.bytes_h2d_wire += bytes;
+  } else {
+    metrics_.bytes_d2h_raw += bytes;
+    metrics_.bytes_d2h_wire += bytes;
+  }
+}
+
+void Device::copy_z1(StreamId s, bool to_device, std::size_t wire_bytes,
+                     std::size_t raw_bytes,
+                     const std::function<void()>& materialize, bool async) {
+  GAPSP_CHECK(s >= 0 && s < static_cast<StreamId>(stream_ready_.size()),
+              "bad stream id");
+  // Both gates pass before any payload moves — same discipline as launch():
+  // a fault on the wire or mid-decode retries the whole tile, and partial
+  // decode output is never published.
+  fault_gate(to_device ? FaultOp::kH2D : FaultOp::kD2H, s,
+             to_device ? "z1 wire h2d" : "z1 wire d2h");
+  fault_gate(FaultOp::kDecode, s, to_device ? "z1 decode" : "z1 encode");
+  if (materialize) materialize();
+  const double wire_s = transfer_time(wire_bytes, /*pinned=*/true);
+  const double dec_s = decode_time(raw_bytes);
+  const double start = std::max(stream_ready_[s], host_time_);
+  // H2D decodes after the wire arrives; D2H encodes before the wire leaves.
+  const double mid = start + (to_device ? wire_s : dec_s);
+  const double end = mid + (to_device ? dec_s : wire_s);
+  const double wire_start = to_device ? start : mid;
+  const double dec_start = to_device ? mid : start;
+  stream_ready_[s] = end;
+  stream_busy_[s] += end - start;
+  intervals_.push_back({wire_start, wire_start + wire_s, /*transfer=*/true});
+  intervals_.push_back({dec_start, dec_start + dec_s, /*transfer=*/false});
+  metrics_.transfer_seconds += wire_s;
+  metrics_.decode_seconds += dec_s;
+  ++metrics_.decodes;
+  if (to_device) {
+    metrics_.bytes_h2d += raw_bytes;  // logical bytes, mode-invariant
+    ++metrics_.transfers_h2d;
+    metrics_.bytes_h2d_raw += raw_bytes;
+    metrics_.bytes_h2d_wire += wire_bytes;
+  } else {
+    metrics_.bytes_d2h += raw_bytes;
+    ++metrics_.transfers_d2h;
+    metrics_.bytes_d2h_raw += raw_bytes;
+    metrics_.bytes_d2h_wire += wire_bytes;
+  }
+  if (trace_ != nullptr) {
+    TraceEvent wire_ev;
+    wire_ev.name = to_device ? "h2d.z1" : "d2h.z1";
+    wire_ev.kind = to_device ? TraceEvent::Kind::kH2D : TraceEvent::Kind::kD2H;
+    wire_ev.stream = s;
+    wire_ev.start_s = wire_start;
+    wire_ev.end_s = wire_start + wire_s;
+    wire_ev.bytes = static_cast<double>(wire_bytes);
+    trace_->record(std::move(wire_ev));
+    TraceEvent dec_ev;  // decode-busy span: device compute on the timeline
+    dec_ev.name = to_device ? "z1_decode" : "z1_encode";
+    dec_ev.kind = TraceEvent::Kind::kDecode;
+    dec_ev.stream = s;
+    dec_ev.start_s = dec_start;
+    dec_ev.end_s = dec_start + dec_s;
+    dec_ev.bytes = static_cast<double>(raw_bytes);
+    trace_->record(std::move(dec_ev));
+  }
+  if (!async) {
+    host_time_ = stream_ready_[s];
+    metrics_.sim_seconds = std::max(metrics_.sim_seconds, host_time_);
+  }
 }
 
 double Device::launch(StreamId s, const std::string& name,

@@ -64,6 +64,19 @@ struct DeviceMetrics {
   std::size_t bytes_d2h = 0;
   long long transfers_h2d = 0;
   long long transfers_d2h = 0;
+  /// Compressed transfer path (DESIGN.md §14), per lane: logical payload
+  /// bytes routed through the TransferCodec (raw) vs bytes actually charged
+  /// on the link (wire). A raw-fallback tile counts equally on both sides,
+  /// so raw/wire is the end-to-end wire ratio; bytes_h2d/d2h above stay in
+  /// logical bytes either way, invariant under the compression mode.
+  std::size_t bytes_h2d_raw = 0;
+  std::size_t bytes_h2d_wire = 0;
+  std::size_t bytes_d2h_raw = 0;
+  std::size_t bytes_d2h_wire = 0;
+  /// Busy seconds and launch count of the modeled on-device z1 decode
+  /// (H2D side) / encode (D2H side) kernels.
+  double decode_seconds = 0.0;
+  long long decodes = 0;
   long long kernels = 0;
   long long child_kernels = 0;
   double total_ops = 0.0;
@@ -76,6 +89,7 @@ struct DeviceMetrics {
   long long faults_injected = 0;   ///< FaultErrors raised by this device
   long long transfer_retries = 0;  ///< transient h2d/d2h faults retried
   long long kernel_retries = 0;    ///< transient launch faults retried
+  long long decode_retries = 0;    ///< transient decode/encode faults retried
   double retry_backoff_seconds = 0.0;  ///< stream time spent backing off
   /// Name of the min-plus microkernel variant the kernel engine ran with
   /// (set via Device::note_kernel_variant; empty when never noted). The
@@ -187,6 +201,25 @@ class Device {
                   bool async = false, bool pinned = false);
   void memcpy_d2h(StreamId s, void* dst, const void* src, std::size_t bytes,
                   bool async = false, bool pinned = false);
+
+  /// Compressed transfer (pinned staging implied): charges `wire_bytes` on
+  /// the link lane of stream `s` plus a modeled on-device z1 decode (H2D)
+  /// or encode (D2H) of `raw_bytes` at spec().decode_gbps. The functional
+  /// payload movement is performed by `materialize`, which runs exactly
+  /// once, after every fault gate has passed — a mid-decode fault therefore
+  /// retries the whole tile and never publishes partial output. The decode
+  /// occupies the stream as kernel time (it can hide other lanes'
+  /// transfers); the wire span is charged as transfer time.
+  void copy_z1(StreamId s, bool to_device, std::size_t wire_bytes,
+               std::size_t raw_bytes, const std::function<void()>& materialize,
+               bool async = false);
+
+  /// Accounts a raw-fallback tile on the compressed path's per-lane
+  /// raw/wire counters (the copy itself went through memcpy_h2d/d2h).
+  void note_z1_fallback(bool to_device, std::size_t bytes);
+
+  /// Modeled duration of the on-device z1 decode/encode of `raw_bytes`.
+  double decode_time(std::size_t raw_bytes) const;
 
   // ---- kernels ----
 

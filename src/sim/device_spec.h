@@ -42,6 +42,14 @@ struct DeviceSpec {
   double kernel_launch_s = 8e-6;
   double child_launch_s = 3e-6;
 
+  /// On-device z1 decode/encode throughput for the compressed transfer path,
+  /// in GB (1e9 bytes) of *raw* payload per second — the rate an LZ4-class
+  /// decompression kernel sustains on this device's memory system. 0 disables
+  /// the compressed path entirely (no such kernel on the device). The
+  /// autotuned raw-fallback threshold derives from the ratio of this rate to
+  /// link_bandwidth (see DESIGN.md §14).
+  double decode_gbps = 0.0;
+
   /// Tesla V100-like preset (16 GB HBM2, 80 SMs, PCIe ~11.75 GB/s).
   static DeviceSpec v100();
   /// Tesla K80-like preset (12 GB GDDR5 per GK210, 13 SMs, PCIe ~7.23 GB/s).
@@ -85,6 +93,7 @@ inline DeviceSpec DeviceSpec::v100() {
   s.compute_ops_per_s = 2.0e12;
   s.mem_bandwidth = 900e9;
   s.link_bandwidth = 11.75e9;  // paper-measured D2H throughput
+  s.decode_gbps = 64.0;        // LZ4-class decode, bounded by HBM2 bandwidth
   return s;
 }
 
@@ -99,6 +108,7 @@ inline DeviceSpec DeviceSpec::k80() {
   s.link_bandwidth = 7.23e9;  // paper-measured D2H throughput
   s.kernel_launch_s = 12e-6;
   s.child_launch_s = 5e-6;
+  s.decode_gbps = 24.0;  // GDDR5-bound decode rate
   return s;
 }
 

@@ -14,6 +14,8 @@ const char* fault_op_name(FaultOp op) {
       return "alloc";
     case FaultOp::kStoreRead:
       return "store-read";
+    case FaultOp::kDecode:
+      return "decode";
     case FaultOp::kDeviceLost:
       return "device-lost";
   }
@@ -40,6 +42,8 @@ double FaultInjector::probability(FaultOp op) const {
       return plan_.p_alloc;
     case FaultOp::kStoreRead:
       return plan_.p_store_read;
+    case FaultOp::kDecode:
+      return plan_.p_decode;
     case FaultOp::kDeviceLost:
       break;
   }

@@ -23,13 +23,16 @@ namespace gapsp::sim {
 /// Operation classes the injector can fail. kStoreRead models the serving
 /// tier's host-side tile reads (DistStore miss path under BlockCache), so
 /// chaos sweeps can drive the retry/quarantine ladder with the same seeded
-/// determinism as the device-op faults.
+/// determinism as the device-op faults. kDecode covers the on-device z1
+/// decode/encode kernels of the compressed transfer path — gated before any
+/// payload is published, so a retried decode re-runs the whole tile.
 enum class FaultOp {
   kH2D,
   kD2H,
   kKernel,
   kAlloc,
   kStoreRead,
+  kDecode,
   kDeviceLost,
 };
 
@@ -73,6 +76,7 @@ struct FaultPlan {
   double p_kernel = 0.0;
   double p_alloc = 0.0;
   double p_store_read = 0.0;
+  double p_decode = 0.0;
 
   /// Scripted one-shot faults: fail the nth (1-based) operation of `op` on
   /// `device` (-1 = any device). Consumed once each.
@@ -117,7 +121,7 @@ class FaultInjector {
   FaultPlan plan_;  // scripted entries are consumed from this copy
   Rng rng_;
   int device_ = 0;
-  long long op_count_[5] = {0, 0, 0, 0, 0};  ///< per-kind, indexed by FaultOp
+  long long op_count_[6] = {0, 0, 0, 0, 0, 0};  ///< per-kind, indexed by FaultOp
   long long total_ops_ = 0;
   long long injected_ = 0;
   bool killed_ = false;

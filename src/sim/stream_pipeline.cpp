@@ -20,6 +20,24 @@ Event StreamPipeline::stage_out(void* dst, const void* src, std::size_t bytes,
   return dev_->record_event(out_);
 }
 
+Event StreamPipeline::stage_in_z1(std::size_t wire_bytes,
+                                  std::size_t raw_bytes,
+                                  const std::function<void()>& materialize) {
+  dev_->copy_z1(in_, /*to_device=*/true, wire_bytes, raw_bytes, materialize,
+                /*async=*/true);
+  return dev_->record_event(in_);
+}
+
+Event StreamPipeline::stage_out_z1(std::size_t wire_bytes,
+                                   std::size_t raw_bytes,
+                                   const std::function<void()>& materialize,
+                                   Event after) {
+  dev_->wait_event(out_, after);
+  dev_->copy_z1(out_, /*to_device=*/false, wire_bytes, raw_bytes, materialize,
+                /*async=*/true);
+  return dev_->record_event(out_);
+}
+
 void StreamPipeline::consume(const Event& e) { dev_->wait_event(compute_, e); }
 
 Event StreamPipeline::computed() { return dev_->record_event(compute_); }

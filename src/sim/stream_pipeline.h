@@ -53,6 +53,15 @@ class StreamPipeline {
   /// source device buffer for refill.
   Event stage_out(void* dst, const void* src, std::size_t bytes, Event after);
 
+  /// Compressed variants (Device::copy_z1 on the same lanes): charge
+  /// `wire_bytes` on the lane plus the modeled on-device decode/encode of
+  /// `raw_bytes`; `materialize` performs the functional payload movement
+  /// and runs exactly once, after the fault gates pass.
+  Event stage_in_z1(std::size_t wire_bytes, std::size_t raw_bytes,
+                    const std::function<void()>& materialize);
+  Event stage_out_z1(std::size_t wire_bytes, std::size_t raw_bytes,
+                     const std::function<void()>& materialize, Event after);
+
   /// Makes the compute stream wait for `e` (no-op once `e` has passed).
   void consume(const Event& e);
 

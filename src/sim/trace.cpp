@@ -16,6 +16,8 @@ const char* kind_name(TraceEvent::Kind kind) {
       return "h2d";
     case TraceEvent::Kind::kD2H:
       return "d2h";
+    case TraceEvent::Kind::kDecode:
+      return "decode";
     case TraceEvent::Kind::kFault:
       return "fault";
   }
@@ -48,7 +50,10 @@ OverlapStats TraceRecorder::overlap_stats() const {
   int max_stream = -1;
   for (const auto& e : events_) {
     max_stream = std::max(max_stream, e.stream);
-    if (e.kind == TraceEvent::Kind::kKernel) {
+    // Decode spans are device-busy compute: they hide transfers on other
+    // lanes exactly like kernels do.
+    if (e.kind == TraceEvent::Kind::kKernel ||
+        e.kind == TraceEvent::Kind::kDecode) {
       kernels.emplace_back(e.start_s, e.end_s);
     }
   }

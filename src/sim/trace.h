@@ -12,9 +12,13 @@
 namespace gapsp::sim {
 
 struct TraceEvent {
+  /// kDecode is the modeled on-device z1 decode/encode of the compressed
+  /// transfer path: device-busy like a kernel (it joins the kernel union of
+  /// the hidden/exposed split) but accounted separately so kernel and decode
+  /// busy totals stay independently checkable against DeviceMetrics.
   /// kFault marks an injected fault on a stream's lane; a retried fault's
   /// duration is the backoff wait, a fatal one is an instant marker.
-  enum class Kind { kKernel, kH2D, kD2H, kFault };
+  enum class Kind { kKernel, kH2D, kD2H, kDecode, kFault };
 
   std::string name;
   Kind kind = Kind::kKernel;

@@ -8,6 +8,7 @@
 // compiled in must not perturb the simulated timeline at all.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -388,7 +389,11 @@ TEST(ChaosResume, CrossProcessResumeViaDurableFileStore) {
   const ApspResult ref = solve_apsp(g, clean, *s_ref);
 
   bool resumed_past_round = false;
-  for (long long kill = 8; kill <= 4096 && !resumed_past_round; kill *= 2) {
+  // Dense enough that some kill lands between the first checkpoint and the
+  // end of the op stream (the compressed transfer path gates two ops per
+  // staged tile, which compresses that window).
+  for (long long kill = 8; kill <= 4096 && !resumed_past_round;
+       kill += std::max<long long>(4, kill / 4)) {
     std::remove(ck.c_str());
     std::remove(dist.c_str());
     sim::FaultPlan plan;
@@ -433,7 +438,8 @@ TEST(ChaosResume, MismatchedCheckpointStartsFresh) {
   // Push the kill later until the death happens after at least one round
   // checkpoint landed on disk.
   bool have_checkpoint = false;
-  for (long long kill = 8; kill <= 4096 && !have_checkpoint; kill *= 2) {
+  for (long long kill = 8; kill <= 4096 && !have_checkpoint;
+       kill += std::max<long long>(4, kill / 4)) {
     sim::FaultPlan plan;
     plan.kill_device = 0;
     plan.kill_at_op = kill;

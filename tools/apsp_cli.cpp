@@ -20,6 +20,11 @@
 //   --components K          boundary algorithm component count (0 = sqrt(n)/4)
 //   --no-batching           disable boundary transfer batching
 //   --no-overlap            disable compute/transfer overlap (all algorithms)
+//   --transfer-compression M  auto | on | off: z1-compress staged tiles into
+//                           the pinned lanes, decode on device (DESIGN.md
+//                           §14). auto engages when the device's decode rate
+//                           beats its host link; results are bit-identical
+//                           in every mode (unknown names are an error)
 //   --no-dp                 disable Johnson dynamic parallelism
 //   --sparse-threshold P    selector sparse density band, percent (default 0.8)
 //   --dense-threshold P     selector dense density band, percent  (default 4)
@@ -58,6 +63,8 @@
 //   --fault-d2h P           probability a D2H transfer faults (transient)
 //   --fault-kernel P        probability a kernel launch faults (transient)
 //   --fault-alloc P         probability an allocation faults (→ degrade)
+//   --fault-decode P        probability an on-device z1 decode/encode faults
+//                           (transient; the whole tile retries)
 //   --kill-device D:N       device D dies at its N-th operation
 //   --retries N             max retries per transient fault (default 3)
 //   --checkpoint FILE       write a round-level checkpoint sidecar; requires
@@ -509,6 +516,8 @@ int run(const Args& args) {
       static_cast<int>(args.get_int_or("components", 0));
   opts.batch_transfers = !args.has("no-batching");
   opts.overlap_transfers = !args.has("no-overlap");
+  opts.transfer_compression = core::parse_transfer_compression(
+      args.get_or("transfer-compression", "auto"));
   opts.dynamic_parallelism = !args.has("no-dp");
   opts.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
   const std::string kernel = args.get_or("sssp-kernel", "near-far");
@@ -539,6 +548,7 @@ int run(const Args& args) {
   faults.p_d2h = args.get_double_or("fault-d2h", 0.0);
   faults.p_kernel = args.get_double_or("fault-kernel", 0.0);
   faults.p_alloc = args.get_double_or("fault-alloc", 0.0);
+  faults.p_decode = args.get_double_or("fault-decode", 0.0);
   if (const auto kill = args.get("kill-device"); kill.has_value()) {
     const auto colon = kill->find(':');
     GAPSP_CHECK(colon != std::string::npos,
@@ -548,7 +558,7 @@ int run(const Args& args) {
   }
   const bool any_faults = faults.p_h2d > 0 || faults.p_d2h > 0 ||
                           faults.p_kernel > 0 || faults.p_alloc > 0 ||
-                          faults.kill_device >= 0;
+                          faults.p_decode > 0 || faults.kill_device >= 0;
   if (any_faults) opts.faults = &faults;
   opts.retry.max_retries = static_cast<int>(args.get_int_or("retries", 3));
   opts.kernel_variant =
@@ -627,8 +637,18 @@ int run(const Args& args) {
             << " ms, transfers " << r.metrics.transfer_seconds * 1e3
             << " ms)\ntransfer overlap: "
             << r.metrics.hidden_transfer_seconds * 1e3 << " ms hidden, "
-            << r.metrics.exposed_transfer_seconds * 1e3 << " ms exposed\n"
-            << "device traffic: "
+            << r.metrics.exposed_transfer_seconds * 1e3 << " ms exposed\n";
+  const std::size_t wire_raw =
+      r.metrics.bytes_h2d_raw + r.metrics.bytes_d2h_raw;
+  const std::size_t wire = r.metrics.bytes_h2d_wire + r.metrics.bytes_d2h_wire;
+  if (wire > 0) {
+    std::cout << "transfer compression: " << (wire_raw >> 10) << " KiB -> "
+              << (wire >> 10) << " KiB on the wire ("
+              << static_cast<double>(wire_raw) / static_cast<double>(wire)
+              << "x), decode busy " << r.metrics.decode_seconds * 1e3
+              << " ms in " << r.metrics.decodes << " kernels\n";
+  }
+  std::cout << "device traffic: "
             << (r.metrics.bytes_h2d >> 10) << " KiB h2d in "
             << r.metrics.transfers_h2d << " transfers, "
             << (r.metrics.bytes_d2h >> 10) << " KiB d2h in "
@@ -674,7 +694,8 @@ int run(const Args& args) {
     std::cout << "recovery: " << r.metrics.faults_injected
               << " faults injected, " << r.metrics.transfer_retries
               << " transfer retries, " << r.metrics.kernel_retries
-              << " kernel retries ("
+              << " kernel retries, " << r.metrics.decode_retries
+              << " decode retries ("
               << r.metrics.retry_backoff_seconds * 1e3 << " ms backoff), "
               << r.metrics.degradations << " degradations\n";
   }
@@ -824,9 +845,9 @@ int main(int argc, char** argv) {
          "keep-store", "no-compress-store", "store-ratio", "query", "path",
          "trace", "stats", "sssp-kernel", "partitioner", "devices",
          "per-component", "save", "verify", "fault-seed", "fault-h2d",
-         "fault-d2h", "fault-kernel", "fault-alloc", "kill-device",
-         "retries", "checkpoint", "resume", "kernel-variant",
-         "kernel-threads"});
+         "fault-d2h", "fault-kernel", "fault-alloc", "fault-decode",
+         "kill-device", "retries", "checkpoint", "resume", "kernel-variant",
+         "kernel-threads", "transfer-compression"});
     if (!unknown.empty()) {
       std::cerr << "unknown flag(s):";
       for (const auto& f : unknown) std::cerr << " --" << f;
