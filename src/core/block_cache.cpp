@@ -8,7 +8,15 @@ BlockCache::BlockCache(std::size_t capacity_bytes, int shards)
     : capacity_bytes_(capacity_bytes) {
   GAPSP_CHECK(shards > 0, "cache needs at least one shard");
   shards_ = std::vector<Shard>(static_cast<std::size_t>(shards));
-  shard_capacity_ = capacity_bytes_ / shards_.size();
+  // Spread the budget's division remainder over the leading shards instead
+  // of truncating it away: with the single floored quotient, S−1 shards'
+  // worth of bytes could go unused and any capacity below the shard count
+  // degenerated to all-zero budgets that evicted every tile as oversize.
+  const std::size_t base = capacity_bytes_ / shards_.size();
+  const std::size_t rem = capacity_bytes_ % shards_.size();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i].capacity = base + (i < rem ? 1 : 0);
+  }
 }
 
 BlockCache::Shard& BlockCache::shard_of(std::uint64_t key) {
@@ -27,7 +35,7 @@ BlockData BlockCache::insert_locked(Shard& s, std::uint64_t key,
   s.lru.push_front(Entry{key, data, size});
   s.index.emplace(key, s.lru.begin());
   s.bytes += size;
-  while (s.bytes > shard_capacity_ && s.lru.size() > 1) {
+  while (s.bytes > s.capacity && s.lru.size() > 1) {
     const Entry& victim = s.lru.back();
     s.bytes -= victim.bytes;
     s.index.erase(victim.key);

@@ -62,7 +62,9 @@ using BlockData = std::shared_ptr<const std::vector<dist_t>>;
 
 class BlockCache {
  public:
-  /// `capacity_bytes` is split evenly across `shards` independent LRU lists.
+  /// `capacity_bytes` is split across `shards` independent LRU lists, the
+  /// division remainder going to the leading shards so no byte of budget is
+  /// lost to truncation.
   explicit BlockCache(std::size_t capacity_bytes, int shards = 8);
 
   BlockCache(const BlockCache&) = delete;
@@ -116,6 +118,7 @@ class BlockCache {
   };
   struct Shard {
     mutable std::mutex mu;
+    std::size_t capacity = 0;  ///< this shard's slice of the byte budget
     std::list<Entry> lru;  ///< front = most recently used
     std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
     std::unordered_set<std::uint64_t> quarantined;
@@ -140,7 +143,6 @@ class BlockCache {
                           std::size_t size);
 
   std::size_t capacity_bytes_;
-  std::size_t shard_capacity_;
   std::vector<Shard> shards_;
   BlockData negative_;
 };

@@ -357,6 +357,23 @@ CompressedStoreInfo compressed_store_info(const std::string& path) {
   return info;
 }
 
+CompressedDirectory read_compressed_directory(const std::string& path) {
+  File file(std::fopen(path.c_str(), "rb"));
+  if (file.f == nullptr) {
+    throw IoError("cannot open dist store file " + path);
+  }
+  const ZIndex ix = read_index(file.f, path);
+  CompressedDirectory dir;
+  dir.n = static_cast<vidx_t>(ix.h.n);
+  dir.tile = static_cast<vidx_t>(ix.h.tile);
+  dir.tiles_per_side = static_cast<vidx_t>(ix.h.tiles_per_side);
+  dir.entries.reserve(ix.dir.size());
+  for (const ZDirEntry& e : ix.dir) {
+    dir.entries.push_back({e.offset, e.bytes});
+  }
+  return dir;
+}
+
 std::unique_ptr<DistStore> open_compressed_store(const std::string& path) {
   File file(std::fopen(path.c_str(), "rb"));
   if (file.f == nullptr) {

@@ -82,6 +82,25 @@ struct CompressedStoreInfo {
 /// Reads and validates the header+directory. Throws IoError on corruption.
 CompressedStoreInfo compressed_store_info(const std::string& path);
 
+/// One tile's frame location inside a GAPSPZ1 file (bytes == 0 marks an
+/// all-kInf tile with no stored payload).
+struct CompressedTileEntry {
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// The validated geometry + tile directory of a GAPSPZ1 store, for tools
+/// that relocate compressed frames without decompressing them (the
+/// row-range shard slicer, core/shard_store.h). Throws IoError/CorruptError
+/// exactly like open_compressed_store.
+struct CompressedDirectory {
+  vidx_t n = 0;
+  vidx_t tile = 0;
+  vidx_t tiles_per_side = 0;
+  std::vector<CompressedTileEntry> entries;  ///< row-major tile grid
+};
+CompressedDirectory read_compressed_directory(const std::string& path);
+
 /// Opens a GAPSPZ1 store read-only. read_block decompresses the overlapped
 /// tiles (all-kInf tiles are synthesized from the directory without I/O);
 /// write_block throws IoError. Like FileStore, the returned store is one

@@ -193,16 +193,15 @@ void QueryEngine::block(vidx_t row0, vidx_t col0, vidx_t rows, vidx_t cols,
   }
 }
 
-namespace {
-
-double percentile(const std::vector<double>& sorted, double q) {
+double latency_percentile(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) return 0.0;
-  const auto idx = static_cast<std::size_t>(
-      std::llround(q * static_cast<double>(sorted.size() - 1)));
-  return sorted[std::min(idx, sorted.size() - 1)];
+  const double pos =
+      std::clamp(q, 0.0, 1.0) * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
 }
-
-}  // namespace
 
 BatchReport QueryEngine::run_batch(std::span<const Query> queries) const {
   BatchReport report;
@@ -388,8 +387,8 @@ BatchReport QueryEngine::run_batch(std::span<const Query> queries) const {
   std::sort(lat.begin(), lat.end());
   report.latency.count = lat.size();
   report.latency.mean_s = lat.empty() ? 0.0 : sum / static_cast<double>(lat.size());
-  report.latency.p50_s = percentile(lat, 0.50);
-  report.latency.p95_s = percentile(lat, 0.95);
+  report.latency.p50_s = latency_percentile(lat, 0.50);
+  report.latency.p95_s = latency_percentile(lat, 0.95);
   report.latency.max_s = lat.empty() ? 0.0 : lat.back();
   report.cache = cache_.stats();
   report.service = service_stats();

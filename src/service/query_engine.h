@@ -78,6 +78,14 @@ struct LatencyStats {
   double max_s = 0.0;
 };
 
+/// Linear-interpolation percentile over an ascending-sorted sample (the
+/// "exclusive max" convention: q lands at rank q·(n−1) and fractional ranks
+/// interpolate between neighbors). The earlier nearest-rank rounding made
+/// small batches report the max as p95 — with 4 samples, rank llround(0.95·3)
+/// = 3 IS the max — and biased even p50 upward. Shared by the engine, the
+/// shard router's merged report, and the stats tests.
+double latency_percentile(const std::vector<double>& sorted, double q);
+
 /// Engine-cumulative serving counters (atomically maintained across
 /// batches and threads; reader stats come from the CheckedTileReader).
 struct ServiceStats {

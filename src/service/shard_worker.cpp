@@ -1,0 +1,93 @@
+#include "service/shard_worker.h"
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/shard_store.h"
+#include "service/wire.h"
+
+namespace gapsp::service {
+
+int run_shard_worker(const std::string& store_path, int shard,
+                     const ShardWorkerOptions& opt, int in_fd, int out_fd) {
+  try {
+    core::ShardManifest manifest;
+    if (!core::load_shard_manifest(core::shard_manifest_path(store_path),
+                                   manifest)) {
+      throw IoError("no shard manifest next to " + store_path +
+                    " — run `apsp_cli shard` first");
+    }
+    GAPSP_CHECK(shard >= 0 && shard < manifest.num_shards(),
+                "shard " + std::to_string(shard) + " out of range [0, " +
+                    std::to_string(manifest.num_shards()) + ")");
+    const auto slice =
+        core::open_shard_slice(store_path, manifest, shard, opt.verify_shard);
+    const QueryEngine engine(*slice, opt.engine);
+    const core::ShardRange& range =
+        manifest.shards[static_cast<std::size_t>(shard)];
+
+    write_frame(out_fd, WireType::kHello,
+                encode_hello({shard, manifest.n, range.row_begin,
+                              range.row_end}));
+
+    int batches = 0;
+    WireFrame frame;
+    while (read_frame(in_fd, frame, /*timeout_ms=*/0)) {
+      if (frame.type == WireType::kShutdown) break;
+      if (frame.type != WireType::kBatch) {
+        throw IoError("unexpected frame type " +
+                      std::to_string(static_cast<int>(frame.type)) +
+                      " from the router");
+      }
+      ++batches;
+      if (opt.exit_after > 0 && batches == opt.exit_after) {
+        // Chaos hook: die exactly like a crashed worker would — no reply,
+        // no cleanup, pipe torn mid-request.
+        _exit(9);
+      }
+      const std::vector<Query> queries = decode_batch(frame.payload);
+
+      // Pre-filter misrouted queries: a row outside this shard's range is a
+      // router bug and must come back typed, not as a quarantine/transient
+      // miscount from the slice store's IoError.
+      std::vector<Query> owned;
+      std::vector<std::size_t> owned_at;
+      owned.reserve(queries.size());
+      BatchReport report;
+      report.results.resize(queries.size());
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        const Query& q = queries[i];
+        if (q.u >= range.row_begin && q.u < range.row_end) {
+          owned.push_back(q);
+          owned_at.push_back(i);
+          continue;
+        }
+        QueryResult& r = report.results[i];
+        r.query = q;
+        r.status = QueryStatus::kError;
+        r.error = "row " + std::to_string(q.u) + " outside shard " +
+                  std::to_string(shard) + " rows [" +
+                  std::to_string(range.row_begin) + ", " +
+                  std::to_string(range.row_end) + ")";
+      }
+      BatchReport owned_report = engine.run_batch(owned);
+      for (std::size_t i = 0; i < owned_at.size(); ++i) {
+        report.results[owned_at[i]] = std::move(owned_report.results[i]);
+      }
+      report.wall_seconds = owned_report.wall_seconds;
+      report.cache = owned_report.cache;
+      report.service = engine.service_stats();
+      write_frame(out_fd, WireType::kBatchReply, encode_batch_reply(report));
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "shard worker %d: %s\n", shard, e.what());
+    return 1;
+  }
+}
+
+}  // namespace gapsp::service

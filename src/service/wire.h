@@ -1,0 +1,80 @@
+// Length-prefixed wire protocol between the shard router and shard worker
+// processes (DESIGN.md §15).
+//
+// A worker owns one shard slice of the kept store behind its own QueryEngine
+// (shard_worker.h); the router (shard_router.h) speaks to it over a
+// socketpair/pipe in frames:
+//
+//   frame := u32 payload_len | u32 type | payload (payload_len bytes)
+//
+// Types: kHello (worker → router once at startup: shard id + geometry, so a
+// misrouted spawn is caught before any query), kBatch (router → worker: the
+// shard's slice of a batch), kBatchReply (worker → router: per-query results
+// plus the worker's cumulative cache/service counters), kShutdown (router →
+// worker: drain and exit). Same-machine binary like every GAPSP* artifact —
+// the two ends are always the same build.
+//
+// Failure model: encode/decode throw CorruptError on malformed payloads;
+// read_frame/write_frame throw IoError on timeout, short frames, or a dead
+// peer — the router catches both and degrades that shard's queries to typed
+// statuses, never letting one sick worker crash a batch.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "service/query_engine.h"
+#include "util/common.h"
+
+namespace gapsp::service {
+
+enum class WireType : std::uint32_t {
+  kHello = 1,
+  kBatch = 2,
+  kBatchReply = 3,
+  kShutdown = 4,
+};
+
+/// Startup handshake: the worker announces which shard it serves.
+struct WireHello {
+  int shard = -1;
+  vidx_t n = 0;
+  vidx_t row_begin = 0;
+  vidx_t row_end = 0;
+};
+
+/// A worker's answer to one kBatch frame. The counters are the worker
+/// engine's *cumulative* snapshots, same semantics as BatchReport.
+struct WireBatchReply {
+  std::vector<QueryResult> results;
+  ServiceStats service;
+  CacheStats cache;
+  double wall_seconds = 0.0;
+};
+
+std::vector<std::uint8_t> encode_hello(const WireHello& hello);
+WireHello decode_hello(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_batch(std::span<const Query> queries);
+std::vector<Query> decode_batch(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_batch_reply(const BatchReport& report);
+WireBatchReply decode_batch_reply(std::span<const std::uint8_t> payload);
+
+struct WireFrame {
+  WireType type = WireType::kShutdown;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Reads one frame from `fd`. Returns false on a clean EOF at a frame
+/// boundary (peer closed); throws IoError when no full frame arrives within
+/// `timeout_ms` (≤ 0 = wait forever), on a mid-frame EOF, or on an
+/// implausible length prefix.
+bool read_frame(int fd, WireFrame& out, int timeout_ms);
+
+/// Writes one frame to `fd`, retrying short writes. Throws IoError when the
+/// peer is gone (EPIPE is taken on the return path, not via SIGPIPE).
+void write_frame(int fd, WireType type, std::span<const std::uint8_t> payload);
+
+}  // namespace gapsp::service

@@ -361,6 +361,53 @@ TEST(QueryEngine, CompressedStoreServesIdenticalAnswers) {
   std::remove(zpath.c_str());
 }
 
+TEST(BlockCache, ByteBudgetDistributesDivisionRemainder) {
+  // Regression: the per-shard budget used to be the truncating
+  // capacity/shards, silently dropping capacity%shards bytes — with small
+  // budgets and many shards most of the configured capacity vanished.
+  // 60 bytes over 8 shards truncated to 7 bytes/shard, so no shard could
+  // ever hold two 4-byte tiles: at most 8 × 4 = 32 bytes cached. With the
+  // remainder spread to the leading shards (4 shards of 8 bytes, 4 of 7),
+  // half the shards hold two tiles and a full sweep settles above 32.
+  BlockCache cache(60, /*shards=*/8);
+  for (vidx_t i = 0; i < 400; ++i) {
+    cache.get_or_load(i, i, [] { return make_block(1, 1); });
+  }
+  const auto s = cache.stats();
+  EXPECT_GT(s.bytes_cached, 32u);   // pre-fix ceiling
+  EXPECT_LE(s.bytes_cached, 60u);   // never above the configured budget
+}
+
+TEST(BlockCache, TinyBudgetStillServesEveryShard) {
+  // capacity < shards: every shard's budget rounds to 0 or 1 byte; each
+  // still keeps its most recent (oversized) block instead of thrashing.
+  BlockCache cache(3, /*shards=*/8);
+  for (vidx_t i = 0; i < 64; ++i) {
+    const auto b = cache.get_or_load(i, 0, [] { return make_block(4, 2); });
+    ASSERT_NE(b, nullptr);
+    int reloaded = 0;
+    cache.get_or_load(i, 0, [&] { ++reloaded; return make_block(4, 2); });
+    EXPECT_EQ(reloaded, 0) << "block " << i << " not retained";
+  }
+}
+
+TEST(LatencyStats, PercentileInterpolatesBetweenRanks) {
+  // Regression: percentile() used nearest-rank (llround(q·(n−1))), so with
+  // few samples p95 collapsed onto the max and p50 onto an arbitrary
+  // neighbor. Linear interpolation gives the textbook values.
+  const std::vector<double> four = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(latency_percentile(four, 0.50), 2.5);   // was 3
+  EXPECT_DOUBLE_EQ(latency_percentile(four, 0.95), 3.85);  // was 4 == max
+  EXPECT_DOUBLE_EQ(latency_percentile(four, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(latency_percentile(four, 1.0), 4.0);
+  std::vector<double> ten;
+  for (int i = 1; i <= 10; ++i) ten.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(latency_percentile(ten, 0.95), 9.55);
+  EXPECT_DOUBLE_EQ(latency_percentile(ten, 0.25), 3.25);
+  EXPECT_DOUBLE_EQ(latency_percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(latency_percentile({7.0}, 0.95), 7.0);
+}
+
 TEST(QueryService, ReadOnlyStoreRejectsWrites) {
   const std::string path = "query_service_ro.bin";
   {

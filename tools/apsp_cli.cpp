@@ -123,6 +123,26 @@
 //   --fault-store-read P    inject transient store-read faults (chaos)
 //   --fault-seed S          fault schedule seed (default 1)
 //
+// Sharded serving (see DESIGN.md §15): `apsp_cli shard` splits a kept store
+// (raw or GAPSPZ1) into row-range shard files plus a GAPSPSH1 manifest;
+// `query --route` serves all shards behind one batch surface, either with
+// in-process engines (local) or one worker process per shard (process, the
+// workers being `apsp_cli serve --shard K` children speaking a
+// length-prefixed protocol on stdin/stdout). A dead or corrupt shard
+// degrades exactly its row range to typed kQuarantined results:
+//
+//   apsp_cli shard --store-path d.bin --shards 4
+//   apsp_cli query --store-path d.bin --route process --point 0,100 --row 5
+//   apsp_cli query --store-path d.bin --shard 1 --row 300   (single slice)
+//
+//   --route M               none | local | process        (default none)
+//   --shard K               serve one shard slice directly; every query must
+//                           route inside its row range (contradiction = exit 1)
+//   --worker-retries N      resend+respawn budget per dead worker (default 1)
+//   --worker-timeout-ms T   per-reply wait before a worker counts as dead
+//   --kill-worker K:N       chaos: worker K _exits on its N-th batch
+//   --no-verify-shard       skip the whole-file shard checksum at open
+//
 // Scrub & repair (offline): `apsp_cli scrub` walks every tile of a kept
 // store, reports corruption, optionally repairs it in place, and exits 3
 // when unrepaired damage remains:
@@ -140,6 +160,8 @@
 #include <iostream>
 #include <sstream>
 
+#include <unistd.h>
+
 #include "core/apsp.h"
 #include "core/kernel_engine.h"
 #include "core/component_solver.h"
@@ -149,6 +171,7 @@
 #include "core/multi_device.h"
 #include "core/path_extract.h"
 #include "core/scrub.h"
+#include "core/shard_store.h"
 #include "core/store_integrity.h"
 #include "core/verify.h"
 #include "graph/generators.h"
@@ -156,6 +179,8 @@
 #include "graph/matrix_market.h"
 #include "partition/boundary.h"
 #include "service/query_engine.h"
+#include "service/shard_router.h"
+#include "service/shard_worker.h"
 #include "util/args.h"
 
 namespace {
@@ -253,10 +278,7 @@ core::TileRepairFn make_repair_source(const Args& args) {
   };
 }
 
-int run_query(const Args& args) {
-  const std::string path = args.get_or("store-path", "apsp_dist.bin");
-  const auto store = core::open_store(path);  // raw or GAPSPZ1, auto-detected
-
+service::QueryEngineOptions engine_options_from_flags(const Args& args) {
   service::QueryEngineOptions qopt;
   qopt.cache_bytes =
       static_cast<std::size_t>(args.get_int_or("cache-mb", 64)) << 20;
@@ -264,9 +286,304 @@ int run_query(const Args& args) {
   qopt.cache_shards = static_cast<int>(args.get_int_or("shards", 8));
   qopt.max_threads = static_cast<int>(args.get_int_or("threads", 0));
   qopt.retry.max_retries = static_cast<int>(args.get_int_or("retries", 3));
-  qopt.max_queue =
-      static_cast<std::size_t>(args.get_int_or("max-queue", 0));
+  qopt.max_queue = static_cast<std::size_t>(args.get_int_or("max-queue", 0));
   qopt.verify_checksums = !args.has("no-verify-sums");
+  return qopt;
+}
+
+struct ParsedQueries {
+  std::vector<service::Query> queries;
+  std::size_t inline_queries = 0;  // from --point/--row: echo each result
+};
+
+ParsedQueries parse_queries(const Args& args) {
+  ParsedQueries out;
+  auto& queries = out.queries;
+  if (const auto p = args.get("point"); p.has_value()) {
+    std::istringstream ss(*p);
+    std::string item;
+    while (std::getline(ss, item, ';')) {
+      const auto [u, v] = parse_pair(item);
+      queries.push_back({service::QueryKind::kPoint, u, v});
+    }
+    out.inline_queries = queries.size();
+  }
+  if (const auto rws = args.get("row"); rws.has_value()) {
+    std::istringstream ss(*rws);
+    std::string item;
+    while (std::getline(ss, item, ';')) {
+      queries.push_back({service::QueryKind::kRow,
+                         static_cast<vidx_t>(std::stoll(item)), 0});
+    }
+    out.inline_queries = queries.size();
+  }
+  if (const auto batch = args.get("batch"); batch.has_value()) {
+    std::ifstream in(*batch);
+    GAPSP_CHECK(in.good(), "cannot open batch file " + *batch);
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto first = line.find_first_not_of(" \t");
+      if (first == std::string::npos || line[first] == '#') continue;
+      std::istringstream ls(line.substr(first));
+      std::string tok;
+      ls >> tok;
+      if (tok == "row") {
+        long long u = 0;
+        GAPSP_CHECK(static_cast<bool>(ls >> u), "bad batch line: " + line);
+        queries.push_back(
+            {service::QueryKind::kRow, static_cast<vidx_t>(u), 0});
+      } else if (tok.find(',') != std::string::npos) {
+        const auto [u, v] = parse_pair(tok);
+        queries.push_back({service::QueryKind::kPoint, u, v});
+      } else {
+        long long v = 0;
+        GAPSP_CHECK(static_cast<bool>(ls >> v), "bad batch line: " + line);
+        queries.push_back({service::QueryKind::kPoint,
+                           static_cast<vidx_t>(std::stoll(tok)),
+                           static_cast<vidx_t>(v)});
+      }
+    }
+  }
+  GAPSP_CHECK(!queries.empty(),
+              "nothing to serve: give --point, --row, or --batch");
+  return out;
+}
+
+void print_inline_results(const service::BatchReport& report,
+                          std::size_t inline_queries, vidx_t n) {
+  for (std::size_t i = 0; i < inline_queries; ++i) {
+    const auto& r = report.results[i];
+    if (r.status != service::QueryStatus::kOk) {
+      std::cout << (r.query.kind == service::QueryKind::kPoint
+                        ? "dist(" + std::to_string(r.query.u) + ", " +
+                              std::to_string(r.query.v) + ")"
+                        : "row " + std::to_string(r.query.u))
+                << " = <" << service::query_status_name(r.status) << ": "
+                << r.error << ">\n";
+      continue;
+    }
+    if (r.query.kind == service::QueryKind::kPoint) {
+      std::cout << "dist(" << r.query.u << ", " << r.query.v << ") = ";
+      if (r.dist >= kInf) {
+        std::cout << "unreachable\n";
+      } else {
+        std::cout << r.dist << "\n";
+      }
+    } else {
+      vidx_t reachable = 0;
+      dist_t far = 0;
+      for (dist_t d : r.row) {
+        if (d < kInf) {
+          ++reachable;
+          far = std::max(far, d);
+        }
+      }
+      std::cout << "row " << r.query.u << ": " << reachable << "/" << n
+                << " reachable, eccentricity " << far << "\n";
+    }
+  }
+}
+
+void print_batch_summary(const service::BatchReport& report) {
+  const auto& cs = report.cache;
+  std::cout << "batch: " << report.results.size() << " queries in "
+            << report.wall_seconds * 1e3 << " ms ("
+            << static_cast<long long>(report.qps) << " qps)\n"
+            << "latency: mean " << us(report.latency.mean_s) << ", p50 "
+            << us(report.latency.p50_s) << ", p95 " << us(report.latency.p95_s)
+            << ", max " << us(report.latency.max_s) << "\n"
+            << "cache: " << cs.hits << " hits, " << cs.misses << " misses ("
+            << cs.hit_rate() * 100.0 << "% hit rate), " << cs.evictions
+            << " evictions, " << cs.negative_loads
+            << " all-kInf tiles at zero cost, " << (cs.bytes_cached >> 10)
+            << " KiB of " << (cs.capacity_bytes >> 10) << " KiB used\n";
+  const auto& sv = report.service;
+  std::cout << "service: " << sv.served << " served, " << sv.degraded
+            << " degraded, " << sv.shed << " shed, " << sv.repaired
+            << " repaired; " << sv.retries << " retried, "
+            << sv.transient_failures << " transient-failed, "
+            << sv.corrupt_tiles << " corrupt, " << cs.quarantined_tiles
+            << " quarantined\n";
+}
+
+core::ShardManifest require_manifest(const std::string& path) {
+  core::ShardManifest manifest;
+  if (!core::load_shard_manifest(core::shard_manifest_path(path), manifest)) {
+    throw Error("no shard manifest next to " + path +
+                " — run `apsp_cli shard --store-path " + path +
+                " --shards N` first");
+  }
+  return manifest;
+}
+
+std::string self_exe_path() {
+  char buf[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  GAPSP_CHECK(len > 0, "cannot resolve /proc/self/exe");
+  return std::string(buf, static_cast<std::size_t>(len));
+}
+
+/// `query --shard K`: serve one shard slice directly (no router). Queries
+/// routing outside the shard's rows are a usage error — the slice cannot
+/// answer them, and silently returning kInf would look like "unreachable".
+int run_query_shard_slice(const Args& args, const std::string& path) {
+  const auto manifest = require_manifest(path);
+  const int k = static_cast<int>(args.get_int_or("shard", 0));
+  GAPSP_CHECK(k >= 0 && k < manifest.num_shards(),
+              "--shard " + std::to_string(k) + " out of range [0, " +
+                  std::to_string(manifest.num_shards()) + ")");
+  const auto& range = manifest.shards[static_cast<std::size_t>(k)];
+  const auto slice = core::open_shard_slice(path, manifest, k);
+  const auto qopt = engine_options_from_flags(args);
+  const service::QueryEngine engine(*slice, qopt);
+
+  std::cout << "store: " << path << " shard " << k << "/"
+            << manifest.num_shards() << " (rows [" << range.row_begin << ", "
+            << range.row_end << ") of n=" << manifest.n << ", "
+            << (manifest.compressed ? "GAPSPZ1" : "raw") << " slice, tile "
+            << manifest.tile << ")\n";
+
+  auto pq = parse_queries(args);
+  for (const auto& q : pq.queries) {
+    // Typed exit-1 path: a query this slice cannot own is a flag
+    // contradiction, not an "unreachable" answer.
+    GAPSP_CHECK(
+        q.u >= range.row_begin && q.u < range.row_end,
+        (q.kind == service::QueryKind::kPoint ? "--point " : "--row ") +
+            std::to_string(q.u) + " routes outside --shard " +
+            std::to_string(k) + " rows [" + std::to_string(range.row_begin) +
+            ", " + std::to_string(range.row_end) +
+            "); drop --shard or use --route local/process");
+  }
+
+  const auto repeat = std::max<long long>(1, args.get_int_or("repeat", 1));
+  auto report = engine.run_batch(pq.queries);
+  for (long long rep = 1; rep < repeat; ++rep) {
+    report = engine.run_batch(pq.queries);
+  }
+  print_inline_results(report, pq.inline_queries, manifest.n);
+  print_batch_summary(report);
+  return 0;
+}
+
+/// `query --route local|process`: a ShardRouter over every shard, either
+/// in-process engines or one worker process per shard.
+int run_query_routed(const Args& args, const std::string& path,
+                     const std::string& route) {
+  const auto manifest = require_manifest(path);
+  const int shards = manifest.num_shards();
+
+  // One logical cache budget, split across the shard engines like the
+  // single-engine path would spend it (floor 1 MiB per shard).
+  const auto cache_mb =
+      std::max<long long>(1, args.get_int_or("cache-mb", 64));
+  const auto per_shard_mb = std::max<long long>(1, cache_mb / shards);
+
+  service::ShardRouterOptions ropt;
+  ropt.max_queue = static_cast<std::size_t>(args.get_int_or("max-queue", 0));
+
+  int kill_shard = -1;
+  long long kill_at = 0;
+  if (const auto kill = args.get("kill-worker"); kill.has_value()) {
+    const auto colon = kill->find(':');
+    GAPSP_CHECK(colon != std::string::npos,
+                "expected --kill-worker SHARD:NTHBATCH but got " + *kill);
+    kill_shard = static_cast<int>(std::stoll(kill->substr(0, colon)));
+    kill_at = std::stoll(kill->substr(colon + 1));
+    GAPSP_CHECK(kill_shard >= 0 && kill_shard < shards,
+                "--kill-worker shard " + std::to_string(kill_shard) +
+                    " out of range [0, " + std::to_string(shards) + ")");
+    GAPSP_CHECK(kill_at >= 1, "--kill-worker batch index must be >= 1");
+  }
+
+  std::vector<std::unique_ptr<service::ShardBackend>> backends;
+  if (route == "local") {
+    auto qopt = engine_options_from_flags(args);
+    qopt.cache_bytes =
+        static_cast<std::size_t>(per_shard_mb) << 20;
+    qopt.max_queue = 0;  // the router sheds; engines see bounded sub-batches
+    backends = service::make_local_backends(path, manifest, qopt);
+  } else {
+    service::ProcessBackendOptions popt;
+    popt.retries = static_cast<int>(args.get_int_or("worker-retries", 1));
+    popt.timeout_ms =
+        static_cast<int>(args.get_int_or("worker-timeout-ms", 30000));
+    const std::string exe = self_exe_path();
+    for (int k = 0; k < shards; ++k) {
+      std::vector<std::string> extra = {
+          "--cache-mb", std::to_string(per_shard_mb),
+          "--shards", std::to_string(args.get_int_or("shards", 8)),
+          "--retries", std::to_string(args.get_int_or("retries", 3))};
+      if (args.has("no-verify-shard")) extra.push_back("--no-verify-shard");
+      if (k == kill_shard) {
+        extra.push_back("--exit-after");
+        extra.push_back(std::to_string(kill_at));
+      }
+      backends.push_back(service::make_process_backend(
+          service::make_cli_worker_spawner(exe, path, std::move(extra)), k,
+          manifest, popt));
+    }
+  }
+  service::ShardRouter router(manifest, std::move(backends), ropt);
+
+  std::cout << "store: " << path << " (n=" << manifest.n << ", " << shards
+            << " shards, tile " << manifest.tile << ", "
+            << (manifest.compressed ? "GAPSPZ1" : "raw") << " slices)\n"
+            << "route: " << route << ", cache " << cache_mb
+            << " MiB split as " << per_shard_mb << " MiB/shard";
+  if (route == "process") {
+    std::cout << ", worker retries " << args.get_int_or("worker-retries", 1)
+              << ", timeout " << args.get_int_or("worker-timeout-ms", 30000)
+              << " ms";
+  }
+  if (ropt.max_queue > 0) std::cout << ", max-queue " << ropt.max_queue;
+  if (kill_shard >= 0) {
+    std::cout << ", killing worker " << kill_shard << " at batch " << kill_at;
+  }
+  std::cout << "\n";
+
+  auto pq = parse_queries(args);
+  const auto repeat = std::max<long long>(1, args.get_int_or("repeat", 1));
+  auto report = router.run_batch(pq.queries);
+  for (long long rep = 1; rep < repeat; ++rep) {
+    report = router.run_batch(pq.queries);
+  }
+  print_inline_results(report, pq.inline_queries, manifest.n);
+  print_batch_summary(report);
+  return 0;
+}
+
+int run_query(const Args& args) {
+  const std::string path = args.get_or("store-path", "apsp_dist.bin");
+
+  // Serving-topology flags first — contradictions are typed usage errors
+  // (exit 1), caught before any store is opened.
+  const std::string route = args.get_or("route", "none");
+  GAPSP_CHECK(route == "none" || route == "local" || route == "process",
+              "unknown --route: " + route + " (none | local | process)");
+  const bool routed = route != "none";
+  GAPSP_CHECK(!(args.has("shard") && routed),
+              "--shard serves a single slice; it contradicts --route " +
+                  route + " (the router already reaches every shard)");
+  GAPSP_CHECK(!args.has("kill-worker") || route == "process",
+              "--kill-worker kills a worker process; it needs --route "
+              "process");
+  GAPSP_CHECK(!(routed && args.get_or("repair", "off") != "off"),
+              "--repair recompute cannot cross the worker boundary; serve "
+              "unrouted or repair offline with `apsp_cli scrub`");
+  GAPSP_CHECK(!(routed && args.get_double_or("fault-store-read", 0.0) > 0.0),
+              "--fault-store-read injects into a single engine; chaos for "
+              "routed serving is --kill-worker");
+  GAPSP_CHECK(!args.has("no-verify-shard") || routed || args.has("shard"),
+              "--no-verify-shard only applies to shard serving (--shard or "
+              "--route)");
+
+  if (routed) return run_query_routed(args, path, route);
+  if (args.has("shard")) return run_query_shard_slice(args, path);
+
+  const auto store = core::open_store(path);  // raw or GAPSPZ1, auto-detected
+
+  auto qopt = engine_options_from_flags(args);
   // Raw stores verify against the GAPSPSM1 sidecar when one sits next to
   // the store; GAPSPZ1 frames are self-checksummed.
   if (store->tile_size() == 0) {
@@ -311,117 +628,57 @@ int run_query(const Args& args) {
   }
   std::cout << "\n";
 
-  std::vector<service::Query> queries;
-  std::size_t inline_queries = 0;  // from --point/--row: echo each result
-  auto add_points = [&](const std::string& list) {
-    std::istringstream ss(list);
-    std::string item;
-    while (std::getline(ss, item, ';')) {
-      const auto [u, v] = parse_pair(item);
-      queries.push_back({service::QueryKind::kPoint, u, v});
-    }
-  };
-  if (const auto p = args.get("point"); p.has_value()) {
-    add_points(*p);
-    inline_queries = queries.size();
-  }
-  if (const auto rws = args.get("row"); rws.has_value()) {
-    std::istringstream ss(*rws);
-    std::string item;
-    while (std::getline(ss, item, ';')) {
-      queries.push_back({service::QueryKind::kRow,
-                         static_cast<vidx_t>(std::stoll(item)), 0});
-    }
-    inline_queries = queries.size();
-  }
-  if (const auto batch = args.get("batch"); batch.has_value()) {
-    std::ifstream in(*batch);
-    GAPSP_CHECK(in.good(), "cannot open batch file " + *batch);
-    std::string line;
-    while (std::getline(in, line)) {
-      const auto first = line.find_first_not_of(" \t");
-      if (first == std::string::npos || line[first] == '#') continue;
-      std::istringstream ls(line.substr(first));
-      std::string tok;
-      ls >> tok;
-      if (tok == "row") {
-        long long u = 0;
-        GAPSP_CHECK(static_cast<bool>(ls >> u), "bad batch line: " + line);
-        queries.push_back(
-            {service::QueryKind::kRow, static_cast<vidx_t>(u), 0});
-      } else if (tok.find(',') != std::string::npos) {
-        const auto [u, v] = parse_pair(tok);
-        queries.push_back({service::QueryKind::kPoint, u, v});
-      } else {
-        long long v = 0;
-        GAPSP_CHECK(static_cast<bool>(ls >> v), "bad batch line: " + line);
-        queries.push_back({service::QueryKind::kPoint,
-                           static_cast<vidx_t>(std::stoll(tok)),
-                           static_cast<vidx_t>(v)});
-      }
-    }
-  }
-  GAPSP_CHECK(!queries.empty(),
-              "nothing to serve: give --point, --row, or --batch");
-
+  auto pq = parse_queries(args);
   const auto repeat = std::max<long long>(1, args.get_int_or("repeat", 1));
-  auto report = engine.run_batch(queries);
+  auto report = engine.run_batch(pq.queries);
   for (long long rep = 1; rep < repeat; ++rep) {
-    report = engine.run_batch(queries);  // cache counters accumulate
+    report = engine.run_batch(pq.queries);  // cache counters accumulate
   }
-  for (std::size_t i = 0; i < inline_queries; ++i) {
-    const auto& r = report.results[i];
-    if (r.status != service::QueryStatus::kOk) {
-      std::cout << (r.query.kind == service::QueryKind::kPoint
-                        ? "dist(" + std::to_string(r.query.u) + ", " +
-                              std::to_string(r.query.v) + ")"
-                        : "row " + std::to_string(r.query.u))
-                << " = <" << service::query_status_name(r.status) << ": "
-                << r.error << ">\n";
-      continue;
-    }
-    if (r.query.kind == service::QueryKind::kPoint) {
-      std::cout << "dist(" << r.query.u << ", " << r.query.v << ") = ";
-      if (r.dist >= kInf) {
-        std::cout << "unreachable\n";
-      } else {
-        std::cout << r.dist << "\n";
-      }
-    } else {
-      vidx_t reachable = 0;
-      dist_t far = 0;
-      for (dist_t d : r.row) {
-        if (d < kInf) {
-          ++reachable;
-          far = std::max(far, d);
-        }
-      }
-      std::cout << "row " << r.query.u << ": " << reachable << "/"
-                << store->n() << " reachable, eccentricity " << far << "\n";
-    }
-  }
-
-  const auto& cs = report.cache;
-  std::cout << "batch: " << report.results.size() << " queries in "
-            << report.wall_seconds * 1e3 << " ms ("
-            << static_cast<long long>(report.qps) << " qps)\n"
-            << "latency: mean " << us(report.latency.mean_s) << ", p50 "
-            << us(report.latency.p50_s) << ", p95 " << us(report.latency.p95_s)
-            << ", max " << us(report.latency.max_s) << "\n"
-            << "cache: " << cs.hits << " hits, " << cs.misses << " misses ("
-            << cs.hit_rate() * 100.0 << "% hit rate), " << cs.evictions
-            << " evictions, " << cs.negative_loads
-            << " all-kInf tiles at zero cost, " << (cs.bytes_cached >> 10)
-            << " KiB of " << (cs.capacity_bytes >> 10) << " KiB used\n";
-  const auto& sv = report.service;
-  std::cout << "service: " << sv.served << " served, " << sv.degraded
-            << " degraded, " << sv.shed << " shed, " << sv.repaired
-            << " repaired; " << sv.retries << " retried, "
-            << sv.transient_failures << " transient-failed, "
-            << sv.corrupt_tiles << " corrupt, " << cs.quarantined_tiles
-            << " quarantined\n";
+  print_inline_results(report, pq.inline_queries, store->n());
+  print_batch_summary(report);
   // Degradation is visible but non-fatal: every query got a typed answer.
   return 0;
+}
+
+/// `apsp_cli shard`: slice a kept store into row-range shard files plus the
+/// GAPSPSH1 manifest, next to the store.
+int run_shard(const Args& args) {
+  const std::string path = args.get_or("store-path", "apsp_dist.bin");
+  const int num = static_cast<int>(args.get_int_or("shards", 2));
+  const auto tile = static_cast<vidx_t>(args.get_int_or("block", 256));
+  core::ShardingStats stats;
+  const auto m = core::shard_store_file(path, num, tile, &stats);
+  std::cout << "sharded: " << path << " -> " << m.num_shards() << " shards ("
+            << (m.compressed ? "GAPSPZ1" : "raw") << ", n=" << m.n
+            << ", tile " << m.tile << ", " << (stats.bytes_written >> 10)
+            << " KiB) in " << stats.seconds * 1e3 << " ms\n";
+  for (int k = 0; k < m.num_shards(); ++k) {
+    const auto& r = m.shards[static_cast<std::size_t>(k)];
+    std::cout << "  shard " << k << ": rows [" << r.row_begin << ", "
+              << r.row_end << "), " << (r.bytes >> 10) << " KiB -> "
+              << core::shard_file_path(path, k) << "\n";
+  }
+  std::cout << "manifest: " << core::shard_manifest_path(path) << "\n"
+            << "serve it with: apsp_cli query --store-path " << path
+            << " --route process ...\n";
+  return 0;
+}
+
+/// `apsp_cli serve --shard K`: one shard worker speaking the wire protocol
+/// on stdin/stdout (spawned by the router; logs go to stderr).
+int run_serve(const Args& args) {
+  GAPSP_CHECK(args.has("shard"),
+              "serve needs --shard K — it serves exactly one shard slice "
+              "behind the wire protocol (the router spawns one per shard)");
+  const std::string path = args.get_or("store-path", "apsp_dist.bin");
+  const int shard = static_cast<int>(args.get_int_or("shard", 0));
+  service::ShardWorkerOptions wopt;
+  wopt.engine = engine_options_from_flags(args);
+  wopt.engine.max_queue = 0;  // the router is the single admission point
+  wopt.verify_shard = !args.has("no-verify-shard");
+  wopt.exit_after = static_cast<int>(args.get_int_or("exit-after", 0));
+  return service::run_shard_worker(path, shard, wopt, STDIN_FILENO,
+                                   STDOUT_FILENO);
 }
 
 int run_scrub(const Args& args) {
@@ -806,7 +1063,9 @@ int main(int argc, char** argv) {
           {"store-path", "point", "row", "batch", "cache-mb", "block",
            "shards", "threads", "repeat", "retries", "max-queue",
            "no-verify-sums", "repair", "generate", "input", "seed",
-           "fault-store-read", "fault-seed"});
+           "fault-store-read", "fault-seed", "route", "shard",
+           "no-verify-shard", "worker-retries", "worker-timeout-ms",
+           "kill-worker"});
       if (!unknown.empty()) {
         std::cerr << "unknown query flag(s):";
         for (const auto& f : unknown) std::cerr << " --" << f;
@@ -814,6 +1073,28 @@ int main(int argc, char** argv) {
         return 2;
       }
       return run_query(args);
+    }
+    if (!args.positional().empty() && args.positional().front() == "shard") {
+      const auto unknown = args.unknown({"store-path", "shards", "block"});
+      if (!unknown.empty()) {
+        std::cerr << "unknown shard flag(s):";
+        for (const auto& f : unknown) std::cerr << " --" << f;
+        std::cerr << "\n";
+        return 2;
+      }
+      return run_shard(args);
+    }
+    if (!args.positional().empty() && args.positional().front() == "serve") {
+      const auto unknown = args.unknown(
+          {"store-path", "shard", "cache-mb", "block", "shards", "threads",
+           "retries", "no-verify-shard", "exit-after"});
+      if (!unknown.empty()) {
+        std::cerr << "unknown serve flag(s):";
+        for (const auto& f : unknown) std::cerr << " --" << f;
+        std::cerr << "\n";
+        return 2;
+      }
+      return run_serve(args);
     }
     if (!args.positional().empty() && args.positional().front() == "scrub") {
       const auto unknown = args.unknown(
