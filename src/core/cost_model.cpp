@@ -550,4 +550,49 @@ CostBreakdown estimate_boundary(const graph::CsrGraph& g,
   return cost;
 }
 
+IncrementalCost estimate_incremental(vidx_t n, eidx_t m, std::size_t sources,
+                                     std::size_t damaged_rows,
+                                     std::size_t tiles_touched, vidx_t tile,
+                                     const sim::DeviceSpec& spec,
+                                     double wire_ratio) {
+  IncrementalCost cost;
+  if (n <= 0 || spec.compute_ops_per_s <= 0.0) return cost;
+  const double dn = static_cast<double>(n);
+  const double k = static_cast<double>(sources);
+  const double dr = static_cast<double>(damaged_rows);
+  const double tiles = static_cast<double>(tiles_touched);
+  const double tb = static_cast<double>(tile) * static_cast<double>(tile);
+
+  // Damaged rows re-run SSSP: ~ (m + n·log₂n) relaxations each, charged
+  // like a Johnson mini-batch at peak scalar throughput.
+  const double log_n = dn > 1.0 ? std::log2(dn) : 1.0;
+  cost.sssp_s =
+      dr * (static_cast<double>(m) + dn * log_n) / spec.compute_ops_per_s;
+  // Seed closure (k³), the two panel products (2·n·k²), and the per-tile
+  // relaxations (tile²·k each), all in minplus_ops add+compare convention.
+  cost.closure_s = 2.0 * k * k * k / spec.compute_ops_per_s;
+  cost.panel_s = 2.0 * 2.0 * dn * k * k / spec.compute_ops_per_s;
+  cost.tile_s = tiles * 2.0 * tb * k / spec.compute_ops_per_s;
+
+  // Wire traffic: seed row+column panels and damaged rows move once, every
+  // touched tile moves twice (read + write-back), all at the effective
+  // (possibly compressed) link rate plus per-transfer latency.
+  const double bytes = sizeof(dist_t) *
+                       (2.0 * k * dn + dr * dn + 2.0 * tiles * tb);
+  const double link = compressed_link_bandwidth(spec, wire_ratio);
+  cost.transfer_s =
+      bytes / link +
+      (2.0 * k + dr + 2.0 * tiles) * spec.transfer_latency_s;
+  return cost;
+}
+
+double incremental_full_solve_model(vidx_t n, const sim::DeviceSpec& spec,
+                                    double wire_ratio) {
+  if (n <= 0 || spec.compute_ops_per_s <= 0.0) return 0.0;
+  const double dn = static_cast<double>(n);
+  return 2.0 * dn * dn * dn / spec.compute_ops_per_s +
+         fw_transfer_model(n, spec, /*overlap=*/false, sizeof(dist_t),
+                           wire_ratio);
+}
+
 }  // namespace gapsp::core

@@ -161,4 +161,39 @@ CostBreakdown estimate_johnson(const graph::CsrGraph& g,
 CostBreakdown estimate_boundary(const graph::CsrGraph& g,
                                 const ApspOptions& opts);
 
+// ---- Incremental repair (core/incremental.h, DESIGN.md §16) ----
+
+/// Cost-model charge of one delta repair, split by phase. Transfer covers
+/// the seed row/column panels, the recomputed damaged rows, and a read +
+/// write of every touched tile over the (optionally compressed, see
+/// compressed_link_bandwidth) host link; compute covers the SSSP row
+/// repairs, the k×k seed closure, the two panel products, and the
+/// dirty-tile min-plus relaxations.
+struct IncrementalCost {
+  double sssp_s = 0.0;     ///< damaged-row SSSP repairs
+  double closure_s = 0.0;  ///< k×k Floyd–Warshall on the seed matrix
+  double panel_s = 0.0;    ///< L = Cc ⊗ M* and R' = M* ⊗ R products
+  double tile_s = 0.0;     ///< min-plus over the touched tiles
+  double transfer_s = 0.0;
+  double total() const {
+    return sssp_s + closure_s + panel_s + tile_s + transfer_s;
+  }
+};
+
+/// Models a repair with `sources` decrease seeds, `damaged_rows` SSSP row
+/// recomputes and `tiles_touched` rewritten tiles of side `tile` on an
+/// n-vertex, m-arc graph. `wire_ratio` charges tile traffic at the
+/// compressed transfer path's effective bandwidth (1.0 = raw link).
+IncrementalCost estimate_incremental(vidx_t n, eidx_t m, std::size_t sources,
+                                     std::size_t damaged_rows,
+                                     std::size_t tiles_touched, vidx_t tile,
+                                     const sim::DeviceSpec& spec,
+                                     double wire_ratio = 1.0);
+
+/// The comparison baseline of the delta path: a modeled full blocked-FW
+/// re-solve (2n³ min-plus ops at peak throughput plus the Sec. IV-B1
+/// transfer model) on the same device.
+double incremental_full_solve_model(vidx_t n, const sim::DeviceSpec& spec,
+                                    double wire_ratio = 1.0);
+
 }  // namespace gapsp::core

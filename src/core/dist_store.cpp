@@ -184,6 +184,14 @@ class FileStore final : public DistStore {
     }
   }
 
+  void flush() override {
+    if (!dirty_) return;
+    if (std::fflush(file_) != 0) {
+      throw IoError("flush failed in " + path_);
+    }
+    dirty_ = false;
+  }
+
  private:
   void seek(vidx_t row, vidx_t col) const {
     const long long off =

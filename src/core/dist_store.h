@@ -44,6 +44,13 @@ class DistStore {
     return false;
   }
 
+  /// Pushes buffered writes down to the OS (no-op for unbuffered backends).
+  /// This is the durability boundary for checkpointed writers: a checkpoint
+  /// claiming a tile complete while its bytes still sit in a userspace stdio
+  /// buffer turns a SIGKILL into silent corruption on resume — flush the
+  /// store first.
+  virtual void flush() {}
+
  protected:
   explicit DistStore(vidx_t n) : n_(n) {
     GAPSP_CHECK(n >= 0, "negative matrix dimension");

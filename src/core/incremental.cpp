@@ -1,0 +1,954 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <queue>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "core/apsp.h"
+#include "core/checkpoint.h"
+#include "core/cost_model.h"
+#include "core/minplus.h"
+#include "sssp/dijkstra.h"
+#include "util/thread_pool.h"
+
+namespace gapsp::core {
+namespace {
+
+// GAPSPCK1 `algorithm` tag of a delta checkpoint — outside the
+// core::Algorithm range so a solver checkpoint can never be mistaken for a
+// delta sidecar (or vice versa).
+constexpr std::uint32_t kDeltaAlgorithm = 0x494E4331;  // "INC1"
+
+// Checkpoint payload mode byte.
+constexpr std::uint8_t kModeRepair = 0;
+constexpr std::uint8_t kModeFullSolve = 1;
+
+double now_s() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t arc_key(vidx_t u, vidx_t v) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+         static_cast<std::uint32_t>(v);
+}
+
+bool has_zero_weight_arc(const graph::CsrGraph& g) {
+  for (const dist_t w : g.edge_weights()) {
+    if (w == 0) return true;
+  }
+  return false;
+}
+
+// Monotone bucket queue (Dial): SWSF-FP pops keys in nondecreasing order,
+// so a cursor over per-key buckets replaces the O(log q) heap with O(1)
+// array ops. Buckets grow lazily to the largest key actually seen; a key
+// past kMaxKey reports failure and the caller re-runs that row with a
+// fresh Dijkstra (possible only with extreme weights, never with the
+// road/mesh/er suites).
+class BucketQueue {
+ public:
+  static constexpr dist_t kMaxKey = 1 << 20;
+
+  [[nodiscard]] bool push(dist_t key, vidx_t v) {
+    if (key > kMaxKey) return false;
+    const auto k = static_cast<std::size_t>(key);
+    if (k >= buckets_.size()) buckets_.resize(k + 1);
+    buckets_[k].push_back(v);
+    if (k < cursor_) cursor_ = k;  // defensive: monotone by the invariant
+    ++size_;
+    return true;
+  }
+  bool empty() const { return size_ == 0; }
+  std::pair<dist_t, vidx_t> pop() {
+    while (buckets_[cursor_].empty()) ++cursor_;
+    const vidx_t v = buckets_[cursor_].back();
+    buckets_[cursor_].pop_back();
+    --size_;
+    return {static_cast<dist_t>(cursor_), v};
+  }
+  /// Ready the queue for another row, keeping bucket capacity (the repair
+  /// loop reuses one queue across every row it repairs — per-row
+  /// construction/destruction of the bucket array would dominate small
+  /// regions). Buckets may hold leftovers after a bailed run.
+  void reset() {
+    if (size_ != 0) {
+      for (auto& b : buckets_) b.clear();
+      size_ = 0;
+    }
+    cursor_ = 0;
+  }
+
+ private:
+  std::vector<std::vector<vidx_t>> buckets_;
+  std::size_t cursor_ = 0;
+  std::size_t size_ = 0;
+};
+
+// Dynamic SWSF-FP (Ramalingam–Reps) repair of one SSSP row after weight
+// increases: `d` holds the row's exact pre-update distances by vertex and is
+// repaired in place to the exact distances of `mid`. Output-sensitive — the
+// queue only ever holds vertices whose distance actually depends on an
+// increased arc, so cost scales with the row's affected region, not with
+// the graph (a fresh Dijkstra pays O(m log n) per row even when a single
+// entry changed). Requires strictly positive arc weights: zero-weight ties
+// break the monotone queue-order argument, so the caller falls back to a
+// fresh Dijkstra for such graphs. Returns false when a queue key overflowed
+// the bucket range — `d` is then garbage and the caller must recompute the
+// row from scratch.
+[[nodiscard]] bool repair_row_swsf(const graph::CsrGraph& mid,
+                                   const graph::CsrGraph& rev, vidx_t src,
+                                   std::span<const EdgeUpdate> increases,
+                                   std::span<const dist_t> w_old,
+                                   std::span<dist_t> d,
+                                   std::vector<dist_t>& rhs, BucketQueue& pq) {
+  // rhs(v) = best distance v can claim through its current in-neighbors
+  // (post-increase weights). The pre-update row is consistent under the OLD
+  // weights, and a non-tight arc's increase cannot change its head's rhs,
+  // so initializing rhs = d and recomputing only at tight heads is exact.
+  rhs.assign(d.begin(), d.end());
+  pq.reset();
+  const auto recompute_rhs = [&](vidx_t v) -> dist_t {
+    if (v == src) return 0;
+    dist_t best = kInf;
+    const auto xs = rev.neighbors(v);
+    const auto ws = rev.weights(v);
+    for (std::size_t e = 0; e < xs.size(); ++e) {
+      best = std::min(
+          best, sat_add(d[static_cast<std::size_t>(xs[e])], ws[e]));
+    }
+    return best;
+  };
+  bool ok = true;
+  const auto touch = [&](vidx_t v) {
+    const std::size_t i = v;
+    if (rhs[i] != d[i]) ok = ok && pq.push(std::min(rhs[i], d[i]), v);
+  };
+  // Only heads whose arc was tight for this row can have lost their
+  // distance; everything else is untouched by construction.
+  for (std::size_t a = 0; a < increases.size(); ++a) {
+    const EdgeUpdate& up = increases[a];
+    const dist_t du = d[static_cast<std::size_t>(up.u)];
+    if (du < kInf &&
+        sat_add(du, w_old[a]) == d[static_cast<std::size_t>(up.v)]) {
+      rhs[static_cast<std::size_t>(up.v)] = recompute_rhs(up.v);
+      touch(up.v);
+    }
+  }
+  while (ok && !pq.empty()) {
+    const auto [k, v] = pq.pop();
+    dist_t& dv = d[static_cast<std::size_t>(v)];
+    const dist_t rv = rhs[static_cast<std::size_t>(v)];
+    if (dv == rv) continue;  // consistent: lazily-deleted stale entry
+    const dist_t key = std::min(dv, rv);
+    if (k < key) {  // key rose after insertion: re-queue in order
+      ok = ok && pq.push(key, v);
+      continue;
+    }
+    const auto ys = mid.neighbors(v);
+    const auto yw = mid.weights(v);
+    if (dv > rv) {
+      dv = rv;  // overconsistent: settle downward, lower successors' rhs
+      for (std::size_t e = 0; e < ys.size(); ++e) {
+        const std::size_t y = ys[e];
+        const dist_t cand = sat_add(dv, yw[e]);
+        if (cand < rhs[y]) {
+          rhs[y] = cand;
+          touch(ys[e]);
+        }
+      }
+    } else {
+      const dist_t old = dv;
+      dv = kInf;  // underconsistent: detach, let it re-derive a distance
+      touch(v);
+      // Only successors whose rhs went THROUGH v can be affected.
+      for (std::size_t e = 0; e < ys.size(); ++e) {
+        const std::size_t y = ys[e];
+        if (y != static_cast<std::size_t>(src) &&
+            rhs[y] == sat_add(old, yw[e])) {
+          rhs[y] = recompute_rhs(ys[e]);
+          touch(ys[e]);
+        }
+      }
+    }
+  }
+  return ok;
+}
+
+// Weight of arc u->v in g, kInf when absent. CSR collapses parallel arcs,
+// so the first hit is the weight.
+dist_t arc_weight(const graph::CsrGraph& g, vidx_t u, vidx_t v) {
+  const auto nbrs = g.neighbors(u);
+  const auto ws = g.weights(u);
+  for (std::size_t e = 0; e < nbrs.size(); ++e) {
+    if (nbrs[e] == v) return ws[e];
+  }
+  return kInf;
+}
+
+void append_bytes(std::vector<std::uint8_t>& out, const void* p,
+                  std::size_t bytes) {
+  const auto* b = static_cast<const std::uint8_t*>(p);
+  out.insert(out.end(), b, b + bytes);
+}
+
+}  // namespace
+
+std::vector<EdgeUpdate> read_edge_updates(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open update file: " + path);
+  std::vector<EdgeUpdate> updates;
+  std::string line;
+  long long lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    long long u = 0, v = 0;
+    std::string w_tok;
+    if (!(ls >> u >> v >> w_tok)) {
+      throw Error("malformed update line " + std::to_string(lineno) + ": " +
+                  line);
+    }
+    EdgeUpdate up;
+    up.u = static_cast<vidx_t>(u);
+    up.v = static_cast<vidx_t>(v);
+    if (w_tok == "inf" || w_tok == "x" || w_tok == "-1") {
+      up.w = kInf;
+    } else {
+      std::size_t pos = 0;
+      long long w = 0;
+      try {
+        w = std::stoll(w_tok, &pos);
+      } catch (const std::exception&) {
+        pos = 0;
+      }
+      if (pos != w_tok.size() || w < 0) {
+        throw Error("bad update weight on line " + std::to_string(lineno) +
+                    ": " + w_tok);
+      }
+      up.w = w >= kInf ? kInf : static_cast<dist_t>(w);
+    }
+    updates.push_back(up);
+  }
+  return updates;
+}
+
+graph::CsrGraph apply_edge_updates(const graph::CsrGraph& g,
+                                   std::span<const EdgeUpdate> updates) {
+  const vidx_t n = g.num_vertices();
+  std::unordered_map<std::uint64_t, dist_t> patch;
+  patch.reserve(updates.size());
+  for (const EdgeUpdate& up : updates) {
+    GAPSP_CHECK(up.u >= 0 && up.u < n && up.v >= 0 && up.v < n,
+                "edge update endpoint out of range");
+    GAPSP_CHECK(up.w >= 0, "negative update weight");
+    patch[arc_key(up.u, up.v)] = up.w;  // last update of an arc wins
+  }
+  std::vector<graph::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(g.num_edges()) + patch.size());
+  for (vidx_t u = 0; u < n; ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto ws = g.weights(u);
+    for (std::size_t e = 0; e < nbrs.size(); ++e) {
+      if (patch.count(arc_key(u, nbrs[e])) != 0) continue;  // replaced below
+      edges.push_back({u, nbrs[e], ws[e]});
+    }
+  }
+  for (const auto& [key, w] : patch) {
+    if (w >= kInf) continue;  // delete
+    edges.push_back({static_cast<vidx_t>(key >> 32),
+                     static_cast<vidx_t>(key & 0xffffffffu), w});
+  }
+  return graph::CsrGraph::from_edges(n, std::move(edges), false);
+}
+
+std::uint64_t incremental_fingerprint(const graph::CsrGraph& g,
+                                      std::span<const EdgeUpdate> updates,
+                                      vidx_t tile, double damage_threshold) {
+  std::uint64_t fp = graph_fingerprint(g);
+  for (const EdgeUpdate& up : updates) {
+    fp = fnv1a(&up.u, sizeof(up.u), fp);
+    fp = fnv1a(&up.v, sizeof(up.v), fp);
+    fp = fnv1a(&up.w, sizeof(up.w), fp);
+  }
+  fp = fnv1a(&tile, sizeof(tile), fp);
+  fp = fnv1a(&damage_threshold, sizeof(damage_threshold), fp);
+  return fp;
+}
+
+struct IncrementalEngine::Classified {
+  // Deduped non-noop updates in first-seen arc order (deterministic).
+  std::vector<EdgeUpdate> decreases;      // new weight (< old)
+  std::vector<EdgeUpdate> increases;      // new weight (> old)
+  std::vector<dist_t> increases_w_old;    // parallel to `increases`
+  std::vector<EdgeUpdate> all;            // every deduped non-noop update
+};
+
+IncrementalEngine::IncrementalEngine(const graph::CsrGraph& g,
+                                     IncrementalOptions opt,
+                                     std::vector<vidx_t> perm)
+    : g_(g), opt_(std::move(opt)), perm_(std::move(perm)) {
+  GAPSP_CHECK(opt_.tile > 0, "incremental tile must be positive");
+  GAPSP_CHECK(opt_.checkpoint_every_tiles > 0,
+              "checkpoint interval must be positive");
+  if (!perm_.empty()) {
+    GAPSP_CHECK(static_cast<vidx_t>(perm_.size()) == g_.num_vertices(),
+                "permutation size mismatch");
+    inv_perm_.assign(perm_.size(), 0);
+    for (std::size_t v = 0; v < perm_.size(); ++v) {
+      inv_perm_[static_cast<std::size_t>(perm_[v])] = static_cast<vidx_t>(v);
+    }
+  }
+}
+
+void IncrementalEngine::classify(std::span<const EdgeUpdate> updates,
+                                 Classified& out,
+                                 UpdateOutcome& outcome) const {
+  const vidx_t n = g_.num_vertices();
+  // Dedup keeping the LAST update per arc but the FIRST-seen arc order, so
+  // the batch digest — and with it every downstream decision — is
+  // deterministic in the input order.
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  std::vector<EdgeUpdate> deduped;
+  for (const EdgeUpdate& up : updates) {
+    GAPSP_CHECK(up.u >= 0 && up.u < n && up.v >= 0 && up.v < n,
+                "edge update endpoint out of range");
+    GAPSP_CHECK(up.w >= 0, "negative update weight");
+    const auto [it, inserted] = index.try_emplace(arc_key(up.u, up.v),
+                                                  deduped.size());
+    if (inserted) {
+      deduped.push_back(up);
+    } else {
+      deduped[it->second].w = up.w;
+    }
+  }
+  for (EdgeUpdate up : deduped) {
+    if (up.w >= kInf) up.w = kInf;
+    if (up.u == up.v) {  // self-loops never enter a shortest path
+      ++outcome.noops;
+      continue;
+    }
+    const dist_t w_old = arc_weight(g_, up.u, up.v);
+    if (up.w == w_old) {
+      ++outcome.noops;
+      continue;
+    }
+    out.all.push_back(up);
+    if (up.w < w_old) {
+      out.decreases.push_back(up);
+      ++outcome.decreases;
+    } else {
+      out.increases.push_back(up);
+      out.increases_w_old.push_back(w_old);
+      ++outcome.increases;
+    }
+  }
+}
+
+UpdateOutcome IncrementalEngine::apply(const DistStore& pristine,
+                                       std::span<const EdgeUpdate> updates,
+                                       const TileSink& sink) {
+  const double t_start = now_s();
+  const vidx_t n = g_.num_vertices();
+  GAPSP_CHECK(pristine.n() == n, "store dimension does not match the graph");
+
+  UpdateOutcome outcome;
+  Classified cls;
+  classify(updates, cls, outcome);
+  g_final_ = apply_edge_updates(g_, cls.all);
+
+  vidx_t tile = opt_.tile;
+  if (pristine.tile_size() > 0) tile = pristine.tile_size();
+  if (tile > n && n > 0) tile = n;
+  const vidx_t nb = n > 0 ? (n + tile - 1) / tile : 0;
+  outcome.tiles_total = static_cast<long long>(nb) * nb;
+
+  // Fingerprint the RAW batch, not the classified one: callers gating their
+  // own resume logic (apsp_cli's keep-the-tmp-copy decision) can only hash
+  // what they passed in, and a fingerprint mismatch between the engine and
+  // its caller makes the caller re-copy the pristine matrix over tiles the
+  // checkpoint then skips — silent stale data on resume.
+  const std::uint64_t fp =
+      incremental_fingerprint(g_, updates, tile, opt_.damage_threshold);
+
+  // ---- Phase A: increase probe ---------------------------------------
+  // DR = rows whose stored distances may have used an increased arc. Two
+  // column reads per arc; conservative superset of the truly damaged rows.
+  const double t_probe = now_s();
+  std::vector<std::uint8_t> damaged_row(static_cast<std::size_t>(n), 0);
+  {
+    std::unordered_map<vidx_t, std::vector<dist_t>> col_cache;
+    auto column = [&](vidx_t c) -> const std::vector<dist_t>& {
+      auto it = col_cache.find(c);
+      if (it != col_cache.end()) return it->second;
+      std::vector<dist_t> col(static_cast<std::size_t>(n));
+      pristine.read_block(0, c, n, 1, col.data(), 1);
+      return col_cache.emplace(c, std::move(col)).first->second;
+    };
+    for (std::size_t a = 0; a < cls.increases.size(); ++a) {
+      const EdgeUpdate& up = cls.increases[a];
+      const dist_t w_old = cls.increases_w_old[a];
+      const vidx_t su = perm_.empty() ? up.u : perm_[up.u];
+      const vidx_t sv = perm_.empty() ? up.v : perm_[up.v];
+      const std::vector<dist_t>& col_u = column(su);
+      const std::vector<dist_t>& col_v = column(sv);
+      for (vidx_t i = 0; i < n; ++i) {
+        const dist_t du = col_u[static_cast<std::size_t>(i)];
+        if (du < kInf && sat_add(du, w_old) == col_v[static_cast<std::size_t>(i)]) {
+          damaged_row[static_cast<std::size_t>(i)] = 1;
+        }
+      }
+    }
+  }
+  std::size_t probe_hits = 0;
+  for (vidx_t i = 0; i < n; ++i) {
+    probe_hits += damaged_row[static_cast<std::size_t>(i)] != 0;
+  }
+
+  // g_mid (increases applied) is needed by the refinement below and by the
+  // phase-B row recomputes; build it once.
+  graph::CsrGraph g_mid;
+  graph::CsrGraph rev_mid;
+  const graph::CsrGraph* mid = &g_;
+  if (!cls.increases.empty()) {
+    g_mid = apply_edge_updates(g_, cls.increases);
+    mid = &g_mid;
+    rev_mid = g_mid.transpose();
+  }
+
+  // ---- Probe refinement ----------------------------------------------
+  // The equality test fires on every shortest-path tie, and road-like
+  // graphs with small integer weights tie constantly — the superset can
+  // approach n while the truly damaged set stays tiny (and the damage
+  // threshold then tips a cheap repair into a full re-solve). When the
+  // batch has fewer distinct increased-arc heads than probe hits, compute
+  // the exact new column of each head (one reverse-graph Dijkstra over
+  // g_mid per head) and keep only rows whose head column actually grew.
+  // Exact: a changed pair (i,j) has an old shortest path through some
+  // increased arc; take the LAST such arc (u,v) on it — the suffix v→j
+  // avoids every increased arc and survives in g_mid, so
+  // d_mid(i,j) <= d_mid(i,v) + d_old(v,j), and row i can only change if
+  // some head column d_mid(i,v) grew.
+  std::vector<vidx_t> heads;
+  if (probe_hits > 0) {
+    std::vector<std::uint8_t> seen(static_cast<std::size_t>(n), 0);
+    for (const EdgeUpdate& up : cls.increases) {
+      if (!seen[static_cast<std::size_t>(up.v)]) {
+        seen[static_cast<std::size_t>(up.v)] = 1;
+        heads.push_back(up.v);
+      }
+    }
+  }
+  if (!heads.empty() && heads.size() < probe_hits) {
+    // One exact new column per head, filled in parallel, merged serially.
+    std::vector<dist_t> new_cols(heads.size() * static_cast<std::size_t>(n));
+    ThreadPool::global().parallel_for(
+        heads.size(),
+        [&](std::size_t h) {
+          std::vector<dist_t> to_head(static_cast<std::size_t>(n));
+          sssp::dijkstra_into(rev_mid, heads[h], to_head);
+          std::memcpy(new_cols.data() + h * static_cast<std::size_t>(n),
+                      to_head.data(), to_head.size() * sizeof(dist_t));
+        },
+        1);
+    std::fill(damaged_row.begin(), damaged_row.end(), 0);
+    std::vector<dist_t> old_col(static_cast<std::size_t>(n));
+    for (std::size_t h = 0; h < heads.size(); ++h) {
+      const vidx_t sc = perm_.empty() ? heads[h] : perm_[heads[h]];
+      pristine.read_block(0, sc, n, 1, old_col.data(), 1);
+      const dist_t* col = new_cols.data() + h * static_cast<std::size_t>(n);
+      for (vidx_t x = 0; x < n; ++x) {
+        const vidx_t sx = perm_.empty() ? x : perm_[static_cast<std::size_t>(x)];
+        if (col[static_cast<std::size_t>(x)] !=
+            old_col[static_cast<std::size_t>(sx)]) {
+          damaged_row[static_cast<std::size_t>(sx)] = 1;
+        }
+      }
+    }
+  }
+
+  std::vector<vidx_t> dr;
+  for (vidx_t i = 0; i < n; ++i) {
+    if (damaged_row[static_cast<std::size_t>(i)]) dr.push_back(i);
+  }
+  outcome.damaged_rows = static_cast<long long>(dr.size());
+  outcome.probe_seconds = now_s() - t_probe;
+
+  const bool full_solve =
+      !cls.increases.empty() &&
+      static_cast<double>(dr.size()) >
+          opt_.damage_threshold * static_cast<double>(n);
+  outcome.full_solve = full_solve;
+
+  // ---- Delta checkpoint: match an existing sidecar -------------------
+  const std::uint8_t mode = full_solve ? kModeFullSolve : kModeRepair;
+  long long start_tile = 0;
+  std::vector<std::uint8_t> resumed_payload;
+  if (opt_.resume && !opt_.checkpoint_path.empty()) {
+    Checkpoint ck;
+    if (read_checkpoint(opt_.checkpoint_path, &ck) &&
+        ck.algorithm == kDeltaAlgorithm && ck.fingerprint == fp &&
+        ck.n == n && ck.aux0 == tile && !ck.payload.empty() &&
+        ck.payload[0] == mode) {
+      start_tile = ck.progress;
+      resumed_payload = std::move(ck.payload);
+    }
+  }
+
+  // ---- Phase B: SSSP row repair over g_mid (increases only) ----------
+  // g_mid's exact distances differ from the pristine store only on DR
+  // rows; recomputing exactly those rows yields exact APSP of g_mid, the
+  // input the decrease phase needs.
+  const double t_sssp = now_s();
+  std::vector<int> dr_index(static_cast<std::size_t>(n), -1);
+  for (std::size_t a = 0; a < dr.size(); ++a) {
+    dr_index[static_cast<std::size_t>(dr[a])] = static_cast<int>(a);
+  }
+  // Repaired rows, stored order, one length-n row per DR entry.
+  std::vector<dist_t> dr_rows(dr.size() * static_cast<std::size_t>(n));
+  bool rows_restored = false;
+  if (!full_solve && !dr.empty()) {
+    // A matching checkpoint carries the phase-B rows; reuse them instead of
+    // re-running the Dijkstras (the payload is checksummed, and the id list
+    // is verified against the freshly recomputed probe).
+    if (!resumed_payload.empty()) {
+      const std::size_t need = 1 + sizeof(std::uint64_t) +
+                               dr.size() * sizeof(vidx_t) +
+                               dr_rows.size() * sizeof(dist_t);
+      if (resumed_payload.size() == need) {
+        std::uint64_t count = 0;
+        std::memcpy(&count, resumed_payload.data() + 1, sizeof(count));
+        if (count == dr.size()) {
+          std::vector<vidx_t> ids(dr.size());
+          std::memcpy(ids.data(), resumed_payload.data() + 1 + sizeof(count),
+                      ids.size() * sizeof(vidx_t));
+          if (ids == dr) {
+            std::memcpy(dr_rows.data(),
+                        resumed_payload.data() + 1 + sizeof(count) +
+                            ids.size() * sizeof(vidx_t),
+                        dr_rows.size() * sizeof(dist_t));
+            rows_restored = true;
+          }
+        }
+      }
+      if (!rows_restored) start_tile = 0;  // incompatible payload: fresh run
+    }
+    if (!rows_restored) {
+      // Load the old rows as the repair input, banded so a compressed
+      // pristine store decompresses each tile band once, not once per row
+      // (serial: DistStore reads are not thread-safe).
+      {
+        std::vector<dist_t> band(static_cast<std::size_t>(tile) *
+                                 static_cast<std::size_t>(n));
+        for (std::size_t a = 0; a < dr.size();) {
+          const vidx_t r0 = (dr[a] / tile) * tile;
+          const vidx_t rows = std::min<vidx_t>(tile, n - r0);
+          pristine.read_block(r0, 0, rows, n, band.data(),
+                              static_cast<std::size_t>(n));
+          while (a < dr.size() && dr[a] < r0 + rows) {
+            std::memcpy(dr_rows.data() + a * static_cast<std::size_t>(n),
+                        band.data() +
+                            static_cast<std::size_t>(dr[a] - r0) * n,
+                        static_cast<std::size_t>(n) * sizeof(dist_t));
+            ++a;
+          }
+        }
+      }
+      // Zero-weight arcs break SWSF's queue-order argument; such graphs
+      // take the fresh-Dijkstra path per row instead.
+      const bool swsf = !has_zero_weight_arc(*mid);
+      ThreadPool::global().parallel_for(
+          dr.size(),
+          [&](std::size_t a) {
+            const vidx_t row = dr[a];
+            const vidx_t src =
+                perm_.empty() ? row : inv_perm_[static_cast<std::size_t>(row)];
+            dist_t* out = dr_rows.data() + a * static_cast<std::size_t>(n);
+            // Per-thread scratch: one queue/buffer pair serves every row a
+            // worker repairs, so a row whose region is a handful of
+            // vertices is not charged a fresh allocation round-trip.
+            static thread_local std::vector<dist_t> by_vertex;
+            static thread_local std::vector<dist_t> rhs_scratch;
+            static thread_local BucketQueue pq_scratch;
+            by_vertex.resize(static_cast<std::size_t>(n));
+            if (swsf) {
+              // With the identity permutation the stored row IS the
+              // by-vertex row: repair it in place, no copies.
+              dist_t* d = out;
+              if (!perm_.empty()) {
+                for (vidx_t v = 0; v < n; ++v) {
+                  by_vertex[static_cast<std::size_t>(v)] =
+                      out[perm_[static_cast<std::size_t>(v)]];
+                }
+                d = by_vertex.data();
+              }
+              std::span<dist_t> drow(d, static_cast<std::size_t>(n));
+              if (!repair_row_swsf(*mid, rev_mid, src, cls.increases,
+                                   cls.increases_w_old, drow, rhs_scratch,
+                                   pq_scratch)) {
+                // Bucket-key overflow (extreme weight range): the row is
+                // part-repaired garbage, recompute it whole.
+                sssp::dijkstra_into(*mid, src, by_vertex);
+                if (perm_.empty()) {
+                  std::memcpy(out, by_vertex.data(),
+                              by_vertex.size() * sizeof(dist_t));
+                }
+              }
+              if (!perm_.empty()) {
+                for (vidx_t v = 0; v < n; ++v) {
+                  out[perm_[static_cast<std::size_t>(v)]] =
+                      by_vertex[static_cast<std::size_t>(v)];
+                }
+              }
+            } else {
+              sssp::dijkstra_into(*mid, src, by_vertex);
+              if (perm_.empty()) {
+                std::memcpy(out, by_vertex.data(),
+                            by_vertex.size() * sizeof(dist_t));
+              } else {
+                for (vidx_t v = 0; v < n; ++v) {
+                  out[perm_[static_cast<std::size_t>(v)]] =
+                      by_vertex[static_cast<std::size_t>(v)];
+                }
+              }
+            }
+          },
+          1);
+    }
+  }
+  outcome.sssp_seconds = now_s() - t_sssp;
+
+  auto read_pristine_tile = [&](vidx_t r0, vidx_t c0, vidx_t rows,
+                                vidx_t cols, dist_t* dst) {
+    if (pristine.block_known_inf(r0, c0, rows, cols)) {
+      std::fill_n(dst, static_cast<std::size_t>(rows) * cols, kInf);
+    } else {
+      pristine.read_block(r0, c0, rows, cols, dst,
+                          static_cast<std::size_t>(cols));
+    }
+  };
+
+  auto write_delta_checkpoint = [&](long long progress,
+                                    const std::vector<std::uint8_t>& payload) {
+    // The sink's buffers must reach the OS before the checkpoint claims its
+    // tiles: a SIGKILL between a buffered emit and the checkpoint write
+    // would otherwise resume past bytes that never landed.
+    if (opt_.sync_before_checkpoint) opt_.sync_before_checkpoint();
+    Checkpoint ck;
+    ck.algorithm = kDeltaAlgorithm;
+    ck.fingerprint = fp;
+    ck.n = n;
+    ck.progress = progress;
+    ck.aux0 = tile;
+    ck.aux1 = static_cast<std::int64_t>(dr.size());
+    ck.payload = payload;
+    write_checkpoint(opt_.checkpoint_path, ck);
+    ++outcome.checkpoints_written;
+  };
+
+  // ---- Fallback: full layout-preserving re-solve ---------------------
+  if (full_solve) {
+    std::vector<std::uint8_t> payload{kModeFullSolve};
+    if (!opt_.checkpoint_path.empty() && start_tile == 0) {
+      write_delta_checkpoint(0, payload);
+    }
+    auto fresh = make_ram_store(n);
+    if (perm_.empty()) {
+      ApspOptions sopt = opt_.solve_opts;
+      if (sopt.algorithm == Algorithm::kAuto) {
+        sopt.algorithm = Algorithm::kBlockedFloydWarshall;
+      }
+      sopt.checkpoint_path.clear();
+      sopt.resume = false;
+      const ApspResult r = solve_apsp(g_final_, sopt, *fresh);
+      GAPSP_CHECK(r.perm.empty(),
+                  "full-solve fallback must preserve the store layout");
+    } else {
+      // Permuted stores re-solve by SSSP sweep so the layout survives.
+      ThreadPool::global().parallel_for(
+          static_cast<std::size_t>(n),
+          [&](std::size_t i) {
+            const vidx_t src = inv_perm_[i];
+            std::vector<dist_t> by_vertex(static_cast<std::size_t>(n));
+            sssp::dijkstra_into(g_final_, src, by_vertex);
+            std::vector<dist_t> row(static_cast<std::size_t>(n));
+            for (vidx_t v = 0; v < n; ++v) {
+              row[perm_[static_cast<std::size_t>(v)]] =
+                  by_vertex[static_cast<std::size_t>(v)];
+            }
+            fresh->write_block(static_cast<vidx_t>(i), 0, 1, n, row.data(),
+                               static_cast<std::size_t>(n));
+          },
+          1);
+    }
+    // Emit every changed tile, deterministic (bi, bj) order.
+    const double t_tiles = now_s();
+    std::vector<dist_t> cur(static_cast<std::size_t>(tile) * tile);
+    std::vector<dist_t> neu(static_cast<std::size_t>(tile) * tile);
+    long long idx = 0;
+    for (vidx_t bi = 0; bi < nb; ++bi) {
+      for (vidx_t bj = 0; bj < nb; ++bj) {
+        ++outcome.tiles_candidate;
+        if (idx < start_tile) {
+          ++idx;
+          ++outcome.tiles_resumed;
+          continue;
+        }
+        const vidx_t r0 = bi * tile, c0 = bj * tile;
+        const vidx_t rows = std::min(tile, n - r0);
+        const vidx_t cols = std::min(tile, n - c0);
+        const std::size_t elems = static_cast<std::size_t>(rows) * cols;
+        read_pristine_tile(r0, c0, rows, cols, cur.data());
+        fresh->read_block(r0, c0, rows, cols, neu.data(),
+                          static_cast<std::size_t>(cols));
+        if (std::memcmp(cur.data(), neu.data(), elems * sizeof(dist_t)) != 0) {
+          sink(bi, bj, r0, c0, rows, cols, neu.data());
+          ++outcome.tiles_touched;
+        }
+        ++idx;
+        if (!opt_.checkpoint_path.empty() &&
+            idx % opt_.checkpoint_every_tiles == 0) {
+          write_delta_checkpoint(idx, payload);
+        }
+      }
+    }
+    outcome.tile_seconds = now_s() - t_tiles;
+    if (!opt_.checkpoint_path.empty()) {
+      remove_checkpoint(opt_.checkpoint_path);
+    }
+    outcome.modeled_full_seconds =
+        incremental_full_solve_model(n, opt_.solve_opts.device);
+    outcome.modeled_repair_seconds = outcome.modeled_full_seconds;
+    outcome.seconds = now_s() - t_start;
+    return outcome;
+  }
+
+  // ---- Phase C: decrease repair seeds --------------------------------
+  // S = stored endpoints of decreased arcs; panels are read from the
+  // pristine store and patched with the phase-B rows so everything below
+  // speaks exact g_mid distances.
+  const double t_panel = now_s();
+  std::vector<vidx_t> seeds;  // sorted unique stored ids
+  {
+    std::vector<std::uint8_t> in_s(static_cast<std::size_t>(n), 0);
+    for (const EdgeUpdate& up : cls.decreases) {
+      const vidx_t su = perm_.empty() ? up.u : perm_[up.u];
+      const vidx_t sv = perm_.empty() ? up.v : perm_[up.v];
+      in_s[static_cast<std::size_t>(su)] = 1;
+      in_s[static_cast<std::size_t>(sv)] = 1;
+    }
+    for (vidx_t i = 0; i < n; ++i) {
+      if (in_s[static_cast<std::size_t>(i)]) seeds.push_back(i);
+    }
+  }
+  const std::size_t k = seeds.size();
+  outcome.sources = static_cast<long long>(k);
+  std::vector<int> seed_index(static_cast<std::size_t>(n), -1);
+  for (std::size_t a = 0; a < k; ++a) {
+    seed_index[static_cast<std::size_t>(seeds[a])] = static_cast<int>(a);
+  }
+
+  // R (k×n): rows of D_mid at the seeds.  Cc (n×k): columns of D_mid.
+  std::vector<dist_t> R(k * static_cast<std::size_t>(n));
+  std::vector<dist_t> Cc(static_cast<std::size_t>(n) * k);
+  for (std::size_t a = 0; a < k; ++a) {
+    const vidx_t s = seeds[a];
+    dist_t* row = R.data() + a * static_cast<std::size_t>(n);
+    const int di = dr_index[static_cast<std::size_t>(s)];
+    if (di >= 0) {
+      std::memcpy(row,
+                  dr_rows.data() +
+                      static_cast<std::size_t>(di) * static_cast<std::size_t>(n),
+                  static_cast<std::size_t>(n) * sizeof(dist_t));
+    } else {
+      pristine.read_block(s, 0, 1, n, row, static_cast<std::size_t>(n));
+    }
+  }
+  if (k > 0) {
+    std::vector<dist_t> col(static_cast<std::size_t>(n));
+    for (std::size_t a = 0; a < k; ++a) {
+      pristine.read_block(0, seeds[a], n, 1, col.data(), 1);
+      for (vidx_t i = 0; i < n; ++i) {
+        Cc[static_cast<std::size_t>(i) * k + a] =
+            col[static_cast<std::size_t>(i)];
+      }
+    }
+    for (std::size_t di = 0; di < dr.size(); ++di) {
+      const dist_t* row =
+          dr_rows.data() + di * static_cast<std::size_t>(n);
+      dist_t* dst = Cc.data() + static_cast<std::size_t>(dr[di]) * k;
+      for (std::size_t a = 0; a < k; ++a) {
+        dst[a] = row[static_cast<std::size_t>(seeds[a])];
+      }
+    }
+  }
+
+  // Seed closure M* — D_mid between seeds, improved by the decreased arcs,
+  // transitively closed so one panel product covers arc chains.
+  std::vector<dist_t> M(k * k);
+  for (std::size_t a = 0; a < k; ++a) {
+    const dist_t* row = R.data() + a * static_cast<std::size_t>(n);
+    for (std::size_t b = 0; b < k; ++b) {
+      M[a * k + b] = row[static_cast<std::size_t>(seeds[b])];
+    }
+  }
+  for (const EdgeUpdate& up : cls.decreases) {
+    const vidx_t su = perm_.empty() ? up.u : perm_[up.u];
+    const vidx_t sv = perm_.empty() ? up.v : perm_[up.v];
+    const std::size_t a = static_cast<std::size_t>(
+        seed_index[static_cast<std::size_t>(su)]);
+    const std::size_t b = static_cast<std::size_t>(
+        seed_index[static_cast<std::size_t>(sv)]);
+    M[a * k + b] = std::min(M[a * k + b], up.w);
+  }
+  if (k > 0) {
+    fw_inplace(M.data(), k, static_cast<vidx_t>(k));
+  }
+
+  // L = Cc ⊗ M* (n×k) and R' = M* ⊗ R (k×n); the rows/columns they improve
+  // are the affected sets — everything else provably keeps its value.
+  std::vector<dist_t> L = Cc;
+  std::vector<dist_t> Rp = R;
+  if (k > 0 && n > 0) {
+    minplus_accum(L.data(), k, Cc.data(), k, M.data(), k, n,
+                  static_cast<vidx_t>(k), static_cast<vidx_t>(k));
+    minplus_accum(Rp.data(), static_cast<std::size_t>(n), M.data(), k,
+                  R.data(), static_cast<std::size_t>(n),
+                  static_cast<vidx_t>(k), static_cast<vidx_t>(k), n);
+  }
+  std::vector<std::uint8_t> ar(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint8_t> ac(static_cast<std::size_t>(n), 0);
+  for (vidx_t i = 0; i < n; ++i) {
+    const dist_t* li = L.data() + static_cast<std::size_t>(i) * k;
+    const dist_t* ci = Cc.data() + static_cast<std::size_t>(i) * k;
+    for (std::size_t a = 0; a < k; ++a) {
+      if (li[a] < ci[a]) {
+        ar[static_cast<std::size_t>(i)] = 1;
+        break;
+      }
+    }
+  }
+  for (std::size_t a = 0; a < k; ++a) {
+    const dist_t* ra = R.data() + a * static_cast<std::size_t>(n);
+    const dist_t* pa = Rp.data() + a * static_cast<std::size_t>(n);
+    for (vidx_t j = 0; j < n; ++j) {
+      if (pa[static_cast<std::size_t>(j)] < ra[static_cast<std::size_t>(j)]) {
+        ac[static_cast<std::size_t>(j)] = 1;
+      }
+    }
+  }
+  for (const auto& f : ar) outcome.affected_rows += f;
+  for (const auto& f : ac) outcome.affected_cols += f;
+  outcome.panel_seconds = now_s() - t_panel;
+
+  // Dirty-tile frontier at block granularity.
+  std::vector<std::uint8_t> dr_tile(static_cast<std::size_t>(nb), 0);
+  std::vector<std::uint8_t> ar_tile(static_cast<std::size_t>(nb), 0);
+  std::vector<std::uint8_t> ac_tile(static_cast<std::size_t>(nb), 0);
+  for (vidx_t i = 0; i < n; ++i) {
+    const std::size_t b = static_cast<std::size_t>(i / tile);
+    if (dr_index[static_cast<std::size_t>(i)] >= 0) dr_tile[b] = 1;
+    if (ar[static_cast<std::size_t>(i)]) ar_tile[b] = 1;
+    if (ac[static_cast<std::size_t>(i)]) ac_tile[b] = 1;
+  }
+
+  // ---- Checkpoint the deterministic phase-B state --------------------
+  std::vector<std::uint8_t> payload;
+  if (!opt_.checkpoint_path.empty()) {
+    payload.push_back(kModeRepair);
+    const std::uint64_t count = dr.size();
+    append_bytes(payload, &count, sizeof(count));
+    append_bytes(payload, dr.data(), dr.size() * sizeof(vidx_t));
+    append_bytes(payload, dr_rows.data(), dr_rows.size() * sizeof(dist_t));
+    if (start_tile == 0) write_delta_checkpoint(0, payload);
+  }
+
+  // ---- Dirty-tile walk ------------------------------------------------
+  const double t_tiles = now_s();
+  std::vector<dist_t> cur(static_cast<std::size_t>(tile) * tile);
+  std::vector<dist_t> orig(static_cast<std::size_t>(tile) * tile);
+  long long idx = 0;
+  for (vidx_t bi = 0; bi < nb; ++bi) {
+    const bool row_damaged = dr_tile[static_cast<std::size_t>(bi)];
+    const bool row_affected = ar_tile[static_cast<std::size_t>(bi)];
+    if (!row_damaged && !row_affected) continue;
+    for (vidx_t bj = 0; bj < nb; ++bj) {
+      const bool relax =
+          row_affected && ac_tile[static_cast<std::size_t>(bj)];
+      if (!row_damaged && !relax) continue;
+      ++outcome.tiles_candidate;
+      if (idx < start_tile) {
+        ++idx;
+        ++outcome.tiles_resumed;
+        continue;
+      }
+      const vidx_t r0 = bi * tile, c0 = bj * tile;
+      const vidx_t rows = std::min(tile, n - r0);
+      const vidx_t cols = std::min(tile, n - c0);
+      const std::size_t elems = static_cast<std::size_t>(rows) * cols;
+      read_pristine_tile(r0, c0, rows, cols, cur.data());
+      std::memcpy(orig.data(), cur.data(), elems * sizeof(dist_t));
+      // Patch the phase-B rows: the tile now holds exact g_mid values.
+      for (vidx_t r = 0; r < rows; ++r) {
+        const int di = dr_index[static_cast<std::size_t>(r0 + r)];
+        if (di < 0) continue;
+        std::memcpy(cur.data() + static_cast<std::size_t>(r) * cols,
+                    dr_rows.data() +
+                        static_cast<std::size_t>(di) *
+                            static_cast<std::size_t>(n) +
+                        c0,
+                    static_cast<std::size_t>(cols) * sizeof(dist_t));
+      }
+      // Decrease relaxation: T = min(T, L[rows,:] ⊗ R[:,cols]).
+      if (relax && k > 0) {
+        minplus_accum(cur.data(), static_cast<std::size_t>(cols),
+                      L.data() + static_cast<std::size_t>(r0) * k, k,
+                      R.data() + c0, static_cast<std::size_t>(n), rows,
+                      static_cast<vidx_t>(k), cols);
+      }
+      if (std::memcmp(cur.data(), orig.data(), elems * sizeof(dist_t)) != 0) {
+        sink(bi, bj, r0, c0, rows, cols, cur.data());
+        ++outcome.tiles_touched;
+      }
+      ++idx;
+      if (!opt_.checkpoint_path.empty() &&
+          idx % opt_.checkpoint_every_tiles == 0) {
+        write_delta_checkpoint(idx, payload);
+      }
+    }
+  }
+  outcome.tile_seconds = now_s() - t_tiles;
+  if (!opt_.checkpoint_path.empty()) {
+    remove_checkpoint(opt_.checkpoint_path);
+  }
+
+  const IncrementalCost cost = estimate_incremental(
+      n, g_final_.num_edges(), k, dr.size(),
+      static_cast<std::size_t>(outcome.tiles_touched), tile,
+      opt_.solve_opts.device);
+  outcome.modeled_repair_seconds = cost.total();
+  outcome.modeled_full_seconds =
+      incremental_full_solve_model(n, opt_.solve_opts.device);
+  outcome.seconds = now_s() - t_start;
+  return outcome;
+}
+
+UpdateOutcome IncrementalEngine::apply_in_place(
+    DistStore& store, std::span<const EdgeUpdate> updates) {
+  return apply(store, updates,
+               [&store](vidx_t, vidx_t, vidx_t row0, vidx_t col0, vidx_t rows,
+                        vidx_t cols, const dist_t* data) {
+                 store.write_block(row0, col0, rows, cols, data,
+                                   static_cast<std::size_t>(cols));
+               });
+}
+
+}  // namespace gapsp::core

@@ -56,6 +56,34 @@ QueryEngine::QueryEngine(const core::DistStore& store, QueryEngineOptions opt,
   cache_.set_negative_tile(inf_tile_);
 }
 
+core::UpdateOutcome QueryEngine::apply_updates(
+    const graph::CsrGraph& g_before,
+    std::span<const core::EdgeUpdate> updates, core::IncrementalOptions opt) {
+  // The engine's dirty-tile granularity must be the cache grid so every
+  // emitted tile is exactly one overlay/cache entry. (A tiled store already
+  // dictates the same side to both.)
+  opt.tile = opt_.block_size;
+  core::IncrementalEngine engine(g_before, std::move(opt), perm_);
+  return engine.apply(
+      store_, updates,
+      [this](vidx_t bi, vidx_t bj, vidx_t, vidx_t, vidx_t rows, vidx_t cols,
+             const dist_t* data) {
+        auto tile = std::make_shared<std::vector<dist_t>>(
+            data, data + static_cast<std::size_t>(rows) * cols);
+        const BlockData fixed = collapse_inf(std::move(tile));
+        {
+          std::lock_guard<std::mutex> lock(overlay_mu_);
+          overlay_[static_cast<std::uint64_t>(bi) *
+                       static_cast<std::uint64_t>(num_blocks_) +
+                   static_cast<std::uint64_t>(bj)] = fixed;
+        }
+        // Republish: later misses hit the overlay, current cache readers
+        // swap to the new tile, and a quarantine mark — this tile may have
+        // been unserveable — is cleared.
+        cache_.publish(bi, bj, fixed);
+      });
+}
+
 ServiceStats QueryEngine::service_stats() const {
   ServiceStats out;
   out.served = served_.load(std::memory_order_relaxed);
@@ -100,6 +128,16 @@ BlockData QueryEngine::repair_tile(vidx_t block_row, vidx_t block_col) const {
 BlockData QueryEngine::fetch(vidx_t block_row, vidx_t block_col) const {
   try {
     return cache_.get_or_load(block_row, block_col, [&]() -> BlockData {
+      // Tiles rewritten by apply_updates live in the overlay, not the
+      // store — an evicted tile must reload the repaired truth.
+      {
+        std::lock_guard<std::mutex> lock(overlay_mu_);
+        const auto it = overlay_.find(
+            static_cast<std::uint64_t>(block_row) *
+                static_cast<std::uint64_t>(num_blocks_) +
+            static_cast<std::uint64_t>(block_col));
+        if (it != overlay_.end()) return it->second;
+      }
       const vidx_t b = opt_.block_size;
       const vidx_t row0 = block_row * b;
       const vidx_t col0 = block_col * b;

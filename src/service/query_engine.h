@@ -21,12 +21,15 @@
 #pragma once
 
 #include <atomic>
+#include <mutex>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/block_cache.h"
 #include "core/dist_store.h"
+#include "core/incremental.h"
 #include "core/store_integrity.h"
 #include "core/tile_reader.h"
 
@@ -178,6 +181,29 @@ class QueryEngine {
   CacheStats cache_stats() const { return cache_.stats(); }
   ServiceStats service_stats() const;
 
+  /// Applies a batch of edge-weight updates to the served matrix without a
+  /// restart: an IncrementalEngine (core/incremental.h) repairs the
+  /// distances against the read-only store, and every changed tile lands in
+  /// an in-memory overlay that the miss path consults before the store — so
+  /// an evicted tile can never resurrect stale disk bytes. Each repaired
+  /// tile is also republished through BlockCache::publish, which clears its
+  /// quarantine mark: a tile that was unserveable before the update serves
+  /// again afterwards. `g_before` is the graph the store was solved from
+  /// (pre-update); opt.tile is forced to the engine's cache grid. Quiesce
+  /// queries for the duration of the call: the repair reads the store
+  /// directly (file-backed stores have one stateful stream, so concurrent
+  /// miss-path reads would race), and repaired tiles become visible one at
+  /// a time, not transactionally. A configured repair source still recomputes
+  /// from the graph it captured — swap it via set_repair(make_sssp_repair(
+  /// updated_graph, perm)) after the batch.
+  core::UpdateOutcome apply_updates(const graph::CsrGraph& g_before,
+                                    std::span<const core::EdgeUpdate> updates,
+                                    core::IncrementalOptions opt = {});
+
+  /// Replaces the on-demand repair source (used after apply_updates so
+  /// repairs recompute from the updated graph).
+  void set_repair(core::TileRepairFn fn) { opt_.repair = std::move(fn); }
+
  private:
   vidx_t stored_id(vidx_t v) const {
     return perm_.empty() ? v : perm_[static_cast<std::size_t>(v)];
@@ -205,6 +231,11 @@ class QueryEngine {
   mutable std::atomic<long long> degraded_{0};
   mutable std::atomic<long long> shed_{0};
   mutable std::atomic<long long> repaired_{0};
+  /// Tiles rewritten by apply_updates, keyed bi·num_blocks+bj. The truth
+  /// for those tiles lives here, not in the (stale) store: the miss path
+  /// checks the overlay first, so cache evictions stay correct.
+  mutable std::mutex overlay_mu_;
+  std::unordered_map<std::uint64_t, BlockData> overlay_;
 };
 
 }  // namespace gapsp::service

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 
 namespace gapsp {
 namespace {
@@ -119,11 +122,36 @@ void ThreadPool::parallel_for(std::size_t count,
   work->cv.wait(lk, [&] { return work->done.load() == work->launches; });
 }
 
+std::size_t ThreadPool::threads_from_env(const char* value) {
+  if (value == nullptr) return 0;
+  std::string s(value);
+  const auto begin = s.find_first_not_of(" \t");
+  if (begin == std::string::npos) return 0;  // all whitespace
+  const auto end = s.find_last_not_of(" \t");
+  s = s.substr(begin, end - begin + 1);
+  // Digits only: strtol would accept "4x16" as 4 and "-2" as a huge size_t
+  // after the cast — both must fall back loudly, not half-parse.
+  for (const char c : s) {
+    if (c < '0' || c > '9') return 0;
+  }
+  errno = 0;
+  char* parse_end = nullptr;
+  const long v = std::strtol(s.c_str(), &parse_end, 10);
+  if (errno != 0 || parse_end != s.c_str() + s.size() || v <= 0) return 0;
+  return static_cast<std::size_t>(v);
+}
+
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool([] {
     if (const char* env = std::getenv("GAPSP_THREADS"); env != nullptr) {
-      const long v = std::strtol(env, nullptr, 10);
-      if (v > 0) return static_cast<std::size_t>(v);
+      const std::size_t v = threads_from_env(env);
+      if (v == 0) {
+        std::fprintf(stderr,
+                     "gapsp: ignoring GAPSP_THREADS=\"%s\" (not a positive "
+                     "integer); using hardware concurrency\n",
+                     env);
+      }
+      return v;
     }
     return std::size_t{0};
   }());

@@ -43,6 +43,14 @@ class ThreadPool {
   /// variable when set, otherwise to the hardware.
   static ThreadPool& global();
 
+  /// Worker count requested by a GAPSP_THREADS-style value: the whole string
+  /// must be a positive decimal integer (surrounding whitespace allowed).
+  /// Returns 0 — "fall back to hardware concurrency" — for nullptr and for
+  /// anything else ("4x", "-2", "0", "", "1e3"): a typo'd override silently
+  /// parsing as its numeric prefix (strtol semantics) once pinned a run to
+  /// the wrong width. global() warns once to stderr on the fallback.
+  static std::size_t threads_from_env(const char* value);
+
  private:
   struct Task {
     std::function<void()> fn;

@@ -169,6 +169,51 @@ TEST(Z1Codec, TruncatedFramesThrow) {
                IoError);
 }
 
+TEST(Z1Codec, DegenerateTileSizes) {
+  // Empty tile: a header-only frame that decodes to zero bytes (the store
+  // never writes one today, but the codec is shared by the transfer path).
+  const auto empty = z1_compress(nullptr, 0);
+  EXPECT_EQ(z1_raw_size(empty.data(), empty.size()), 0u);
+  z1_decompress(empty.data(), empty.size(), nullptr, 0);
+  // One-byte and one-element tiles: below the minimum match, literal-only.
+  expect_round_trip({0x5a});
+  const dist_t one = 12345;
+  const auto frame = z1_compress(&one, sizeof(one));
+  dist_t back = 0;
+  z1_decompress(frame.data(), frame.size(), &back, sizeof(back));
+  EXPECT_EQ(back, one);
+}
+
+TEST(Z1Codec, MatchOffsetsAtTheU16Boundary) {
+  // Two copies of a distinctive 64-byte motif separated by runs of zeros
+  // sized around the u16 match-offset limit. The hash probe sees the far
+  // first copy; an encoder that emitted its distance unchecked would wrap
+  // the u16 offset field and decode garbage (caught as a round-trip
+  // mismatch or a checksum throw). Straddle the limit from both sides.
+  std::vector<std::uint8_t> motif(64);
+  for (std::size_t i = 0; i < motif.size(); ++i) {
+    motif[i] = static_cast<std::uint8_t>(0xA1 + 37 * i);
+  }
+  for (const std::size_t gap :
+       {std::size_t{65400}, std::size_t{65471}, std::size_t{65535},
+        std::size_t{65536}, std::size_t{65600}}) {
+    std::vector<std::uint8_t> buf;
+    buf.insert(buf.end(), motif.begin(), motif.end());
+    buf.resize(motif.size() + gap, 0);
+    buf.insert(buf.end(), motif.begin(), motif.end());
+    expect_round_trip(buf);
+  }
+  // Total sizes at the boundary as well (length-extension edge cases).
+  for (const std::size_t len :
+       {std::size_t{65535}, std::size_t{65536}, std::size_t{65537}}) {
+    std::vector<std::uint8_t> buf(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      buf[i] = static_cast<std::uint8_t>(i % 251);
+    }
+    expect_round_trip(buf);
+  }
+}
+
 TEST(Z1Codec, ContentChecksumCatchesPayloadCorruption) {
   std::vector<std::uint8_t> data(4096);
   for (std::size_t i = 0; i < data.size(); ++i) {

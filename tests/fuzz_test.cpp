@@ -197,9 +197,29 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzz, ::testing::Range(0, 24));
 // ---------------------------------------------------------------------------
 
 std::vector<std::uint8_t> random_z1_input(Rng& rng) {
-  const int shape = static_cast<int>(rng.next_below(5));
+  const int shape = static_cast<int>(rng.next_below(7));
   std::vector<std::uint8_t> buf(
       static_cast<std::size_t>(rng.next_in(0, 20000)));
+  switch (shape) {
+    case 5: {  // degenerate tiles: empty, 1 byte, below-minimum-match sizes
+      buf.resize(static_cast<std::size_t>(rng.next_in(0, 4)));
+      for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next_u64());
+      return buf;
+    }
+    case 6: {  // repeats separated by ~the u16 match-offset limit (65535)
+      const std::size_t gap =
+          static_cast<std::size_t>(rng.next_in(65535 - 80, 65535 + 80));
+      buf.assign(gap + 128, 0);
+      for (std::size_t i = 0; i < 64; ++i) {
+        const auto m = static_cast<std::uint8_t>(rng.next_u64());
+        buf[i] = m;
+        buf[gap + 64 + i] = m;
+      }
+      return buf;
+    }
+    default:
+      break;
+  }
   switch (shape) {
     case 0:  // incompressible noise
       for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next_u64());
@@ -281,7 +301,9 @@ TEST_P(Z1Fuzz, RoundTripsExactlyAndRejectsDamageTyped) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, Z1Fuzz, ::testing::Range(0, 24));
+// 36 seeds so the degenerate shapes (5: empty/1-byte, 6: u16-offset
+// boundary) each land several times per run.
+INSTANTIATE_TEST_SUITE_P(Seeds, Z1Fuzz, ::testing::Range(0, 36));
 
 // ---------------------------------------------------------------------------
 // Vector microkernel fuzzer (kernel_engine.h kSimd/kTensor): random tile

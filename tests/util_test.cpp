@@ -250,5 +250,34 @@ TEST(ThreadPool, InWorkerReflectsContext) {
   EXPECT_FALSE(ThreadPool::in_worker());
 }
 
+TEST(ThreadPool, ThreadsFromEnvAcceptsPositiveIntegers) {
+  EXPECT_EQ(ThreadPool::threads_from_env("1"), 1u);
+  EXPECT_EQ(ThreadPool::threads_from_env("4"), 4u);
+  EXPECT_EQ(ThreadPool::threads_from_env("128"), 128u);
+  EXPECT_EQ(ThreadPool::threads_from_env("  8  "), 8u);  // trimmed
+  EXPECT_EQ(ThreadPool::threads_from_env("007"), 7u);
+}
+
+TEST(ThreadPool, ThreadsFromEnvRejectsEverythingElse) {
+  // Regression: strtol without an end-pointer check once accepted "4x16" as
+  // 4 and cast "-2" to a huge size_t — both must fall back (0) instead of
+  // half-parsing.
+  EXPECT_EQ(ThreadPool::threads_from_env(nullptr), 0u);
+  EXPECT_EQ(ThreadPool::threads_from_env(""), 0u);
+  EXPECT_EQ(ThreadPool::threads_from_env("   "), 0u);
+  EXPECT_EQ(ThreadPool::threads_from_env("0"), 0u);
+  EXPECT_EQ(ThreadPool::threads_from_env("-2"), 0u);
+  EXPECT_EQ(ThreadPool::threads_from_env("+4"), 0u);
+  EXPECT_EQ(ThreadPool::threads_from_env("4x16"), 0u);
+  EXPECT_EQ(ThreadPool::threads_from_env("x4"), 0u);
+  EXPECT_EQ(ThreadPool::threads_from_env("1e3"), 0u);
+  EXPECT_EQ(ThreadPool::threads_from_env("3.5"), 0u);
+  EXPECT_EQ(ThreadPool::threads_from_env("4 2"), 0u);
+  EXPECT_EQ(ThreadPool::threads_from_env("0x10"), 0u);
+  // A value past every plausible range still parses digit-clean; overflow
+  // of long falls back rather than wrapping.
+  EXPECT_EQ(ThreadPool::threads_from_env("99999999999999999999999999"), 0u);
+}
+
 }  // namespace
 }  // namespace gapsp

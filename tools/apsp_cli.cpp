@@ -151,6 +151,44 @@
 //   apsp_cli scrub --store-path d.bin --repair recompute --generate road:24x24
 //   apsp_cli scrub --store-path d.bin --write-sums    (create/refresh sidecar)
 //
+// Dynamic updates (see DESIGN.md §16): `apsp_cli update` repairs a kept
+// store in place after a batch of edge-weight updates, instead of
+// re-solving. Decrease-only batches run a bounded min-plus panel repair;
+// increases/deletes probe for damaged rows and recompute them by SSSP,
+// falling back to a full re-solve past --update-threshold. The repair
+// writes into a sibling tmp copy and atomically replaces the store, with a
+// GAPSPCK1 delta sidecar (<store>.updck) making a killed update resumable
+// bit-identically. Stale sidecars are fixed up: .sum refreshed, .cal and
+// .shards removed. Pass the solve's exact --generate/--input/--seed
+// (identity-permutation solves only, like --repair recompute):
+//
+//   apsp_cli update --store-path d.bin --updates batch.txt \
+//            --generate road:24x24 [--update-threshold 0.5] [--resume]
+//
+//   --updates FILE          one `u v w` arc per line ('#' comments;
+//                           w = inf | x | -1 deletes the arc; arcs absent
+//                           from the graph are inserted; last update of an
+//                           arc wins). Undirected graphs need both arcs.
+//   --update-threshold F    fall back to a full re-solve when more than
+//                           F*n rows are damaged by increases (default 1 =
+//                           never: row repair is output-sensitive, so the
+//                           damaged-row fraction does not predict its cost;
+//                           0 = always re-solve)
+//   --checkpoint FILE       delta sidecar path (default <store>.updck)
+//   --checkpoint-every N    tiles between checkpoint rewrites (default 64)
+//   --resume                continue a killed update (same store + batch)
+//   --block B               repair tile side for raw stores (default 256;
+//                           GAPSPZ1 stores always use their own tiling)
+//   --save-graph FILE       write the post-update graph as Matrix Market,
+//                           so a from-scratch `--input FILE` solve can
+//                           cross-check the repaired store byte-for-byte
+//
+// `apsp_cli info` prints a kept store's format facts (raw / GAPSPZ1 /
+// GAPSPSD1 shard slice, n, tile, compression ratio) and the health of every
+// sidecar next to it (.sum / .cal / .shards / .updck):
+//
+//   apsp_cli info --store-path d.bin
+//
 // Query-mode vertex ids address the store's own layout; solves that permute
 // (the boundary algorithm) should query through the API with ApspResult::
 // perm, or save via --save which records the permutation.
@@ -163,6 +201,8 @@
 #include <unistd.h>
 
 #include "core/apsp.h"
+#include "core/checkpoint.h"
+#include "core/incremental.h"
 #include "core/kernel_engine.h"
 #include "core/component_solver.h"
 #include "core/compressed_store.h"
@@ -740,6 +780,289 @@ int run_compact(const Args& args) {
   return 0;
 }
 
+/// Bytes of the file at `path`, or 0 when missing/unreadable.
+std::uint64_t file_size_bytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  std::uint64_t bytes = 0;
+  if (std::fseek(f, 0, SEEK_END) == 0) {
+    const long long end = std::ftell(f);
+    if (end > 0) bytes = static_cast<std::uint64_t>(end);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+/// First `len` bytes of `path` (shorter when the file is), for magic sniffs.
+std::string file_magic(const std::string& path, std::size_t len) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::string magic(len, '\0');
+  magic.resize(std::fread(magic.data(), 1, len, f));
+  std::fclose(f);
+  return magic;
+}
+
+/// Removes every shard sidecar of `path` (manifest + shard files), because
+/// the bytes they slice are about to change. Tolerates a corrupt manifest:
+/// the files are removed by probing, not by trusting its count.
+void remove_shard_sidecars(const std::string& path) {
+  const std::string manifest = core::shard_manifest_path(path);
+  if (file_size_bytes(manifest) == 0) return;
+  for (int k = 0;; ++k) {
+    if (std::remove(core::shard_file_path(path, k).c_str()) != 0) break;
+  }
+  std::remove(manifest.c_str());
+}
+
+/// `apsp_cli update`: delta-repair a kept store after a batch of edge-weight
+/// updates instead of re-solving (DESIGN.md §16). The repair writes into a
+/// sibling tmp copy and atomically replaces the store only when complete, so
+/// a kill mid-update leaves the pristine matrix plus a GAPSPCK1 delta
+/// sidecar that --resume continues bit-identically. Sidecars derived from
+/// the old bytes (.cal, .shards) are invalidated; a .sum sidecar is
+/// refreshed in place.
+int run_update(const Args& args) {
+  const std::string path = args.get_or("store-path", "apsp_dist.bin");
+  const auto upath = args.get("updates");
+  GAPSP_CHECK(upath.has_value(),
+              "update needs --updates FILE (one `u v w` arc per line; w = "
+              "inf/x/-1 deletes) plus the solve's --generate/--input/--seed");
+  const graph::CsrGraph g = make_graph(args);
+  const auto updates = core::read_edge_updates(*upath);
+
+  auto pristine = core::open_store(path);  // raw or GAPSPZ1, auto-detected
+  const vidx_t n = pristine->n();
+  GAPSP_CHECK(
+      n == g.num_vertices(),
+      "store " + path + " holds n=" + std::to_string(n) +
+          " but the graph has n=" + std::to_string(g.num_vertices()) +
+          " — pass the exact --generate/--input/--seed the solve used");
+  const bool compressed = pristine->tile_size() > 0;
+
+  core::IncrementalOptions opt;
+  opt.damage_threshold = args.get_double_or(
+      "update-threshold", core::IncrementalOptions{}.damage_threshold);
+  opt.tile = compressed ? pristine->tile_size()
+                        : static_cast<vidx_t>(args.get_int_or("block", 256));
+  opt.checkpoint_path = args.get_or("checkpoint", path + ".updck");
+  opt.resume = args.has("resume");
+  opt.checkpoint_every_tiles = args.get_int_or("checkpoint-every", 64);
+
+  // The repair lands in a raw sibling copy; the pristine store — which a
+  // resumed run must re-read byte-identically — is replaced only by the
+  // final rename/compaction.
+  const std::string tmp = path + ".upd.tmp";
+  const std::uint64_t raw_bytes = static_cast<std::uint64_t>(n) *
+                                  static_cast<std::uint64_t>(n) *
+                                  sizeof(dist_t);
+  bool fresh_copy = true;
+  if (opt.resume) {
+    core::Checkpoint ck;
+    if (core::read_checkpoint(opt.checkpoint_path, &ck) &&
+        ck.fingerprint == core::incremental_fingerprint(
+                              g, updates, opt.tile, opt.damage_threshold) &&
+        file_size_bytes(tmp) == raw_bytes) {
+      // The tmp copy already holds every tile the dead run emitted;
+      // re-copying the pristine matrix would silently undo them.
+      fresh_copy = false;
+    }
+  }
+  auto target = core::make_file_store(n, tmp, /*keep_file=*/true);
+  if (fresh_copy) {
+    const vidx_t strip = std::min<vidx_t>(n, 256);
+    std::vector<dist_t> buf(static_cast<std::size_t>(strip) *
+                            static_cast<std::size_t>(n));
+    for (vidx_t r0 = 0; r0 < n; r0 += strip) {
+      const vidx_t rows = std::min(strip, n - r0);
+      pristine->read_block(r0, 0, rows, n, buf.data(),
+                           static_cast<std::size_t>(n));
+      target->write_block(r0, 0, rows, n, buf.data(),
+                          static_cast<std::size_t>(n));
+    }
+  } else {
+    std::cout << "resume: continuing into " << tmp << " from "
+              << opt.checkpoint_path << "\n";
+  }
+
+  // Checkpoint durability: the tmp copy's stdio buffers must land before a
+  // checkpoint claims their tiles, or a SIGKILL resume would skip tiles
+  // that never reached disk.
+  opt.sync_before_checkpoint = [&target] { target->flush(); };
+
+  core::IncrementalEngine engine(g, opt);
+  const core::UpdateOutcome out = engine.apply(
+      *pristine, updates,
+      [&](vidx_t, vidx_t, vidx_t r0, vidx_t c0, vidx_t rows, vidx_t cols,
+          const dist_t* data) {
+        target->write_block(r0, c0, rows, cols, data,
+                            static_cast<std::size_t>(cols));
+      });
+
+  // Swap the repaired matrix in and fix up every sidecar derived from the
+  // old bytes (the invalidation matrix in DESIGN.md §16).
+  target.reset();
+  pristine.reset();
+  if (compressed) {
+    core::compact_store(tmp, path, opt.tile);  // atomic tmp+rename inside
+    std::remove(tmp.c_str());
+    // GAPSPZ1 frames are self-checksummed; a raw-era sidecar would go stale.
+    std::remove(core::checksum_sidecar_path(path).c_str());
+  } else {
+    GAPSP_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+                "cannot rename " + tmp + " over " + path);
+    // Refresh the checksum sidecar when the store carries one.
+    core::StoreChecksums sums;
+    if (core::load_store_checksums(core::checksum_sidecar_path(path), sums)) {
+      auto repaired = core::open_file_store(path);
+      const auto fresh = core::compute_store_checksums(*repaired, sums.tile);
+      core::write_store_checksums(fresh, core::checksum_sidecar_path(path));
+      std::cout << "sidecar: refreshed " << core::checksum_sidecar_path(path)
+                << "\n";
+    }
+  }
+  if (std::remove((path + ".cal").c_str()) == 0) {
+    std::cout << "sidecar: invalidated " << path << ".cal (calibration was "
+              << "fit against the old store)\n";
+  }
+  if (file_size_bytes(core::shard_manifest_path(path)) > 0) {
+    remove_shard_sidecars(path);
+    std::cout << "sidecar: invalidated " << core::shard_manifest_path(path)
+              << " + shard files (re-shard with `apsp_cli shard`)\n";
+  }
+
+  std::cout << "update: " << path << " (n=" << n << ", "
+            << (compressed ? "GAPSPZ1" : "raw") << ", tile " << opt.tile
+            << ")\n"
+            << "batch: " << updates.size() << " updates -> " << out.decreases
+            << " decreases, " << out.increases << " increases, " << out.noops
+            << " noops\n";
+  if (out.full_solve) {
+    std::cout << "mode: full re-solve (" << out.damaged_rows << "/" << n
+              << " rows damaged > threshold "
+              << opt.damage_threshold << ")\n";
+  } else {
+    std::cout << "mode: delta repair (" << out.damaged_rows
+              << " damaged rows, " << out.sources << " seed sources, AR "
+              << out.affected_rows << " x AC " << out.affected_cols << ")\n";
+  }
+  std::cout << "tiles: " << out.tiles_touched << " changed of "
+            << out.tiles_candidate << " candidates / " << out.tiles_total
+            << " total";
+  if (out.tiles_resumed > 0) {
+    std::cout << " (" << out.tiles_resumed << " resumed from checkpoint)";
+  }
+  std::cout << "\ntime: " << out.seconds * 1e3 << " ms (probe "
+            << out.probe_seconds * 1e3 << ", sssp " << out.sssp_seconds * 1e3
+            << ", panels " << out.panel_seconds * 1e3 << ", tiles "
+            << out.tile_seconds * 1e3 << ")\n"
+            << "modeled: repair " << out.modeled_repair_seconds
+            << " s vs full re-solve " << out.modeled_full_seconds << " s ("
+            << out.modeled_full_seconds /
+                   std::max(out.modeled_repair_seconds, 1e-12)
+            << "x)\n";
+  if (const auto gpath = args.get("save-graph")) {
+    graph::write_matrix_market_file(engine.updated_graph(), *gpath);
+    std::cout << "graph: wrote updated graph to " << *gpath
+              << " (solve it fresh via --input to cross-check the repair)\n";
+  }
+  return 0;
+}
+
+/// `apsp_cli info`: describe a kept store and the health of its sidecars
+/// without serving or mutating anything.
+int run_info(const Args& args) {
+  const std::string path = args.get_or("store-path", "apsp_dist.bin");
+  if (file_size_bytes(path) == 0) {
+    throw IoError("no store at " + path);
+  }
+  std::cout << "store: " << path << " (" << (file_size_bytes(path) >> 10)
+            << " KiB)\n";
+  vidx_t n = 0;
+  if (core::is_compressed_store(path)) {
+    const auto info = core::compressed_store_info(path);
+    n = info.n;
+    std::cout << "format: GAPSPZ1 block-compressed\n"
+              << "n: " << info.n << "\ntile: " << info.tile << " ("
+              << info.tiles_per_side << " per side, " << info.inf_tiles << "/"
+              << info.tiles << " all-kInf)\n"
+              << "compression: " << (info.raw_bytes >> 10) << " KiB raw -> "
+              << (info.file_bytes >> 10) << " KiB ("
+              << static_cast<double>(info.raw_bytes) /
+                     static_cast<double>(info.file_bytes)
+              << "x)\n";
+  } else if (file_magic(path, 8) == "GAPSPSD1") {
+    std::cout << "format: GAPSPSD1 shard slice (one row range of a sharded "
+              << "store; `info` on the parent store reads the manifest)\n";
+    return 0;
+  } else {
+    const auto store = core::open_file_store(path);  // throws if not square
+    n = store->n();
+    std::cout << "format: raw row-major dist_t matrix\nn: " << n << "\n";
+  }
+
+  // ---- sidecar health ---------------------------------------------------
+  const std::string sum_path = core::checksum_sidecar_path(path);
+  if (file_size_bytes(sum_path) == 0) {
+    std::cout << "checksums: absent (" << sum_path << ")\n";
+  } else {
+    try {
+      core::StoreChecksums sums;
+      core::load_store_checksums(sum_path, sums);
+      std::cout << "checksums: present (" << sum_path << ", tile "
+                << sums.tile << ", " << sums.sums.size() << " tiles"
+                << (sums.n == n ? "" : ", STALE: n mismatch") << ")\n";
+    } catch (const Error& e) {
+      std::cout << "checksums: INVALID (" << sum_path << ": " << e.what()
+                << ")\n";
+    }
+  }
+  const std::string cal_path = path + ".cal";
+  if (file_size_bytes(cal_path) == 0) {
+    std::cout << "calibration: absent (" << cal_path << ")\n";
+  } else {
+    std::cout << "calibration: "
+              << (file_magic(cal_path, 9) == "GAPSPCAL1" ? "present"
+                                                         : "INVALID (bad "
+                                                           "magic)")
+              << " (" << cal_path << ")\n";
+  }
+  const std::string manifest_path = core::shard_manifest_path(path);
+  if (file_size_bytes(manifest_path) == 0) {
+    std::cout << "shards: absent (" << manifest_path << ")\n";
+  } else {
+    try {
+      core::ShardManifest m;
+      core::load_shard_manifest(manifest_path, m);
+      int missing = 0;
+      for (int k = 0; k < m.num_shards(); ++k) {
+        if (file_size_bytes(core::shard_file_path(path, k)) !=
+            m.shards[static_cast<std::size_t>(k)].bytes) {
+          ++missing;
+        }
+      }
+      std::cout << "shards: " << m.num_shards() << " ("
+                << (m.compressed ? "GAPSPZ1" : "raw") << " payloads, tile "
+                << m.tile << ")";
+      if (missing > 0) {
+        std::cout << " — " << missing << " shard file(s) missing or resized";
+      }
+      std::cout << "\n";
+    } catch (const Error& e) {
+      std::cout << "shards: INVALID (" << manifest_path << ": " << e.what()
+                << ")\n";
+    }
+  }
+  core::Checkpoint ck;
+  if (core::read_checkpoint(path + ".updck", &ck)) {
+    std::cout << "delta checkpoint: present (" << path << ".updck, "
+              << ck.progress
+              << " tiles done — an `apsp_cli update` died mid-repair; rerun "
+              << "it with --resume)\n";
+  }
+  return 0;
+}
+
 int run(const Args& args) {
   const graph::CsrGraph g = make_graph(args);
   std::cout << "graph: n=" << g.num_vertices() << " m=" << g.num_edges()
@@ -1107,6 +1430,29 @@ int main(int argc, char** argv) {
         return 2;
       }
       return run_scrub(args);
+    }
+    if (!args.positional().empty() && args.positional().front() == "update") {
+      const auto unknown = args.unknown(
+          {"store-path", "updates", "update-threshold", "checkpoint",
+           "checkpoint-every", "resume", "block", "generate", "input",
+           "seed", "save-graph"});
+      if (!unknown.empty()) {
+        std::cerr << "unknown update flag(s):";
+        for (const auto& f : unknown) std::cerr << " --" << f;
+        std::cerr << "\n";
+        return 2;
+      }
+      return run_update(args);
+    }
+    if (!args.positional().empty() && args.positional().front() == "info") {
+      const auto unknown = args.unknown({"store-path"});
+      if (!unknown.empty()) {
+        std::cerr << "unknown info flag(s):";
+        for (const auto& f : unknown) std::cerr << " --" << f;
+        std::cerr << "\n";
+        return 2;
+      }
+      return run_info(args);
     }
     if (!args.positional().empty() &&
         args.positional().front() == "compact") {
